@@ -1,0 +1,70 @@
+"""Ablation: greedy decentralized pairing vs the exact integer program.
+
+The paper's pairing scheduler is a greedy heuristic for the integer program
+of Eq. (5).  This ablation measures how close the greedy makespan gets to
+the exhaustive optimum on small populations (where the exact solver is
+feasible), and benchmarks the scheduling cost of the greedy pairing itself
+at the paper's population sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.agents.registry import AgentRegistry
+from repro.core.pairing import greedy_pairing, pairing_makespan
+from repro.core.profiling import profile_architecture
+from repro.core.workload import exact_min_makespan
+from repro.models.resnet import resnet56_spec
+from repro.network.link import LinkModel, pairwise_bandwidth
+from repro.network.topology import full_topology
+
+PROFILE = profile_architecture(resnet56_spec(), granularity=9)
+
+
+def _population(num_agents: int, seed: int) -> AgentRegistry:
+    return AgentRegistry.build(
+        num_agents=num_agents,
+        rng=np.random.default_rng(seed),
+        samples_per_agent=1_000,
+        batch_size=100,
+    )
+
+
+def test_greedy_vs_exact_makespan(benchmark):
+    """Greedy pairing must stay close to the exhaustive optimum (8 agents)."""
+
+    def run() -> dict:
+        results = {}
+        for seed in range(5):
+            registry = _population(8, seed)
+            link_model = LinkModel(full_topology(registry.ids))
+            decisions = greedy_pairing(registry.agents, link_model, PROFILE)
+            greedy = pairing_makespan(decisions)
+            exact, _ = exact_min_makespan(registry.agents, PROFILE, pairwise_bandwidth)
+            results[seed] = (greedy, exact)
+        return results
+
+    results = run_once(benchmark, run)
+    print("\n=== Ablation: greedy pairing vs exact integer program (8 agents) ===")
+    print("seed    greedy (s)    exact (s)    ratio")
+    ratios = []
+    for seed, (greedy, exact) in results.items():
+        ratio = greedy / exact if exact > 0 else 1.0
+        ratios.append(ratio)
+        print(f"{seed:4d}   {greedy:10.1f}   {exact:10.1f}   {ratio:6.3f}")
+    benchmark.extra_info["worst_ratio"] = round(max(ratios), 3)
+    # The greedy scheduler should be within 25 % of the exact optimum.
+    assert max(ratios) < 1.25
+
+
+@pytest.mark.parametrize("num_agents", [10, 50, 100])
+def test_greedy_pairing_scheduling_cost(benchmark, num_agents):
+    """Wall-clock cost of one round of greedy pairing at paper population sizes."""
+    registry = _population(num_agents, seed=0)
+    link_model = LinkModel(full_topology(registry.ids))
+
+    result = benchmark(greedy_pairing, registry.agents, link_model, PROFILE)
+    assert len(result) >= num_agents / 2

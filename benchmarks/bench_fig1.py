@@ -1,0 +1,27 @@
+"""Benchmark harness for Figure 1: round timeline with and without balancing."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_workload_balancing_timeline(benchmark):
+    """Reproduce the Figure 1 comparison for a heterogeneous 2-agent round."""
+    timeline = run_once(benchmark, run_fig1)
+    print("\n=== Figure 1: one round, with vs without workload balancing ===")
+    print(f"slow agent solo time          : {timeline.slow_solo_time:10.1f} s")
+    print(f"fast agent solo time          : {timeline.fast_solo_time:10.1f} s")
+    print(f"round time without balancing  : {timeline.round_time_without_balancing:10.1f} s")
+    print(f"idle time without balancing   : {timeline.idle_without_balancing:10.1f} s")
+    print(f"offloaded layers (chosen)     : {timeline.offloaded_layers:10d}")
+    print(f"communication overhead        : {timeline.communication_overhead:10.1f} s")
+    print(f"round time with balancing     : {timeline.round_time_with_balancing:10.1f} s")
+    print(f"idle time with balancing      : {timeline.idle_with_balancing:10.1f} s")
+    print(f"round-time reduction          : {timeline.round_time_reduction_fraction:10.1%}")
+
+    benchmark.extra_info["reduction_fraction"] = round(
+        timeline.round_time_reduction_fraction, 3
+    )
+    assert timeline.round_time_with_balancing < timeline.round_time_without_balancing
+    assert timeline.idle_with_balancing < timeline.idle_without_balancing

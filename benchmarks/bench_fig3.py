@@ -1,0 +1,34 @@
+"""Benchmark harness for Figure 3: 20 % link connectivity, 50 agents.
+
+Regenerates the limited-connectivity comparison (random topology keeping
+20 % of the full graph's links) on the three I.I.D. datasets and prints the
+total-training-time series behind the paper's bar chart.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+def test_fig3_limited_connectivity(benchmark):
+    """Reproduce Figure 3 (all datasets, all methods, sparse random topology)."""
+    bars = run_once(benchmark, run_fig3)
+    print("\n=== Figure 3: time (s) to target accuracy under 20% connectivity ===")
+    print(format_fig3(bars))
+
+    lookup = {(bar.dataset, bar.method): bar for bar in bars}
+    datasets = sorted({bar.dataset for bar in bars})
+    for dataset in datasets:
+        comdml = lookup[(dataset, "ComDML")]
+        assert comdml.time_to_target_seconds is not None, (
+            f"ComDML failed to reach the target on {dataset} under sparse connectivity"
+        )
+        for method in ("Gossip Learning", "BrainTorrent", "AllReduce", "FedAvg"):
+            baseline = lookup[(dataset, method)]
+            if baseline.time_to_target_seconds is None:
+                continue
+            assert comdml.time_to_target_seconds < baseline.time_to_target_seconds
+            benchmark.extra_info[f"{dataset}_speedup_vs_{method.replace(' ', '_')}"] = round(
+                baseline.time_to_target_seconds / comdml.time_to_target_seconds, 2
+            )

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the hot paths (proper pytest-benchmark statistics).
+
+These are not paper reproductions; they track the library's own performance:
+split profiling, the per-pair offload optimisation, round-timing assembly,
+and one round of local-loss split training of the proxy model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.agents.resources import ResourceProfile
+from repro.core.pairing import greedy_pairing
+from repro.core.profiling import profile_architecture
+from repro.core.timing import compute_round_timing
+from repro.core.workload import best_offload
+from repro.data.synthetic import cifar10_like
+from repro.models.proxy import ProxyModelFactory
+from repro.models.resnet import resnet56_spec, resnet110_spec
+from repro.network.link import LinkModel
+from repro.network.topology import full_topology
+from repro.training.local_loss import LocalLossSplitTrainer
+from repro.utils.units import mbps_to_bytes_per_second
+
+
+@pytest.mark.parametrize("spec_builder", [resnet56_spec, resnet110_spec])
+def test_profile_architecture_speed(benchmark, spec_builder):
+    """Cost of full-granularity split profiling."""
+    spec = spec_builder()
+    profile = benchmark(profile_architecture, spec, None, 1)
+    assert profile.num_options == spec.num_layers
+
+
+def test_best_offload_speed(benchmark):
+    """Cost of one AgentTrainingTime minimisation over all split candidates."""
+    profile = profile_architecture(resnet56_spec(), granularity=1)
+    slow = Agent(0, ResourceProfile(0.2, 50.0), num_samples=5_000, batch_size=100)
+    fast = Agent(1, ResourceProfile(4.0, 100.0), num_samples=5_000, batch_size=100)
+    estimate = benchmark(
+        best_offload, slow, fast, profile, mbps_to_bytes_per_second(50.0)
+    )
+    assert estimate.offloaded_layers > 0
+
+
+def test_round_timing_speed(benchmark):
+    """Cost of planning and timing one 50-agent round."""
+    registry = AgentRegistry.build(
+        num_agents=50, rng=np.random.default_rng(0), samples_per_agent=1_000
+    )
+    profile = profile_architecture(resnet56_spec(), granularity=9)
+    link_model = LinkModel(full_topology(registry.ids))
+
+    def plan_and_time():
+        decisions = greedy_pairing(registry.agents, link_model, profile)
+        return compute_round_timing(decisions, registry, profile)
+
+    timing = benchmark(plan_and_time)
+    assert timing.total_time > 0
+
+
+def test_local_loss_split_training_round(benchmark):
+    """Cost of one real local-loss split-training round on the proxy model."""
+    train, _ = cifar10_like(train_samples=500, test_samples=100, num_features=32, seed=0)
+    factory = ProxyModelFactory(
+        spec=resnet56_spec(), input_features=32, num_blocks=3, width=32
+    )
+    trainer = LocalLossSplitTrainer(learning_rate=0.03, batch_size=50)
+
+    def round_of_training():
+        split = factory.build_split(27, rng=np.random.default_rng(1))
+        return trainer.train(split, train)
+
+    result = benchmark(round_of_training)
+    assert result.batches > 0

@@ -1,0 +1,30 @@
+"""Benchmark harness for the privacy-integration results (Section V-B-4).
+
+Runs real proxy-model training through the full ComDML pipeline once per
+privacy mechanism (no protection, distance correlation α=0.5, patch
+shuffling, differential privacy ε=0.5) and prints the accuracy comparison
+the paper reports.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.privacy import format_privacy_results, run_privacy_comparison
+
+
+def test_privacy_integration_accuracy(benchmark):
+    """Reproduce the privacy-mechanism accuracy comparison."""
+    results = run_once(benchmark, run_privacy_comparison)
+    print("\n=== Privacy integration: ComDML accuracy per mechanism ===")
+    print(format_privacy_results(results))
+
+    by_mechanism = {result.mechanism: result for result in results}
+    baseline = by_mechanism["none"]
+    benchmark.extra_info["baseline_accuracy"] = round(baseline.final_accuracy, 3)
+
+    for mechanism in ("distance_correlation", "patch_shuffle", "differential_privacy"):
+        protected = by_mechanism[mechanism]
+        benchmark.extra_info[f"{mechanism}_accuracy"] = round(protected.final_accuracy, 3)
+        # Paper shape: each mechanism costs at most a few points of accuracy
+        # relative to undefended ComDML training — it must not collapse.
+        assert protected.final_accuracy > baseline.final_accuracy - 0.15

@@ -1,0 +1,32 @@
+"""Benchmark harness for Table I: 2-agent layer-offloading sweep.
+
+Regenerates both resource settings of the paper's Table I (fast-agent train
+time, communication time, combined idle time, total time for each offload
+choice) and prints them in the paper's layout.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_table1_layer_offloading_sweep(benchmark):
+    """Reproduce Table I (both settings, all eight offload options)."""
+    results = run_once(benchmark, run_table1)
+    print("\n=== Table I: 2-agent training with varying layer offloading ===")
+    print(format_table1(results))
+
+    for setting_name, rows in results.items():
+        by_offload = {row.layers_offloaded: row for row in rows}
+        best = min(rows, key=lambda row: row.total_seconds)
+        benchmark.extra_info[f"{setting_name}_best_offload"] = best.layers_offloaded
+        benchmark.extra_info[f"{setting_name}_best_total_s"] = round(best.total_seconds)
+        benchmark.extra_info[f"{setting_name}_no_offload_total_s"] = round(
+            by_offload[0].total_seconds
+        )
+
+        # Paper shape: offloading beats no offloading, and the optimum is an
+        # interior split (not the no-offload or offload-everything endpoint).
+        assert best.total_seconds < by_offload[0].total_seconds
+        assert 0 < best.layers_offloaded < 55

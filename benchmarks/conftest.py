@@ -1,0 +1,16 @@
+"""Shared benchmark helpers.
+
+Every experiment benchmark runs its harness exactly once (``rounds=1``) —
+these are reproduction harnesses whose value is the produced table, not a
+statistically tight latency estimate — and attaches the produced rows to
+``benchmark.extra_info`` so they appear in the saved benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

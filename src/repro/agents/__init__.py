@@ -1,0 +1,23 @@
+"""Agent abstractions: resources, state, population registry, dynamic churn."""
+
+from repro.agents.resources import (
+    CPU_PROFILES,
+    BANDWIDTH_PROFILES_MBPS,
+    ResourceProfile,
+    assign_profiles_evenly,
+    assign_profiles_randomly,
+)
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.agents.dynamics import ResourceChurn
+
+__all__ = [
+    "CPU_PROFILES",
+    "BANDWIDTH_PROFILES_MBPS",
+    "ResourceProfile",
+    "assign_profiles_evenly",
+    "assign_profiles_randomly",
+    "Agent",
+    "AgentRegistry",
+    "ResourceChurn",
+]

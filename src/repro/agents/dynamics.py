@@ -1,0 +1,83 @@
+"""Dynamic resource churn.
+
+The paper's Table II setup "randomly changed the profile of 20 % of the
+agents after 100 rounds" to mimic real-world variation.  ``ResourceChurn``
+generalises this: at configurable round intervals, a configurable fraction
+of agents is re-assigned a fresh random profile from the paper's grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.registry import AgentRegistry
+from repro.agents.resources import (
+    CONNECTED_BANDWIDTH_PROFILES_MBPS,
+    CPU_PROFILES,
+    ResourceProfile,
+)
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class ResourceChurn:
+    """Re-randomise a fraction of agent profiles every ``interval_rounds`` rounds.
+
+    Attributes
+    ----------
+    fraction:
+        Fraction of agents whose profile changes at each churn point.
+    interval_rounds:
+        Number of rounds between churn points (the paper uses 100).
+    cpu_profiles / bandwidth_profiles:
+        Pools to draw new profiles from.
+    """
+
+    fraction: float = 0.2
+    interval_rounds: int = 100
+    cpu_profiles: tuple[float, ...] = CPU_PROFILES
+    bandwidth_profiles: tuple[float, ...] = CONNECTED_BANDWIDTH_PROFILES_MBPS
+
+    def __post_init__(self) -> None:
+        check_probability(self.fraction, "fraction")
+        check_positive(self.interval_rounds, "interval_rounds")
+
+    def should_trigger(self, round_index: int) -> bool:
+        """Whether churn fires at the *start* of the given (0-based) round."""
+        if round_index == 0:
+            return False
+        return round_index % self.interval_rounds == 0
+
+    def apply(self, registry: AgentRegistry, rng: np.random.Generator) -> list[int]:
+        """Re-assign profiles to a random subset of agents.
+
+        Returns the ids of agents whose profile changed.
+        """
+        agents = registry.agents
+        count = int(round(self.fraction * len(agents)))
+        if count == 0:
+            return []
+        chosen = rng.choice(len(agents), size=count, replace=False)
+        changed: list[int] = []
+        for index in chosen:
+            agent = agents[int(index)]
+            new_profile = ResourceProfile(
+                cpu_share=float(rng.choice(self.cpu_profiles)),
+                bandwidth_mbps=float(rng.choice(self.bandwidth_profiles)),
+            )
+            agent.update_profile(new_profile)
+            changed.append(agent.agent_id)
+        return changed
+
+    def maybe_apply(
+        self,
+        round_index: int,
+        registry: AgentRegistry,
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """Apply churn if this round is a churn point; return changed agent ids."""
+        if not self.should_trigger(round_index):
+            return []
+        return self.apply(registry, rng)

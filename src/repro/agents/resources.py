@@ -1,0 +1,131 @@
+"""Heterogeneous agent resource profiles.
+
+The paper simulates heterogeneity with CPU profiles of {4, 2, 1, 0.5, 0.2}
+CPUs and communication profiles of {0, 10, 20, 50, 100} Mbps, where 0 Mbps
+means the agent is disconnected.  This module defines those profiles, the
+:class:`ResourceProfile` value object attached to every agent, and the two
+assignment strategies used by the experiments:
+
+* :func:`assign_profiles_evenly` — Table II style, "randomly assigning 20 %
+  of the agents to each CPU and communication speed profile combination";
+* :func:`assign_profiles_randomly` — uniform random assignment used by some
+  scalability scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import mbps_to_bytes_per_second
+from repro.utils.validation import check_positive, check_non_negative
+
+#: CPU share profiles from the paper (fraction of a reference CPU).
+CPU_PROFILES: tuple[float, ...] = (4.0, 2.0, 1.0, 0.5, 0.2)
+
+#: Link-speed profiles in Mbps from the paper; 0 represents a disconnected agent.
+BANDWIDTH_PROFILES_MBPS: tuple[float, ...] = (0.0, 10.0, 20.0, 50.0, 100.0)
+
+#: Link-speed profiles that actually allow communication.
+CONNECTED_BANDWIDTH_PROFILES_MBPS: tuple[float, ...] = (10.0, 20.0, 50.0, 100.0)
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Computation and communication capacity of one agent.
+
+    Attributes
+    ----------
+    cpu_share:
+        Fraction of the reference CPU available to the agent (e.g. ``0.5``).
+    bandwidth_mbps:
+        Uplink/downlink speed of the agent in Mbps; ``0`` means disconnected.
+    """
+
+    cpu_share: float
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.cpu_share, "cpu_share")
+        check_non_negative(self.bandwidth_mbps, "bandwidth_mbps")
+
+    @property
+    def bandwidth_bytes_per_second(self) -> float:
+        """Link speed converted to bytes per second."""
+        return mbps_to_bytes_per_second(self.bandwidth_mbps)
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the agent can communicate at all."""
+        return self.bandwidth_mbps > 0
+
+    def with_cpu(self, cpu_share: float) -> "ResourceProfile":
+        """Return a copy with a different CPU share."""
+        return ResourceProfile(cpu_share=cpu_share, bandwidth_mbps=self.bandwidth_mbps)
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "ResourceProfile":
+        """Return a copy with a different link speed."""
+        return ResourceProfile(cpu_share=self.cpu_share, bandwidth_mbps=bandwidth_mbps)
+
+
+def default_profile_grid(
+    include_disconnected: bool = False,
+) -> list[ResourceProfile]:
+    """All (CPU, bandwidth) combinations from the paper's profile grid."""
+    bandwidths = (
+        BANDWIDTH_PROFILES_MBPS
+        if include_disconnected
+        else CONNECTED_BANDWIDTH_PROFILES_MBPS
+    )
+    return [
+        ResourceProfile(cpu_share=cpu, bandwidth_mbps=bw)
+        for cpu in CPU_PROFILES
+        for bw in bandwidths
+    ]
+
+
+def assign_profiles_evenly(
+    num_agents: int,
+    rng: np.random.Generator,
+    cpu_profiles: tuple[float, ...] = CPU_PROFILES,
+    bandwidth_profiles: tuple[float, ...] = CONNECTED_BANDWIDTH_PROFILES_MBPS,
+) -> list[ResourceProfile]:
+    """Assign profiles so each CPU tier receives an (almost) equal share of agents.
+
+    Mirrors the paper's Table II setup: 20 % of agents land in each CPU
+    profile; bandwidths are drawn uniformly from the connected profiles.
+    The assignment order is shuffled so agent index does not correlate with
+    speed.
+    """
+    if num_agents <= 0:
+        raise ValueError(f"num_agents must be positive, got {num_agents}")
+    cpus: list[float] = []
+    per_tier = num_agents // len(cpu_profiles)
+    remainder = num_agents - per_tier * len(cpu_profiles)
+    for index, cpu in enumerate(cpu_profiles):
+        count = per_tier + (1 if index < remainder else 0)
+        cpus.extend([cpu] * count)
+    rng.shuffle(cpus)
+    bandwidths = rng.choice(bandwidth_profiles, size=num_agents)
+    return [
+        ResourceProfile(cpu_share=float(cpu), bandwidth_mbps=float(bw))
+        for cpu, bw in zip(cpus, bandwidths)
+    ]
+
+
+def assign_profiles_randomly(
+    num_agents: int,
+    rng: np.random.Generator,
+    cpu_profiles: tuple[float, ...] = CPU_PROFILES,
+    bandwidth_profiles: tuple[float, ...] = CONNECTED_BANDWIDTH_PROFILES_MBPS,
+) -> list[ResourceProfile]:
+    """Assign each agent an independently uniform (CPU, bandwidth) profile."""
+    if num_agents <= 0:
+        raise ValueError(f"num_agents must be positive, got {num_agents}")
+    cpus = rng.choice(cpu_profiles, size=num_agents)
+    bandwidths = rng.choice(bandwidth_profiles, size=num_agents)
+    return [
+        ResourceProfile(cpu_share=float(cpu), bandwidth_mbps=float(bw))
+        for cpu, bw in zip(cpus, bandwidths)
+    ]

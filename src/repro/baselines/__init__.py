@@ -1,0 +1,33 @@
+"""Baseline training methods the paper compares ComDML against."""
+
+from repro.baselines.base import BaselineTrainer
+from repro.baselines.fedavg import FedAvg
+from repro.baselines.fedprox import FedProx
+from repro.baselines.allreduce_dml import AllReduceDML
+from repro.baselines.gossip import GossipLearning
+from repro.baselines.braintorrent import BrainTorrent
+
+__all__ = [
+    "BaselineTrainer",
+    "FedAvg",
+    "FedProx",
+    "AllReduceDML",
+    "GossipLearning",
+    "BrainTorrent",
+]
+
+
+def baseline_by_name(name: str):
+    """Look up a baseline class by (case-insensitive) name."""
+    mapping = {
+        "fedavg": FedAvg,
+        "fedprox": FedProx,
+        "allreduce": AllReduceDML,
+        "gossip": GossipLearning,
+        "gossip learning": GossipLearning,
+        "braintorrent": BrainTorrent,
+    }
+    key = name.lower().strip()
+    if key not in mapping:
+        raise KeyError(f"unknown baseline {name!r}; expected one of {sorted(mapping)}")
+    return mapping[key]

@@ -1,0 +1,190 @@
+"""Shared machinery for the baseline training methods.
+
+Each baseline differs from ComDML only in (a) how a round's duration is
+computed (no workload balancing — every agent trains the full model) and
+(b) its aggregation pattern.  The run loop, participation sampling, dynamic
+churn, learning-rate schedule and accuracy tracking are identical, so they
+live here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.agents.agent import Agent
+from repro.agents.dynamics import ResourceChurn
+from repro.agents.registry import AgentRegistry
+from repro.core.config import ComDMLConfig
+from repro.core.pairing import PairingDecision
+from repro.core.profiling import SplitProfile, profile_architecture
+from repro.core.workload import OffloadEstimate, individual_training_time
+from repro.models.spec import ArchitectureSpec
+from repro.network.link import LinkModel
+from repro.network.topology import Topology, full_topology
+from repro.nn.schedule import ReduceOnPlateau
+from repro.sim.clock import SimClock
+from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
+from repro.training.curves import LearningCurveModel, curve_preset_for
+from repro.training.metrics import RoundRecord, RunHistory
+from repro.utils.seeding import SeedSequenceFactory
+
+
+class BaselineTrainer:
+    """Base class implementing the round loop shared by all baselines."""
+
+    #: Human-readable method name used in reports.
+    method_name = "Baseline"
+    #: Key into the learning-curve efficiency table.
+    curve_method_key = "allreduce"
+
+    def __init__(
+        self,
+        registry: AgentRegistry,
+        spec: ArchitectureSpec,
+        config: Optional[ComDMLConfig] = None,
+        topology: Optional[Topology] = None,
+        accuracy_tracker: Optional[AccuracyTracker] = None,
+        profile: Optional[SplitProfile] = None,
+    ) -> None:
+        self.registry = registry
+        self.spec = spec
+        self.config = config if config is not None else ComDMLConfig()
+        self.topology = (
+            topology if topology is not None else full_topology(registry.ids)
+        )
+        self.link_model = LinkModel(self.topology)
+        self.profile = (
+            profile
+            if profile is not None
+            else profile_architecture(spec, granularity=self.config.offload_granularity)
+        )
+        seeds = SeedSequenceFactory(self.config.seed)
+        self._participation_rng = seeds.generator(f"{self.method_name}.participation")
+        self._method_rng = seeds.generator(f"{self.method_name}.method")
+        self._churn_rng = seeds.generator(f"{self.method_name}.churn")
+        self.churn = (
+            ResourceChurn(
+                fraction=self.config.churn_fraction,
+                interval_rounds=self.config.churn_interval_rounds,
+            )
+            if self.config.churn_fraction > 0
+            else None
+        )
+        self.accuracy_tracker = (
+            accuracy_tracker
+            if accuracy_tracker is not None
+            else CurveAccuracyTracker(
+                LearningCurveModel(
+                    preset=curve_preset_for("cifar10", "resnet56"),
+                    method=self.curve_method_key,
+                    rng=seeds.generator(f"{self.method_name}.curve"),
+                )
+            )
+        )
+        self.clock = SimClock()
+        self.history = RunHistory(method=self.method_name)
+        self._lr_schedule = ReduceOnPlateau(
+            learning_rate=self.config.learning_rate,
+            factor=self.config.lr_plateau_factor,
+            patience=self.config.lr_plateau_patience,
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def round_timing(self, participants: Sequence[Agent]) -> tuple[float, float, float]:
+        """Return ``(total, compute, communication)`` seconds for one round."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def select_participants(self) -> list[Agent]:
+        """Sample this round's participants."""
+        if self.config.participation_fraction >= 1.0:
+            return self.registry.agents
+        return self.registry.sample_participants(
+            self.config.participation_fraction, self._participation_rng
+        )
+
+    def full_model_training_time(self, agent: Agent) -> float:
+        """Time for an agent to train the full model on its shard."""
+        return individual_training_time(agent, self.profile, agent.batch_size)
+
+    def model_bytes(self) -> float:
+        """Serialized full-model size in bytes."""
+        return self.profile.full_model_bytes
+
+    def _solo_decisions(self, participants: Sequence[Agent]) -> list[PairingDecision]:
+        """Every participant trains the full model alone (no offloading)."""
+        decisions: list[PairingDecision] = []
+        for agent in participants:
+            own_time = self.full_model_training_time(agent)
+            estimate = OffloadEstimate(
+                offloaded_layers=0,
+                slow_time=own_time,
+                fast_own_time=0.0,
+                communication_time=0.0,
+                fast_offload_time=0.0,
+                pair_time=own_time,
+            )
+            decisions.append(
+                PairingDecision(
+                    slow_id=agent.agent_id,
+                    fast_id=None,
+                    offloaded_layers=0,
+                    estimate=estimate,
+                )
+            )
+        return decisions
+
+    def _participation_fraction(self, participants: Sequence[Agent]) -> float:
+        total = self.registry.total_samples
+        if total == 0:
+            return 1.0
+        contributed = sum(agent.num_samples for agent in participants)
+        return min(1.0, contributed / total)
+
+    # ------------------------------------------------------------------
+    # Round loop
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one global round and return its record."""
+        if self.churn is not None:
+            self.churn.maybe_apply(round_index, self.registry, self._churn_rng)
+
+        participants = self.select_participants()
+        total_time, compute_time, communication_time = self.round_timing(participants)
+
+        decisions = self._solo_decisions(participants)
+        participation = self._participation_fraction(participants)
+        learning_rate = self._lr_schedule.learning_rate
+        accuracy = self.accuracy_tracker.after_round(decisions, participation, learning_rate)
+        self._lr_schedule.step(accuracy)
+
+        self.clock.advance(total_time)
+        record = RoundRecord(
+            round_index=round_index,
+            duration_seconds=total_time,
+            cumulative_seconds=self.clock.now,
+            accuracy=accuracy,
+            compute_seconds=compute_time,
+            communication_seconds=communication_time,
+            aggregation_seconds=max(0.0, total_time - compute_time),
+            num_pairs=0,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self) -> RunHistory:
+        """Run until the target accuracy is reached or ``max_rounds`` expire."""
+        for round_index in range(self.config.max_rounds):
+            record = self.run_round(round_index)
+            if (
+                self.config.target_accuracy is not None
+                and record.accuracy >= self.config.target_accuracy
+            ):
+                break
+        return self.history

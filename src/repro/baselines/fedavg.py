@@ -1,0 +1,48 @@
+"""FedAvg baseline (McMahan et al., 2017).
+
+Server-coordinated federated averaging: every selected agent downloads the
+global model, trains it on its full local shard, and uploads it back to the
+central server, which averages the updates.  The round finishes when the
+slowest agent's download + training + upload chain completes; the server's
+own link is assumed not to be the bottleneck (it is a datacenter endpoint),
+so each agent's chain is limited by its own access link — the configuration
+most favourable to FedAvg.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.agents.agent import Agent
+from repro.baselines.base import BaselineTrainer
+from repro.sim.costs import DEFAULT_LINK_LATENCY_SECONDS
+
+
+class FedAvg(BaselineTrainer):
+    """Central-server federated averaging."""
+
+    method_name = "FedAvg"
+    curve_method_key = "fedavg"
+
+    def agent_round_time(self, agent: Agent) -> tuple[float, float, float]:
+        """(total, compute, communication) chain for one agent's round."""
+        compute = self.full_model_training_time(agent)
+        bandwidth = agent.profile.bandwidth_bytes_per_second
+        if bandwidth <= 0:
+            # Disconnected agents cannot interact with the server this round;
+            # they contribute no time (the server simply skips them).
+            return 0.0, 0.0, 0.0
+        # Download the global model, then upload the update.
+        communication = 2.0 * (
+            DEFAULT_LINK_LATENCY_SECONDS + self.model_bytes() / bandwidth
+        )
+        return compute + communication, compute, communication
+
+    def round_timing(self, participants: Sequence[Agent]) -> tuple[float, float, float]:
+        chains = [self.agent_round_time(agent) for agent in participants]
+        if not chains:
+            return 0.0, 0.0, 0.0
+        total = max(chain[0] for chain in chains)
+        compute = max(chain[1] for chain in chains)
+        communication = max(chain[2] for chain in chains)
+        return total, compute, communication

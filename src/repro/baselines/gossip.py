@@ -1,0 +1,57 @@
+"""Gossip Learning baseline (Hegedűs et al., 2019).
+
+Each agent trains the full model on its local shard and then exchanges its
+model with one randomly chosen connected neighbour, averaging the two.
+There is no global synchronisation point, but for comparability with the
+other methods a "round" is one train-and-exchange cycle of every agent; the
+round time is set by the slowest agent's training plus its model exchange.
+
+Gossip's information mixes much more slowly than a global average — each
+round an agent only sees one neighbour's model — which is why its
+statistical efficiency in the learning-curve model is the lowest of the
+compared methods, matching its longer time-to-accuracy in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.agents.agent import Agent
+from repro.baselines.base import BaselineTrainer
+from repro.sim.costs import DEFAULT_LINK_LATENCY_SECONDS
+
+
+class GossipLearning(BaselineTrainer):
+    """Neighbour-to-neighbour model exchange with local averaging."""
+
+    method_name = "Gossip Learning"
+    curve_method_key = "gossip"
+
+    def _exchange_time(self, agent: Agent, participants: Sequence[Agent]) -> float:
+        """Time for one model push to a random connected neighbour."""
+        neighbors = [
+            other
+            for other in participants
+            if other.agent_id != agent.agent_id
+            and self.link_model.can_communicate(agent, other)
+        ]
+        if not neighbors:
+            return 0.0
+        choice = neighbors[int(self._method_rng.integers(0, len(neighbors)))]
+        bandwidth = self.link_model.bandwidth(agent, choice)
+        if bandwidth <= 0:
+            return 0.0
+        return DEFAULT_LINK_LATENCY_SECONDS + self.model_bytes() / bandwidth
+
+    def round_timing(self, participants: Sequence[Agent]) -> tuple[float, float, float]:
+        if not participants:
+            return 0.0, 0.0, 0.0
+        chains = []
+        for agent in participants:
+            compute = self.full_model_training_time(agent)
+            exchange = self._exchange_time(agent, participants)
+            chains.append((compute + exchange, compute, exchange))
+        total = max(chain[0] for chain in chains)
+        compute = max(chain[1] for chain in chains)
+        communication = max(chain[2] for chain in chains)
+        return total, compute, communication

@@ -1,0 +1,239 @@
+"""Command-line interface for running the paper's experiments.
+
+Installed as the ``comdml`` console script (also runnable as
+``python -m repro.cli``).  Subcommands map one-to-one onto the experiment
+harnesses:
+
+.. code-block:: console
+
+   comdml compare  --agents 10 --dataset cifar10 --target 0.9
+   comdml table1
+   comdml table2   --datasets cifar10 --methods ComDML FedAvg
+   comdml table3   --models resnet56 --agent-counts 20 50
+   comdml fig3     --datasets cifar10
+   comdml privacy  --rounds 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import format_fig3, run_fig3
+from repro.experiments.privacy import format_privacy_results, run_privacy_comparison
+from repro.experiments.reporting import format_table, speedup_over_baselines
+from repro.experiments.runner import PAPER_COMPARISON_METHODS, ExperimentRunner
+from repro.experiments.scenarios import ScenarioConfig
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.table3 import format_table3, run_table3
+from repro.utils.logging import configure_logging
+
+
+def _add_common_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="write machine-readable results to this JSON file",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+
+
+def _maybe_write_json(path: Optional[str], payload) -> None:
+    if path is None:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=lambda obj: obj.__dict__)
+    print(f"\nwrote {path}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = ScenarioConfig(
+        num_agents=args.agents,
+        dataset=args.dataset,
+        model=args.model,
+        iid=not args.non_iid,
+        target_accuracy=args.target,
+        max_rounds=args.max_rounds,
+        churn_fraction=args.churn,
+        participation_fraction=args.participation,
+        offload_granularity=args.granularity,
+        seed=args.seed,
+    )
+    runner = ExperimentRunner(config)
+    results = runner.compare(args.methods)
+    rows = []
+    for method, history in results.items():
+        rows.append(
+            {
+                "method": method,
+                "rounds": len(history),
+                "time_to_target_s": history.time_to_accuracy(args.target)
+                if args.target
+                else None,
+                "total_time_s": round(history.total_time, 1),
+                "final_accuracy": round(history.final_accuracy, 4),
+            }
+        )
+    print(format_table(rows))
+    if args.target and "ComDML" in results:
+        print()
+        for method, speedup in speedup_over_baselines(results, args.target).items():
+            print(f"ComDML is {speedup:.2f}x faster than {method}")
+    _maybe_write_json(args.json_path, rows)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    results = run_table1(samples_per_agent=args.samples, seed=args.seed)
+    print(format_table1(results))
+    _maybe_write_json(
+        args.json_path,
+        {name: [row.__dict__ for row in rows] for name, rows in results.items()},
+    )
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    cells = run_table2(
+        datasets=args.datasets,
+        methods=args.methods,
+        num_agents=args.agents,
+        seed=args.seed,
+    )
+    print(format_table2(cells))
+    _maybe_write_json(args.json_path, [cell.__dict__ for cell in cells])
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    cells = run_table3(
+        models=args.models,
+        agent_counts=args.agent_counts,
+        methods=args.methods,
+        seed=args.seed,
+    )
+    print(format_table3(cells))
+    _maybe_write_json(args.json_path, [cell.__dict__ for cell in cells])
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    timeline = run_fig1(
+        slow_cpu=args.slow_cpu,
+        fast_cpu=args.fast_cpu,
+        bandwidth_mbps=args.bandwidth,
+    )
+    print(f"round without balancing : {timeline.round_time_without_balancing:10.1f} s")
+    print(f"round with balancing    : {timeline.round_time_with_balancing:10.1f} s")
+    print(f"offloaded layers        : {timeline.offloaded_layers:10d}")
+    print(f"reduction               : {timeline.round_time_reduction_fraction:10.1%}")
+    _maybe_write_json(args.json_path, timeline.__dict__)
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    bars = run_fig3(datasets=args.datasets, methods=args.methods, seed=args.seed)
+    print(format_fig3(bars))
+    _maybe_write_json(args.json_path, [bar.__dict__ for bar in bars])
+    return 0
+
+
+def _cmd_privacy(args: argparse.Namespace) -> int:
+    results = run_privacy_comparison(
+        num_agents=args.agents, rounds=args.rounds, seed=args.seed
+    )
+    print(format_privacy_results(results))
+    _maybe_write_json(args.json_path, [result.__dict__ for result in results])
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="comdml",
+        description="ComDML reproduction: run the paper's experiments from the command line.",
+    )
+    parser.add_argument("--verbose", action="store_true", help="enable info logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="compare ComDML with baselines on one scenario")
+    compare.add_argument("--agents", type=int, default=10)
+    compare.add_argument("--dataset", choices=("cifar10", "cifar100", "cinic10"), default="cifar10")
+    compare.add_argument("--model", choices=("resnet56", "resnet110"), default="resnet56")
+    compare.add_argument("--non-iid", action="store_true", help="use the Dirichlet(0.5) label-skew variant")
+    compare.add_argument("--target", type=float, default=0.9, help="target accuracy (0 disables)")
+    compare.add_argument("--max-rounds", type=int, default=600)
+    compare.add_argument("--churn", type=float, default=0.2, help="fraction of agents whose resources change")
+    compare.add_argument("--participation", type=float, default=1.0)
+    compare.add_argument("--granularity", type=int, default=6, help="split-candidate spacing in layers")
+    compare.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    _add_common_output_options(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table I")
+    table1.add_argument("--samples", type=int, default=25_000, help="samples per agent")
+    _add_common_output_options(table1)
+    table1.set_defaults(handler=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="reproduce Table II")
+    table2.add_argument("--datasets", nargs="+", default=["cifar10", "cifar100", "cinic10"])
+    table2.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    table2.add_argument("--agents", type=int, default=10)
+    _add_common_output_options(table2)
+    table2.set_defaults(handler=_cmd_table2)
+
+    table3 = subparsers.add_parser("table3", help="reproduce Table III")
+    table3.add_argument("--models", nargs="+", default=["resnet56", "resnet110"])
+    table3.add_argument("--agent-counts", nargs="+", type=int, default=[20, 50, 100])
+    table3.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    _add_common_output_options(table3)
+    table3.set_defaults(handler=_cmd_table3)
+
+    fig1 = subparsers.add_parser("fig1", help="reproduce the Figure 1 timeline")
+    fig1.add_argument("--slow-cpu", type=float, default=0.5)
+    fig1.add_argument("--fast-cpu", type=float, default=2.0)
+    fig1.add_argument("--bandwidth", type=float, default=50.0)
+    _add_common_output_options(fig1)
+    fig1.set_defaults(handler=_cmd_fig1)
+
+    fig3 = subparsers.add_parser("fig3", help="reproduce Figure 3 (20%% connectivity)")
+    fig3.add_argument("--datasets", nargs="+", default=["cifar10", "cifar100", "cinic10"])
+    fig3.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    _add_common_output_options(fig3)
+    fig3.set_defaults(handler=_cmd_fig3)
+
+    privacy = subparsers.add_parser("privacy", help="reproduce the privacy-integration comparison")
+    privacy.add_argument("--agents", type=int, default=8)
+    privacy.add_argument("--rounds", type=int, default=12)
+    _add_common_output_options(privacy)
+    privacy.set_defaults(handler=_cmd_privacy)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    if getattr(args, "target", None) == 0:
+        args.target = None
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""ComDML core: profiling, workload balancing, pairing, and orchestration."""
+
+from repro.core.profiling import SplitProfile, profile_architecture
+from repro.core.workload import (
+    OffloadEstimate,
+    estimate_offload_time,
+    best_offload,
+    exact_min_makespan,
+)
+from repro.core.pairing import PairingDecision, greedy_pairing
+from repro.core.scheduler import DecentralizedPairingScheduler
+from repro.core.timing import PairTiming, RoundTiming, compute_round_timing
+from repro.core.config import ComDMLConfig
+from repro.core.comdml import ComDML
+
+__all__ = [
+    "SplitProfile",
+    "profile_architecture",
+    "OffloadEstimate",
+    "estimate_offload_time",
+    "best_offload",
+    "exact_min_makespan",
+    "PairingDecision",
+    "greedy_pairing",
+    "DecentralizedPairingScheduler",
+    "PairTiming",
+    "RoundTiming",
+    "compute_round_timing",
+    "ComDMLConfig",
+    "ComDML",
+]

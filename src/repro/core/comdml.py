@@ -1,0 +1,191 @@
+"""ComDML round orchestration.
+
+Ties the pieces together exactly as Algorithm 1 prescribes, per round:
+
+1. optional dynamic resource churn (heterogeneous environments);
+2. participation sampling (when a fraction < 1 is configured);
+3. **agent pairing** via the decentralized greedy scheduler;
+4. **local model update** — timing from the pairing plan's cost breakdown,
+   accuracy from the configured tracker (real proxy training or calibrated
+   curve);
+5. **model aggregation** with decentralized AllReduce (halving-doubling by
+   default), whose cost closes the round.
+
+``ComDML.run`` stops when the target accuracy is reached or ``max_rounds``
+expire and returns a :class:`~repro.training.metrics.RunHistory`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.dynamics import ResourceChurn
+from repro.agents.registry import AgentRegistry
+from repro.core.config import ComDMLConfig
+from repro.core.pairing import PairingDecision
+from repro.core.profiling import SplitProfile, profile_architecture
+from repro.core.scheduler import DecentralizedPairingScheduler
+from repro.core.timing import compute_round_timing
+from repro.models.spec import ArchitectureSpec
+from repro.network.compression import QuantizationCompressor
+from repro.network.link import LinkModel
+from repro.network.topology import Topology, full_topology
+from repro.nn.schedule import ReduceOnPlateau
+from repro.sim.clock import SimClock
+from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
+from repro.training.curves import LearningCurveModel
+from repro.training.metrics import RoundRecord, RunHistory
+from repro.utils.logging import get_logger
+from repro.utils.seeding import SeedSequenceFactory
+
+logger = get_logger("core.comdml")
+
+
+class ComDML:
+    """Communication-efficient workload-balanced decentralized training."""
+
+    method_name = "ComDML"
+
+    def __init__(
+        self,
+        registry: AgentRegistry,
+        spec: ArchitectureSpec,
+        config: Optional[ComDMLConfig] = None,
+        topology: Optional[Topology] = None,
+        accuracy_tracker: Optional[AccuracyTracker] = None,
+        profile: Optional[SplitProfile] = None,
+    ) -> None:
+        self.registry = registry
+        self.spec = spec
+        self.config = config if config is not None else ComDMLConfig()
+        self.topology = (
+            topology if topology is not None else full_topology(registry.ids)
+        )
+        seeds = SeedSequenceFactory(self.config.seed)
+        self.profile = (
+            profile
+            if profile is not None
+            else profile_architecture(spec, granularity=self.config.offload_granularity)
+        )
+        self.link_model = LinkModel(self.topology)
+        self.scheduler = DecentralizedPairingScheduler(
+            registry=registry,
+            link_model=self.link_model,
+            profile=self.profile,
+            participation_fraction=self.config.participation_fraction,
+            improvement_threshold=self.config.improvement_threshold,
+            rng=seeds.generator("participation"),
+        )
+        self.churn = (
+            ResourceChurn(
+                fraction=self.config.churn_fraction,
+                interval_rounds=self.config.churn_interval_rounds,
+            )
+            if self.config.churn_fraction > 0
+            else None
+        )
+        self._churn_rng = seeds.generator("churn")
+        self.accuracy_tracker = (
+            accuracy_tracker
+            if accuracy_tracker is not None
+            else CurveAccuracyTracker(
+                LearningCurveModel(
+                    preset=_default_curve_preset(),
+                    method="comdml",
+                    rng=seeds.generator("curve"),
+                )
+            )
+        )
+        self.clock = SimClock()
+        self.history = RunHistory(method=self.method_name)
+        self._lr_schedule = ReduceOnPlateau(
+            learning_rate=self.config.learning_rate,
+            factor=self.config.lr_plateau_factor,
+            patience=self.config.lr_plateau_patience,
+        )
+        self._aggregation_compressor = (
+            QuantizationCompressor(bits=self.config.aggregation_compression_bits)
+            if self.config.aggregation_compression_bits is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def _participation_fraction(self, decisions: list[PairingDecision]) -> float:
+        """Fraction of the population's data that contributed this round."""
+        involved: set[int] = set()
+        for decision in decisions:
+            involved.add(decision.slow_id)
+            if decision.fast_id is not None:
+                involved.add(decision.fast_id)
+        total = self.registry.total_samples
+        if total == 0:
+            return 1.0
+        contributed = sum(
+            self.registry.get(agent_id).num_samples
+            for agent_id in involved
+            if agent_id in self.registry
+        )
+        return min(1.0, contributed / total)
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one global round and return its record."""
+        if self.churn is not None:
+            changed = self.churn.maybe_apply(round_index, self.registry, self._churn_rng)
+            if changed:
+                logger.debug("round %d: churned profiles of agents %s", round_index, changed)
+
+        participants = self.scheduler.select_participants()
+        decisions = self.scheduler.plan_round(participants)
+        timing = compute_round_timing(
+            decisions,
+            registry=self.registry,
+            profile=self.profile,
+            allreduce_algorithm=self.config.allreduce_algorithm,
+            num_aggregating_agents=len(participants),
+            compressor=self._aggregation_compressor,
+        )
+
+        participation = self._participation_fraction(decisions)
+        learning_rate = self._lr_schedule.learning_rate
+        accuracy = self.accuracy_tracker.after_round(decisions, participation, learning_rate)
+        self._lr_schedule.step(accuracy)
+
+        self.clock.advance(timing.total_time)
+        record = RoundRecord(
+            round_index=round_index,
+            duration_seconds=timing.total_time,
+            cumulative_seconds=self.clock.now,
+            accuracy=accuracy,
+            compute_seconds=timing.makespan,
+            communication_seconds=timing.total_communication_time,
+            aggregation_seconds=timing.aggregation_time,
+            num_pairs=timing.num_pairs,
+        )
+        self.history.append(record)
+        return record
+
+    def run(self) -> RunHistory:
+        """Run until the target accuracy is reached or ``max_rounds`` expire."""
+        for round_index in range(self.config.max_rounds):
+            record = self.run_round(round_index)
+            if (
+                self.config.target_accuracy is not None
+                and record.accuracy >= self.config.target_accuracy
+            ):
+                logger.info(
+                    "target accuracy %.3f reached after %d rounds (%.0f simulated s)",
+                    self.config.target_accuracy,
+                    round_index + 1,
+                    self.clock.now,
+                )
+                break
+        return self.history
+
+
+def _default_curve_preset():
+    """Default calibration (CIFAR-10-like / ResNet-56) used when no tracker is given."""
+    from repro.training.curves import curve_preset_for
+
+    return curve_preset_for("cifar10", "resnet56")

@@ -1,0 +1,86 @@
+"""Configuration of a ComDML (or baseline) training run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class ComDMLConfig:
+    """Hyper-parameters of a ComDML run.
+
+    Attributes
+    ----------
+    max_rounds:
+        Hard cap on the number of global rounds.
+    target_accuracy:
+        Stop as soon as this accuracy is reached (``None`` to always run
+        ``max_rounds``).
+    participation_fraction:
+        Fraction of agents participating each round (1.0 = everyone, the
+        paper uses 0.2 in the scalability study).
+    learning_rate / momentum / weight_decay / batch_size / local_epochs:
+        Local optimisation hyper-parameters (paper defaults).
+    lr_plateau_factor / lr_plateau_patience:
+        Reduce-on-plateau schedule parameters (0.2 with 10 agents, 0.5 for
+        larger populations in the paper).
+    allreduce_algorithm:
+        ``"halving_doubling"`` (paper's choice) or ``"ring"``.
+    aggregation_compression_bits:
+        Optional quantized-gradient aggregation (the paper notes such
+        techniques "can also be integrated"): when set, AllReduce traffic is
+        quantized to this many bits per value.  ``None`` disables it.
+    offload_granularity:
+        Candidate split spacing in layers when profiling the architecture.
+    improvement_threshold:
+        Minimum relative improvement required to form a pair.
+    churn_fraction / churn_interval_rounds:
+        Dynamic resource churn (paper: 20 % of agents every 100 rounds).
+    seed:
+        Experiment seed.
+    """
+
+    max_rounds: int = 500
+    target_accuracy: Optional[float] = None
+    participation_fraction: float = 1.0
+    learning_rate: float = 0.001
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    batch_size: int = 100
+    local_epochs: int = 1
+    lr_plateau_factor: float = 0.2
+    lr_plateau_patience: int = 10
+    allreduce_algorithm: str = "halving_doubling"
+    aggregation_compression_bits: Optional[int] = None
+    offload_granularity: int = 1
+    improvement_threshold: float = 0.0
+    churn_fraction: float = 0.0
+    churn_interval_rounds: int = 100
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_rounds, "max_rounds")
+        if self.target_accuracy is not None:
+            check_probability(self.target_accuracy, "target_accuracy")
+        check_probability(self.participation_fraction, "participation_fraction")
+        check_positive(self.learning_rate, "learning_rate")
+        check_positive(self.batch_size, "batch_size")
+        check_positive(self.local_epochs, "local_epochs")
+        check_positive(self.offload_granularity, "offload_granularity")
+        check_probability(self.churn_fraction, "churn_fraction")
+        check_positive(self.churn_interval_rounds, "churn_interval_rounds")
+        if self.allreduce_algorithm not in ("ring", "halving_doubling"):
+            raise ValueError(
+                "allreduce_algorithm must be 'ring' or 'halving_doubling', "
+                f"got {self.allreduce_algorithm!r}"
+            )
+        if self.aggregation_compression_bits is not None and not (
+            1 <= self.aggregation_compression_bits <= 32
+        ):
+            raise ValueError(
+                "aggregation_compression_bits must lie in [1, 32], "
+                f"got {self.aggregation_compression_bits}"
+            )

@@ -1,0 +1,146 @@
+"""Split-model profiling.
+
+"To facilitate the decentralized agent pairing, each agent locally conducts
+split model profiling prior to the training process.  The split model
+profiling calculates the relative training time ... and intermediate data
+size for each split model m."  (Section IV-B of the paper.)
+
+:func:`profile_architecture` turns an
+:class:`~repro.models.spec.ArchitectureSpec` into a :class:`SplitProfile`
+holding, for every candidate offload index ``m``:
+
+* ``T_s(m)`` — relative training time of the slow agent-side (slow-side
+  training FLOPs, including the auxiliary head, divided by full-model
+  training FLOPs);
+* ``T_f(m)`` — relative training time of the fast agent-side;
+* ``ν_m``    — intermediate data bytes shipped per **sample**;
+* the byte size of the offloaded sub-model (shipped once when a pair forms).
+
+Because the profile is computed from per-layer costs with a single batch
+of reference work, it is exactly the "lightweight, low-overhead local split
+model profiling" the paper describes — no training run is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.models.spec import ArchitectureSpec, TRAIN_FLOPS_MULTIPLIER
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SplitProfile:
+    """Profiling results for one architecture.
+
+    All arrays are indexed by position in ``offload_options`` (not by the
+    raw offload value); use :meth:`index_of` / the lookup helpers to query by
+    offload value.
+    """
+
+    architecture: str
+    offload_options: tuple[int, ...]
+    relative_slow_time: tuple[float, ...]
+    relative_fast_time: tuple[float, ...]
+    intermediate_bytes_per_sample: tuple[float, ...]
+    offloaded_model_bytes: tuple[float, ...]
+    full_model_bytes: float
+    full_train_flops_per_sample: float
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.offload_options),
+            len(self.relative_slow_time),
+            len(self.relative_fast_time),
+            len(self.intermediate_bytes_per_sample),
+            len(self.offloaded_model_bytes),
+        }
+        if len(lengths) != 1:
+            raise ValueError("profile arrays must all have the same length")
+        if not self.offload_options:
+            raise ValueError("profile needs at least one offload option")
+        check_positive(self.full_model_bytes, "full_model_bytes")
+        check_positive(self.full_train_flops_per_sample, "full_train_flops_per_sample")
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def index_of(self, offloaded_layers: int) -> int:
+        """Position of an offload value in the option list."""
+        try:
+            return self.offload_options.index(offloaded_layers)
+        except ValueError:
+            raise KeyError(
+                f"offload value {offloaded_layers} is not among the profiled "
+                f"options {self.offload_options}"
+            ) from None
+
+    def slow_time_factor(self, offloaded_layers: int) -> float:
+        """The paper's ``T_s(m)``."""
+        return self.relative_slow_time[self.index_of(offloaded_layers)]
+
+    def fast_time_factor(self, offloaded_layers: int) -> float:
+        """The paper's ``T_f(m)``."""
+        return self.relative_fast_time[self.index_of(offloaded_layers)]
+
+    def intermediate_bytes(self, offloaded_layers: int) -> float:
+        """Per-sample intermediate data bytes ``ν_m`` for this split."""
+        return self.intermediate_bytes_per_sample[self.index_of(offloaded_layers)]
+
+    def offloaded_bytes(self, offloaded_layers: int) -> float:
+        """Bytes of the offloaded sub-model (one-time transfer when pairing)."""
+        return self.offloaded_model_bytes[self.index_of(offloaded_layers)]
+
+    @property
+    def num_options(self) -> int:
+        """Number of candidate split models ``M``."""
+        return len(self.offload_options)
+
+
+def profile_architecture(
+    spec: ArchitectureSpec,
+    offload_options: Sequence[int] | None = None,
+    granularity: int = 1,
+) -> SplitProfile:
+    """Profile an architecture for the given candidate offload indices.
+
+    When ``offload_options`` is omitted, candidates are generated every
+    ``granularity`` layers (plus the no-offload option 0).
+    """
+    if offload_options is None:
+        options = spec.offload_options(granularity)
+    else:
+        options = sorted({spec.validate_offload(m) for m in offload_options})
+        if not options:
+            raise ValueError("offload_options must not be empty")
+        if 0 not in options:
+            options = [0] + options
+
+    full_train_flops = spec.total_train_flops
+    slow_factors: list[float] = []
+    fast_factors: list[float] = []
+    intermediate: list[float] = []
+    offloaded_bytes: list[float] = []
+
+    for option in options:
+        slow_flops = (
+            spec.slow_side_forward_flops(option)
+            + spec.auxiliary_head_forward_flops(option)
+        ) * TRAIN_FLOPS_MULTIPLIER
+        fast_flops = spec.fast_side_forward_flops(option) * TRAIN_FLOPS_MULTIPLIER
+        slow_factors.append(slow_flops / full_train_flops)
+        fast_factors.append(fast_flops / full_train_flops)
+        intermediate.append(spec.intermediate_bytes(option))
+        offloaded_bytes.append(spec.fast_side_parameter_bytes(option))
+
+    return SplitProfile(
+        architecture=spec.name,
+        offload_options=tuple(options),
+        relative_slow_time=tuple(slow_factors),
+        relative_fast_time=tuple(fast_factors),
+        intermediate_bytes_per_sample=tuple(intermediate),
+        offloaded_model_bytes=tuple(offloaded_bytes),
+        full_model_bytes=spec.model_bytes,
+        full_train_flops_per_sample=spec.total_train_flops,
+    )

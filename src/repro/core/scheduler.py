@@ -1,0 +1,102 @@
+"""Decentralized pairing scheduler.
+
+Thin stateful wrapper around :func:`~repro.core.pairing.greedy_pairing` that
+maintains the shared list of individual training times across rounds (the
+paper's list ``A``), applies per-round participation sampling, and records
+scheduling statistics for diagnostics/ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.core.pairing import PairingDecision, greedy_pairing, pairing_makespan
+from repro.core.profiling import SplitProfile
+from repro.core.workload import individual_training_time
+from repro.network.link import LinkModel
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate statistics over the rounds a scheduler has served."""
+
+    rounds: int = 0
+    total_pairs: int = 0
+    total_solo: int = 0
+    makespans: list[float] = field(default_factory=list)
+
+    @property
+    def average_pairs_per_round(self) -> float:
+        """Mean number of offloading pairs formed per round."""
+        return self.total_pairs / self.rounds if self.rounds else 0.0
+
+    @property
+    def average_makespan(self) -> float:
+        """Mean estimated local-phase makespan per round."""
+        return float(np.mean(self.makespans)) if self.makespans else 0.0
+
+
+class DecentralizedPairingScheduler:
+    """Produces a pairing plan for each training round."""
+
+    def __init__(
+        self,
+        registry: AgentRegistry,
+        link_model: LinkModel,
+        profile: SplitProfile,
+        participation_fraction: float = 1.0,
+        improvement_threshold: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        check_probability(participation_fraction, "participation_fraction")
+        self.registry = registry
+        self.link_model = link_model
+        self.profile = profile
+        self.participation_fraction = participation_fraction
+        self.improvement_threshold = improvement_threshold
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = SchedulerStats()
+        #: The shared list of individual training times (agent id -> τ̂),
+        #: refreshed every round from broadcast speeds and dataset sizes.
+        self.shared_training_times: dict[int, float] = {}
+
+    def select_participants(self) -> list[Agent]:
+        """Sample this round's participants (all agents when fraction is 1)."""
+        if self.participation_fraction >= 1.0:
+            return self.registry.agents
+        return self.registry.sample_participants(self.participation_fraction, self._rng)
+
+    def refresh_shared_times(self, participants: Sequence[Agent]) -> dict[int, float]:
+        """Recompute the shared training-time list from broadcast information."""
+        self.shared_training_times = {
+            agent.agent_id: individual_training_time(
+                agent, self.profile, agent.batch_size
+            )
+            for agent in participants
+        }
+        return self.shared_training_times
+
+    def plan_round(
+        self, participants: Optional[Sequence[Agent]] = None
+    ) -> list[PairingDecision]:
+        """Produce the pairing decisions for one round."""
+        if participants is None:
+            participants = self.select_participants()
+        self.refresh_shared_times(participants)
+        decisions = greedy_pairing(
+            participants=participants,
+            link_model=self.link_model,
+            profile=self.profile,
+            improvement_threshold=self.improvement_threshold,
+        )
+        self.stats.rounds += 1
+        self.stats.total_pairs += sum(1 for d in decisions if d.is_offloading)
+        self.stats.total_solo += sum(1 for d in decisions if not d.is_offloading)
+        self.stats.makespans.append(pairing_makespan(decisions))
+        return decisions

@@ -1,0 +1,170 @@
+"""Round timing: turn a pairing plan into simulated durations.
+
+Converts a list of :class:`~repro.core.pairing.PairingDecision` into the
+per-agent busy/idle breakdown and the round makespan, then adds the
+decentralized AllReduce aggregation cost.  This is the timing plane shared
+by ComDML's orchestrator, the Table I decomposition, and the Figure 1
+illustration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.core.pairing import PairingDecision
+from repro.core.profiling import SplitProfile
+from repro.network.allreduce import allreduce_time
+from repro.network.compression import GradientCompressor
+from repro.sim.costs import DEFAULT_LINK_LATENCY_SECONDS
+from repro.utils.units import mbps_to_bytes_per_second
+
+
+@dataclass(frozen=True)
+class PairTiming:
+    """Timing breakdown of one pairing decision within a round."""
+
+    slow_id: int
+    fast_id: Optional[int]
+    offloaded_layers: int
+    slow_compute: float
+    fast_own_compute: float
+    fast_offload_compute: float
+    communication: float
+    pair_time: float
+    idle_time: float
+
+
+@dataclass(frozen=True)
+class RoundTiming:
+    """Timing of one full round (local work, makespan, aggregation).
+
+    Attributes
+    ----------
+    pair_timings:
+        Per-decision breakdowns.
+    makespan:
+        Slowest pair/solo agent's completion time (local phase).
+    aggregation_time:
+        AllReduce duration.
+    total_time:
+        ``makespan + aggregation_time``.
+    total_compute_time:
+        Sum of all agents' busy compute time (for utilisation metrics).
+    total_communication_time:
+        Intermediate-activation/offload traffic time (excludes aggregation).
+    total_idle_time:
+        Combined idle time of all agents while waiting for the makespan.
+    """
+
+    pair_timings: tuple[PairTiming, ...]
+    makespan: float
+    aggregation_time: float
+    total_time: float
+    total_compute_time: float
+    total_communication_time: float
+    total_idle_time: float
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of decisions that actually offloaded work."""
+        return sum(1 for timing in self.pair_timings if timing.fast_id is not None)
+
+
+def _bottleneck_bandwidth(agents: Sequence[Agent]) -> float:
+    """Slowest connected agent's link speed (bytes/s) among the participants."""
+    connected = [
+        agent.profile.bandwidth_bytes_per_second
+        for agent in agents
+        if agent.is_connected
+    ]
+    if not connected:
+        # No usable links: fall back to the slowest nominal profile (10 Mbps)
+        # so the aggregation still completes in the simulation.
+        return mbps_to_bytes_per_second(10.0)
+    return min(connected)
+
+
+def compute_round_timing(
+    decisions: Sequence[PairingDecision],
+    registry: AgentRegistry,
+    profile: SplitProfile,
+    allreduce_algorithm: str = "halving_doubling",
+    num_aggregating_agents: Optional[int] = None,
+    latency_seconds: float = DEFAULT_LINK_LATENCY_SECONDS,
+    compressor: Optional[GradientCompressor] = None,
+) -> RoundTiming:
+    """Assemble a :class:`RoundTiming` from pairing decisions.
+
+    ``num_aggregating_agents`` defaults to the number of agents involved in
+    the decisions (solo agents + both members of each pair); pass the full
+    population size when unsampled agents also join the aggregation.
+    """
+    pair_timings: list[PairTiming] = []
+    involved_ids: set[int] = set()
+
+    for decision in decisions:
+        estimate = decision.estimate
+        involved_ids.add(decision.slow_id)
+        if decision.fast_id is not None:
+            involved_ids.add(decision.fast_id)
+        pair_timings.append(
+            PairTiming(
+                slow_id=decision.slow_id,
+                fast_id=decision.fast_id,
+                offloaded_layers=decision.offloaded_layers,
+                slow_compute=estimate.slow_time,
+                fast_own_compute=estimate.fast_own_time if decision.fast_id is not None else 0.0,
+                fast_offload_compute=estimate.fast_offload_time,
+                communication=estimate.communication_time,
+                pair_time=estimate.pair_time,
+                idle_time=estimate.idle_time if decision.fast_id is not None else 0.0,
+            )
+        )
+
+    makespan = max((timing.pair_time for timing in pair_timings), default=0.0)
+
+    participants = [registry.get(agent_id) for agent_id in involved_ids if agent_id in registry]
+    num_agents = (
+        num_aggregating_agents
+        if num_aggregating_agents is not None
+        else max(1, len(involved_ids))
+    )
+    aggregation = allreduce_time(
+        model_bytes=profile.full_model_bytes,
+        num_agents=num_agents,
+        bottleneck_bandwidth_bytes_per_second=_bottleneck_bandwidth(participants)
+        if participants
+        else mbps_to_bytes_per_second(10.0),
+        algorithm=allreduce_algorithm,
+        latency_seconds=latency_seconds,
+        compressor=compressor,
+    )
+
+    total_compute = sum(
+        timing.slow_compute + timing.fast_own_compute + timing.fast_offload_compute
+        for timing in pair_timings
+    )
+    total_communication = sum(timing.communication for timing in pair_timings)
+
+    # Idle time: every involved agent waits from its own completion until the
+    # makespan.  Within a pair the faster side additionally idles while its
+    # partner finishes, which is already captured by PairTiming.idle_time; on
+    # top of that the whole pair idles until the global makespan.
+    total_idle = 0.0
+    for timing in pair_timings:
+        total_idle += timing.idle_time
+        group_size = 2 if timing.fast_id is not None else 1
+        total_idle += group_size * (makespan - timing.pair_time)
+
+    return RoundTiming(
+        pair_timings=tuple(pair_timings),
+        makespan=makespan,
+        aggregation_time=aggregation,
+        total_time=makespan + aggregation,
+        total_compute_time=total_compute,
+        total_communication_time=total_communication,
+        total_idle_time=total_idle,
+    )

@@ -1,0 +1,26 @@
+"""Data layer: synthetic classification datasets and federated partitioners."""
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.data.synthetic import (
+    SyntheticSpec,
+    make_synthetic_classification,
+    cifar10_like,
+    cifar100_like,
+    cinic10_like,
+)
+from repro.data.partition import iid_partition, dirichlet_partition, partition_sizes
+from repro.data.loader import BatchLoader
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "SyntheticSpec",
+    "make_synthetic_classification",
+    "cifar10_like",
+    "cifar100_like",
+    "cinic10_like",
+    "iid_partition",
+    "dirichlet_partition",
+    "partition_sizes",
+    "BatchLoader",
+]

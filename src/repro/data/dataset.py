@@ -1,0 +1,93 @@
+"""Dataset container used by the learning plane."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class Dataset:
+    """In-memory classification dataset.
+
+    Attributes
+    ----------
+    features:
+        Array of shape ``(N, D)`` (flattened samples).
+    labels:
+        Integer class labels of shape ``(N,)``.
+    num_classes:
+        Number of distinct classes the task defines (may exceed the classes
+        present in a small shard).
+    name:
+        Human-readable dataset name (e.g. ``"cifar10-like"``).
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.features.ndim != 2:
+            raise ValueError(
+                f"features must be 2-D (N, D), got shape {self.features.shape}"
+            )
+        if self.labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {self.labels.shape}")
+        if self.features.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"features ({self.features.shape[0]}) and labels "
+                f"({self.labels.shape[0]}) disagree on sample count"
+            )
+        if self.num_classes <= 0:
+            raise ValueError(f"num_classes must be positive, got {self.num_classes}")
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.num_classes
+        ):
+            raise ValueError("labels out of range for num_classes")
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimensionality ``D``."""
+        return self.features.shape[1]
+
+    def subset(self, indices: np.ndarray, name_suffix: str = "subset") -> "Dataset":
+        """Dataset restricted to the given sample indices (copies the slices)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            features=self.features[indices].copy(),
+            labels=self.labels[indices].copy(),
+            num_classes=self.num_classes,
+            name=f"{self.name}/{name_suffix}",
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> tuple[Dataset, Dataset]:
+    """Random split into train and test subsets."""
+    check_probability(test_fraction, "test_fraction")
+    n = len(dataset)
+    permutation = rng.permutation(n)
+    test_count = int(round(test_fraction * n))
+    test_indices = permutation[:test_count]
+    train_indices = permutation[test_count:]
+    return (
+        dataset.subset(train_indices, "train"),
+        dataset.subset(test_indices, "test"),
+    )

@@ -1,0 +1,49 @@
+"""Mini-batch iteration over a :class:`~repro.data.dataset.Dataset`."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.validation import check_positive
+
+
+class BatchLoader:
+    """Iterates (features, labels) mini-batches, optionally shuffled each epoch."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 100,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ) -> None:
+        check_positive(batch_size, "batch_size")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return -(-n // self.batch_size) if n else 0
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        if n == 0:
+            return
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            indices = order[start : start + self.batch_size]
+            if self.drop_last and len(indices) < self.batch_size:
+                break
+            yield (
+                self.dataset.features[indices],
+                self.dataset.labels[indices],
+            )

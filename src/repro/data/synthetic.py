@@ -1,0 +1,171 @@
+"""Synthetic stand-ins for CIFAR-10, CIFAR-100 and CINIC-10.
+
+The offline environment has no access to the real image datasets, so the
+learning plane uses synthetic classification tasks with matched *structure*:
+
+* the same number of classes (10 / 100 / 10);
+* the same relative dataset sizes (CINIC-10 is ~1.8× larger than CIFAR);
+* controllable difficulty, so that "harder" datasets (CIFAR-100-like) need
+  more rounds to reach a lower target accuracy, as in the paper.
+
+Samples are drawn from class-conditional Gaussian clusters whose means are
+random unit vectors, then passed through a fixed random nonlinear mixing so
+that a linear classifier cannot solve the task trivially and depth helps.
+Every generator is fully determined by its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic classification task.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (used in reports).
+    num_classes:
+        Number of classes.
+    num_features:
+        Feature dimensionality after the nonlinear mixing.
+    train_samples / test_samples:
+        Default split sizes.
+    class_separation:
+        Distance between class means in units of the noise scale — larger is
+        easier.  CIFAR-100-like uses a smaller separation than CIFAR-10-like.
+    noise_scale:
+        Standard deviation of the within-class Gaussian noise.
+    """
+
+    name: str
+    num_classes: int
+    num_features: int
+    train_samples: int
+    test_samples: int
+    class_separation: float
+    noise_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_classes, "num_classes")
+        check_positive(self.num_features, "num_features")
+        check_positive(self.train_samples, "train_samples")
+        check_positive(self.test_samples, "test_samples")
+        check_positive(self.class_separation, "class_separation")
+        check_positive(self.noise_scale, "noise_scale")
+
+
+def make_synthetic_classification(
+    spec: SyntheticSpec, seed: int = 0
+) -> tuple[Dataset, Dataset]:
+    """Generate (train, test) datasets for a :class:`SyntheticSpec`."""
+    rng = np.random.default_rng(seed)
+    latent_dim = max(8, spec.num_features // 2)
+
+    # Class prototypes on a sphere of radius `class_separation`.
+    prototypes = rng.normal(size=(spec.num_classes, latent_dim))
+    prototypes /= np.linalg.norm(prototypes, axis=1, keepdims=True)
+    prototypes *= spec.class_separation
+
+    # Fixed random nonlinear mixing latent -> features.
+    mixing_a = rng.normal(size=(latent_dim, spec.num_features)) / np.sqrt(latent_dim)
+    mixing_b = rng.normal(size=(latent_dim, spec.num_features)) / np.sqrt(latent_dim)
+
+    def _sample(count: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, spec.num_classes, size=count)
+        latent = prototypes[labels] + rng.normal(
+            scale=spec.noise_scale, size=(count, latent_dim)
+        )
+        features = np.tanh(latent @ mixing_a) + 0.5 * np.sin(latent @ mixing_b)
+        features += 0.05 * rng.normal(size=features.shape)
+        return features, labels
+
+    train_features, train_labels = _sample(spec.train_samples)
+    test_features, test_labels = _sample(spec.test_samples)
+
+    train = Dataset(train_features, train_labels, spec.num_classes, f"{spec.name}/train")
+    test = Dataset(test_features, test_labels, spec.num_classes, f"{spec.name}/test")
+    return train, test
+
+
+# ----------------------------------------------------------------------
+# Named dataset presets (sizes are scaled-down but keep the paper's ratios)
+# ----------------------------------------------------------------------
+
+def cifar10_like(
+    train_samples: int = 8000,
+    test_samples: int = 2000,
+    num_features: int = 64,
+    seed: int = 0,
+) -> tuple[Dataset, Dataset]:
+    """Synthetic stand-in for CIFAR-10: 10 classes, well separated."""
+    spec = SyntheticSpec(
+        name="cifar10-like",
+        num_classes=10,
+        num_features=num_features,
+        train_samples=train_samples,
+        test_samples=test_samples,
+        class_separation=3.0,
+    )
+    return make_synthetic_classification(spec, seed=seed)
+
+
+def cifar100_like(
+    train_samples: int = 8000,
+    test_samples: int = 2000,
+    num_features: int = 64,
+    seed: int = 1,
+) -> tuple[Dataset, Dataset]:
+    """Synthetic stand-in for CIFAR-100: 100 classes, harder task."""
+    spec = SyntheticSpec(
+        name="cifar100-like",
+        num_classes=100,
+        num_features=num_features,
+        train_samples=train_samples,
+        test_samples=test_samples,
+        class_separation=2.2,
+    )
+    return make_synthetic_classification(spec, seed=seed)
+
+
+def cinic10_like(
+    train_samples: int = 14400,
+    test_samples: int = 3600,
+    num_features: int = 64,
+    seed: int = 2,
+) -> tuple[Dataset, Dataset]:
+    """Synthetic stand-in for CINIC-10: 10 classes, ~1.8× CIFAR's size, noisier."""
+    spec = SyntheticSpec(
+        name="cinic10-like",
+        num_classes=10,
+        num_features=num_features,
+        train_samples=train_samples,
+        test_samples=test_samples,
+        class_separation=2.5,
+        noise_scale=1.2,
+    )
+    return make_synthetic_classification(spec, seed=seed)
+
+
+DATASET_PRESETS = {
+    "cifar10": cifar10_like,
+    "cifar100": cifar100_like,
+    "cinic10": cinic10_like,
+}
+
+
+def load_preset(name: str, **kwargs) -> tuple[Dataset, Dataset]:
+    """Load a named preset (``"cifar10"``, ``"cifar100"``, ``"cinic10"``)."""
+    key = name.lower().replace("-like", "").replace("_", "").replace("-", "")
+    if key not in DATASET_PRESETS:
+        raise ValueError(
+            f"unknown dataset preset {name!r}; expected one of {sorted(DATASET_PRESETS)}"
+        )
+    return DATASET_PRESETS[key](**kwargs)

@@ -1,0 +1,29 @@
+"""Experiment reproductions: one module per table/figure of the paper."""
+
+from repro.experiments.scenarios import ScenarioConfig, Scenario, build_scenario
+from repro.experiments.runner import ExperimentRunner, METHOD_REGISTRY
+from repro.experiments.reporting import format_table, speedup_over_baselines
+from repro.experiments.table1 import run_table1, TABLE1_OFFLOAD_OPTIONS
+from repro.experiments.table2 import run_table2, TABLE2_TARGETS
+from repro.experiments.table3 import run_table3
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.privacy import run_privacy_comparison
+
+__all__ = [
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "ExperimentRunner",
+    "METHOD_REGISTRY",
+    "format_table",
+    "speedup_over_baselines",
+    "run_table1",
+    "TABLE1_OFFLOAD_OPTIONS",
+    "run_table2",
+    "TABLE2_TARGETS",
+    "run_table3",
+    "run_fig1",
+    "run_fig3",
+    "run_privacy_comparison",
+]

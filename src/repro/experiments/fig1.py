@@ -1,0 +1,99 @@
+"""Figure 1 reproduction (illustrative): one round with and without balancing.
+
+The paper's Figure 1 contrasts the per-round timeline of two heterogeneous
+agents with and without workload balancing: without balancing, agent 2 sits
+idle while agent 1 (the straggler) finishes; with balancing, agent 1 offloads
+part of the model and both finish at roughly the same time, shortening the
+round.  This harness produces the numeric timeline behind that picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
+from repro.core.profiling import profile_architecture
+from repro.core.workload import best_offload, estimate_offload_time, individual_training_time
+from repro.models.resnet import resnet56_spec
+from repro.utils.units import mbps_to_bytes_per_second
+
+
+@dataclass(frozen=True)
+class Fig1Timeline:
+    """Round timeline with and without workload balancing."""
+
+    slow_solo_time: float
+    fast_solo_time: float
+    round_time_without_balancing: float
+    idle_without_balancing: float
+    offloaded_layers: int
+    slow_time_with_balancing: float
+    fast_time_with_balancing: float
+    communication_overhead: float
+    round_time_with_balancing: float
+    idle_with_balancing: float
+
+    @property
+    def round_time_reduction(self) -> float:
+        """Absolute round-time reduction achieved by balancing."""
+        return self.round_time_without_balancing - self.round_time_with_balancing
+
+    @property
+    def round_time_reduction_fraction(self) -> float:
+        """Relative round-time reduction achieved by balancing."""
+        if self.round_time_without_balancing == 0:
+            return 0.0
+        return self.round_time_reduction / self.round_time_without_balancing
+
+
+def run_fig1(
+    slow_cpu: float = 0.5,
+    fast_cpu: float = 2.0,
+    bandwidth_mbps: float = 50.0,
+    samples_per_agent: int = 5_000,
+    batch_size: int = 100,
+    offload_granularity: int = 3,
+) -> Fig1Timeline:
+    """Compute the Figure 1 timeline for a configurable two-agent setting."""
+    spec = resnet56_spec()
+    profile = profile_architecture(spec, granularity=offload_granularity)
+    bandwidth = mbps_to_bytes_per_second(bandwidth_mbps)
+
+    slow_agent = Agent(
+        agent_id=0,
+        profile=ResourceProfile(cpu_share=slow_cpu, bandwidth_mbps=bandwidth_mbps),
+        num_samples=samples_per_agent,
+        batch_size=batch_size,
+    )
+    fast_agent = Agent(
+        agent_id=1,
+        profile=ResourceProfile(cpu_share=fast_cpu, bandwidth_mbps=bandwidth_mbps),
+        num_samples=samples_per_agent,
+        batch_size=batch_size,
+    )
+
+    slow_solo = individual_training_time(slow_agent, profile, batch_size)
+    fast_solo = individual_training_time(fast_agent, profile, batch_size)
+    round_without = max(slow_solo, fast_solo)
+    idle_without = abs(slow_solo - fast_solo)
+
+    estimate = best_offload(
+        slow_agent=slow_agent,
+        fast_agent=fast_agent,
+        profile=profile,
+        bandwidth_bytes_per_second=bandwidth,
+    )
+
+    return Fig1Timeline(
+        slow_solo_time=slow_solo,
+        fast_solo_time=fast_solo,
+        round_time_without_balancing=round_without,
+        idle_without_balancing=idle_without,
+        offloaded_layers=estimate.offloaded_layers,
+        slow_time_with_balancing=estimate.slow_time,
+        fast_time_with_balancing=estimate.fast_chain_time,
+        communication_overhead=estimate.communication_time,
+        round_time_with_balancing=estimate.pair_time,
+        idle_with_balancing=estimate.idle_time,
+    )

@@ -1,0 +1,71 @@
+"""Result formatting helpers shared by the benchmark harnesses and examples."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.training.metrics import RunHistory
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.0f}",
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table."""
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(cells[i]) for cells in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(cells[i].rjust(widths[i]) for i in range(len(columns)))
+        for cells in rendered
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+def time_to_target_or_total(history: RunHistory, target: Optional[float]) -> float:
+    """Time to reach the target accuracy, falling back to the run's total time."""
+    if target is not None:
+        reached = history.time_to_accuracy(target)
+        if reached is not None:
+            return reached
+    return history.total_time
+
+
+def speedup_over_baselines(
+    results: Mapping[str, RunHistory],
+    target: Optional[float],
+    reference_method: str = "ComDML",
+) -> dict[str, float]:
+    """Per-baseline speedup factor of the reference method (>1 means faster)."""
+    if reference_method not in results:
+        raise KeyError(f"{reference_method!r} not present in results")
+    reference_time = time_to_target_or_total(results[reference_method], target)
+    speedups: dict[str, float] = {}
+    for method, history in results.items():
+        if method == reference_method:
+            continue
+        baseline_time = time_to_target_or_total(history, target)
+        speedups[method] = baseline_time / reference_time if reference_time > 0 else float("inf")
+    return speedups
+
+
+def reduction_percentage(reference_time: float, baseline_time: float) -> float:
+    """Percentage reduction of the reference vs a baseline (the paper's "up to 71 %")."""
+    if baseline_time <= 0:
+        return 0.0
+    return 100.0 * (1.0 - reference_time / baseline_time)

@@ -1,0 +1,88 @@
+"""Generic experiment runner.
+
+Builds a training method (ComDML or a baseline) for a scenario, runs it, and
+returns the :class:`~repro.training.metrics.RunHistory`.  The method registry
+maps the names the paper's tables use to the implementing classes and their
+learning-curve efficiency keys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.allreduce_dml import AllReduceDML
+from repro.baselines.braintorrent import BrainTorrent
+from repro.baselines.fedavg import FedAvg
+from repro.baselines.fedprox import FedProx
+from repro.baselines.gossip import GossipLearning
+from repro.core.comdml import ComDML
+from repro.experiments.scenarios import Scenario, ScenarioConfig, build_scenario
+from repro.training.accuracy import AccuracyTracker
+from repro.training.metrics import RunHistory
+
+#: name → (class, learning-curve method key)
+METHOD_REGISTRY = {
+    "ComDML": (ComDML, "comdml"),
+    "Gossip Learning": (GossipLearning, "gossip"),
+    "BrainTorrent": (BrainTorrent, "braintorrent"),
+    "AllReduce": (AllReduceDML, "allreduce"),
+    "FedAvg": (FedAvg, "fedavg"),
+    "FedProx": (FedProx, "fedprox"),
+}
+
+#: The methods compared in the paper's Tables II/III and Figure 3, in order.
+PAPER_COMPARISON_METHODS = (
+    "ComDML",
+    "Gossip Learning",
+    "BrainTorrent",
+    "AllReduce",
+    "FedAvg",
+)
+
+
+class ExperimentRunner:
+    """Runs one or more training methods on a scenario."""
+
+    def __init__(self, scenario: Scenario | ScenarioConfig) -> None:
+        if isinstance(scenario, ScenarioConfig):
+            scenario = build_scenario(scenario)
+        self.scenario = scenario
+
+    def build_method(
+        self,
+        method: str,
+        accuracy_tracker: Optional[AccuracyTracker] = None,
+    ):
+        """Instantiate a training method for this scenario."""
+        if method not in METHOD_REGISTRY:
+            raise KeyError(
+                f"unknown method {method!r}; expected one of {sorted(METHOD_REGISTRY)}"
+            )
+        cls, curve_key = METHOD_REGISTRY[method]
+        tracker = (
+            accuracy_tracker
+            if accuracy_tracker is not None
+            else self.scenario.curve_tracker(curve_key)
+        )
+        return cls(
+            registry=self.scenario.fresh_registry(),
+            spec=self.scenario.spec,
+            config=self.scenario.comdml_config,
+            topology=self.scenario.topology,
+            accuracy_tracker=tracker,
+            profile=self.scenario.profile,
+        )
+
+    def run_method(
+        self,
+        method: str,
+        accuracy_tracker: Optional[AccuracyTracker] = None,
+    ) -> RunHistory:
+        """Run one method to completion and return its history."""
+        trainer = self.build_method(method, accuracy_tracker)
+        return trainer.run()
+
+    def compare(self, methods: Optional[list[str]] = None) -> dict[str, RunHistory]:
+        """Run several methods on identical copies of the scenario."""
+        methods = list(methods) if methods is not None else list(PAPER_COMPARISON_METHODS)
+        return {method: self.run_method(method) for method in methods}

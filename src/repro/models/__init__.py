@@ -1,0 +1,19 @@
+"""Model layer: architecture cost specs, ResNets, proxy models, split models."""
+
+from repro.models.spec import LayerCost, ArchitectureSpec
+from repro.models.resnet import resnet56_spec, resnet110_spec, cifar_resnet_spec
+from repro.models.proxy import ProxyModelFactory, build_proxy_classifier
+from repro.models.split import SplitModel, AuxiliaryHead, split_sequential
+
+__all__ = [
+    "LayerCost",
+    "ArchitectureSpec",
+    "resnet56_spec",
+    "resnet110_spec",
+    "cifar_resnet_spec",
+    "ProxyModelFactory",
+    "build_proxy_classifier",
+    "SplitModel",
+    "AuxiliaryHead",
+    "split_sequential",
+]

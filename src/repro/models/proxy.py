@@ -1,0 +1,142 @@
+"""Trainable proxy models.
+
+Training a 56-layer convolutional network in pure numpy is computationally
+out of reach, so the learning plane uses *proxy* residual classifiers: a
+stack of dense residual blocks whose depth plays the role of the ResNet's
+offloadable layers.  The proxy preserves everything the paper's algorithm
+interacts with — a splittable backbone, a classifier head, an auxiliary
+local-loss head at any boundary, shared parameters between the split views
+and the full model — while staying small enough to genuinely train.
+
+:class:`ProxyModelFactory` maps an :class:`~repro.models.spec.ArchitectureSpec`
+to a proxy of configurable width/depth and converts architecture-level
+offload indices (0..55 for ResNet-56) to proxy block indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.models.spec import ArchitectureSpec
+from repro.models.split import SplitModel, split_sequential
+from repro.nn.layers import Dense, ReLU, dense_residual_block
+from repro.nn.module import Sequential
+from repro.utils.validation import check_positive
+
+
+def build_proxy_classifier(
+    input_features: int,
+    num_classes: int,
+    num_blocks: int = 6,
+    width: int = 64,
+    rng: Optional[np.random.Generator] = None,
+) -> Sequential:
+    """Build a residual MLP classifier.
+
+    Structure: input projection (Dense + ReLU), ``num_blocks`` residual
+    blocks of constant ``width``, and a Dense classifier head.  Split points
+    fall between residual blocks (and before the head), so a backbone with
+    ``num_blocks`` blocks exposes ``num_blocks + 1`` offloadable units —
+    including the head itself as the smallest possible offload.
+    """
+    check_positive(input_features, "input_features")
+    check_positive(num_classes, "num_classes")
+    check_positive(num_blocks, "num_blocks")
+    check_positive(width, "width")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    modules = [
+        Dense(input_features, width, rng=rng, name="stem"),
+        ReLU(),
+    ]
+    for index in range(num_blocks):
+        modules.append(dense_residual_block(width, rng=rng, name=f"block{index + 1}"))
+    modules.append(Dense(width, num_classes, rng=rng, name="head"))
+    return Sequential(*modules)
+
+
+@dataclass
+class ProxyModelFactory:
+    """Builds proxy backbones aligned with an architecture spec.
+
+    Attributes
+    ----------
+    spec:
+        The architecture whose offload indices the factory must understand.
+    input_features:
+        Feature dimension of the (synthetic) dataset the proxy trains on.
+    num_blocks:
+        Residual blocks in the proxy backbone.
+    width:
+        Hidden width of the proxy backbone.
+    """
+
+    spec: ArchitectureSpec
+    input_features: int
+    num_blocks: int = 6
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive(self.input_features, "input_features")
+        check_positive(self.num_blocks, "num_blocks")
+        check_positive(self.width, "width")
+
+    @property
+    def num_classes(self) -> int:
+        """Classes of the classification task (from the spec)."""
+        return self.spec.num_classes
+
+    def build(self, rng: Optional[np.random.Generator] = None) -> Sequential:
+        """Create a freshly initialised proxy backbone."""
+        return build_proxy_classifier(
+            input_features=self.input_features,
+            num_classes=self.num_classes,
+            num_blocks=self.num_blocks,
+            width=self.width,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Offload-index mapping
+    # ------------------------------------------------------------------
+    @property
+    def max_proxy_offload(self) -> int:
+        """Largest number of proxy modules that can be offloaded.
+
+        The slow agent always keeps at least the stem projection and its
+        activation, so at most ``num_blocks + 1`` trailing modules (all
+        residual blocks plus the head) may move to the fast agent.
+        """
+        return self.num_blocks + 1
+
+    def proxy_offload_for(self, spec_offloaded_layers: int) -> int:
+        """Map an architecture-level offload index to proxy modules to offload.
+
+        The mapping preserves the *fraction* of the backbone offloaded:
+        offloading 28 of ResNet-56's 55 layers (~51 %) maps to offloading
+        about half of the proxy's blocks.  Zero maps to zero.
+        """
+        self.spec.validate_offload(spec_offloaded_layers)
+        if spec_offloaded_layers == 0:
+            return 0
+        fraction = spec_offloaded_layers / self.spec.num_layers
+        proxy = int(round(fraction * self.max_proxy_offload))
+        return int(np.clip(proxy, 1, self.max_proxy_offload))
+
+    def build_split(
+        self,
+        spec_offloaded_layers: int,
+        rng: Optional[np.random.Generator] = None,
+        backbone: Optional[Sequential] = None,
+    ) -> SplitModel:
+        """Build (or reuse) a backbone and split it for the given offload index."""
+        backbone = backbone if backbone is not None else self.build(rng)
+        proxy_offload = self.proxy_offload_for(spec_offloaded_layers)
+        return split_sequential(
+            backbone,
+            offloaded_layers=proxy_offload,
+            num_classes=self.num_classes,
+            rng=rng,
+        )

@@ -1,0 +1,97 @@
+"""CIFAR ResNet architecture descriptors (ResNet-56 and ResNet-110).
+
+The paper trains ResNet-56 and ResNet-110 (He et al., 2016, CIFAR variant):
+an initial 3×3 convolution, three stages of ``n`` basic blocks with 16, 32
+and 64 channels at 32×32, 16×16 and 8×8 resolution, then global average
+pooling and a fully connected classifier.  ``depth = 6 n + 2`` so ResNet-56
+has ``n = 9`` and ResNet-110 has ``n = 18``.
+
+The descriptors enumerate **convolutional layers** as the offloadable units
+(55 of them for ResNet-56 after the stem, matching the paper's Table I whose
+offload options go up to 55 layers), with exact per-layer FLOPs, parameter
+counts and activation sizes computed from the architecture.
+"""
+
+from __future__ import annotations
+
+from repro.models.spec import ArchitectureSpec, LayerCost
+from repro.utils.validation import check_positive
+
+#: CIFAR input geometry.
+CIFAR_INPUT_CHANNELS = 3
+CIFAR_INPUT_SIZE = 32
+
+
+def _conv_cost(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    spatial: int,
+    kernel: int = 3,
+) -> LayerCost:
+    """Cost of one 3×3 convolution producing a ``spatial × spatial`` map."""
+    output_elements = out_channels * spatial * spatial
+    flops = 2.0 * kernel * kernel * in_channels * out_channels * spatial * spatial
+    params = kernel * kernel * in_channels * out_channels + out_channels
+    return LayerCost(
+        name=name,
+        forward_flops=flops,
+        parameter_count=params,
+        output_elements=output_elements,
+    )
+
+
+def cifar_resnet_spec(depth: int, num_classes: int = 10) -> ArchitectureSpec:
+    """Build the cost descriptor for a CIFAR ResNet of the given depth.
+
+    Parameters
+    ----------
+    depth:
+        Total depth ``6 n + 2`` (e.g. 56 or 110).
+    num_classes:
+        Number of output classes (10 for CIFAR-10/CINIC-10, 100 for CIFAR-100).
+    """
+    check_positive(depth, "depth")
+    if (depth - 2) % 6 != 0:
+        raise ValueError(
+            f"CIFAR ResNet depth must satisfy depth = 6n + 2, got {depth}"
+        )
+    blocks_per_stage = (depth - 2) // 6
+    stage_channels = (16, 32, 64)
+    stage_spatial = (32, 16, 8)
+
+    layers: list[LayerCost] = []
+    # Stem convolution: 3 -> 16 channels at 32x32.
+    layers.append(
+        _conv_cost("stem.conv", CIFAR_INPUT_CHANNELS, stage_channels[0], stage_spatial[0])
+    )
+    in_channels = stage_channels[0]
+    for stage_index, (channels, spatial) in enumerate(zip(stage_channels, stage_spatial)):
+        for block_index in range(blocks_per_stage):
+            prefix = f"stage{stage_index + 1}.block{block_index + 1}"
+            layers.append(_conv_cost(f"{prefix}.conv1", in_channels, channels, spatial))
+            layers.append(_conv_cost(f"{prefix}.conv2", channels, channels, spatial))
+            in_channels = channels
+
+    final_channels = stage_channels[-1]
+    head_flops = 2.0 * final_channels * num_classes + final_channels * stage_spatial[-1] ** 2
+    head_parameters = final_channels * num_classes + num_classes
+
+    return ArchitectureSpec(
+        name=f"resnet{depth}",
+        layers=tuple(layers),
+        input_elements=CIFAR_INPUT_CHANNELS * CIFAR_INPUT_SIZE * CIFAR_INPUT_SIZE,
+        num_classes=num_classes,
+        head_flops=head_flops,
+        head_parameter_count=head_parameters,
+    )
+
+
+def resnet56_spec(num_classes: int = 10) -> ArchitectureSpec:
+    """Cost descriptor for ResNet-56 (55 offloadable conv layers + head)."""
+    return cifar_resnet_spec(56, num_classes=num_classes)
+
+
+def resnet110_spec(num_classes: int = 10) -> ArchitectureSpec:
+    """Cost descriptor for ResNet-110 (109 offloadable conv layers + head)."""
+    return cifar_resnet_spec(110, num_classes=num_classes)

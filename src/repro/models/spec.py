@@ -1,0 +1,275 @@
+"""Architecture cost descriptors.
+
+The timing plane does not need trainable weights — it needs, for every
+*offloadable layer* of the architecture, how much compute it costs, how many
+parameter bytes it carries, and how large its output activation is.  That is
+exactly the information the paper's split-model profiling step produces
+("relative training time ... and intermediate data size for each split
+model m").
+
+:class:`LayerCost` describes one offloadable layer; :class:`ArchitectureSpec`
+is the ordered list of layers plus bookkeeping, and provides the split
+queries used by :mod:`repro.core.profiling`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Bytes used to encode one parameter or activation scalar on the wire.
+BYTES_PER_SCALAR = 4
+
+#: Backward pass costs roughly twice the forward pass, so training one
+#: sample costs ~3x the forward FLOPs.  This standard factor is used to turn
+#: inference FLOPs into training FLOPs throughout the timing plane.
+TRAIN_FLOPS_MULTIPLIER = 3.0
+
+#: Flop-equivalents charged per output activation element to model memory
+#: traffic.  Early CIFAR-ResNet layers produce large spatial maps and are
+#: memory-bandwidth bound in practice, so their wall-clock cost per layer is
+#: substantially higher than their FLOP count alone suggests.  This weight is
+#: calibrated so that retaining the first ~18 of ResNet-56's 55 layers costs
+#: ~45 % of the full model's time, matching the split profile implied by the
+#: paper's Table I measurements.
+MEMORY_TRAFFIC_WEIGHT = 500.0
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Per-layer cost record.
+
+    Attributes
+    ----------
+    name:
+        Human-readable layer name (e.g. ``"stage2.block3.conv1"``).
+    forward_flops:
+        Forward-pass floating point operations for **one sample**.
+    parameter_count:
+        Number of scalar parameters in the layer.
+    output_elements:
+        Number of scalars in the layer's output activation for one sample
+        (this is what would be shipped to the fast agent if the model were
+        split right after this layer).
+    """
+
+    name: str
+    forward_flops: float
+    parameter_count: int
+    output_elements: int
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.forward_flops, "forward_flops")
+        check_non_negative(self.parameter_count, "parameter_count")
+        check_non_negative(self.output_elements, "output_elements")
+
+    @property
+    def parameter_bytes(self) -> float:
+        """Bytes occupied by this layer's parameters."""
+        return self.parameter_count * BYTES_PER_SCALAR
+
+    @property
+    def output_bytes(self) -> float:
+        """Bytes of the output activation for one sample."""
+        return self.output_elements * BYTES_PER_SCALAR
+
+    @property
+    def forward_cost(self) -> float:
+        """Wall-clock cost proxy: FLOPs plus a memory-traffic term."""
+        return self.forward_flops + MEMORY_TRAFFIC_WEIGHT * self.output_elements
+
+    @property
+    def train_flops(self) -> float:
+        """Training FLOPs (forward + backward) for one sample."""
+        return self.forward_flops * TRAIN_FLOPS_MULTIPLIER
+
+    @property
+    def train_cost(self) -> float:
+        """Training cost proxy (forward + backward, incl. memory traffic)."""
+        return self.forward_cost * TRAIN_FLOPS_MULTIPLIER
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """Ordered cost description of a model architecture.
+
+    The *offload index* ``m`` used throughout the library follows the
+    paper's Table I convention: ``m`` is the number of layers offloaded
+    from the **end** of the network to the fast agent.  ``m = 0`` means no
+    offloading; ``m = num_layers`` would offload everything (never chosen in
+    practice because the slow agent must keep at least its input layer).
+
+    Attributes
+    ----------
+    name:
+        Architecture name (``"resnet56"`` etc.).
+    layers:
+        Offloadable layers in forward order.
+    input_elements:
+        Scalars per input sample (e.g. ``3*32*32`` for CIFAR).
+    num_classes:
+        Output classes.
+    head_flops:
+        Forward FLOPs of the non-offloadable classifier head (final pooling
+        + fully connected layer); always executed by whoever holds the last
+        offloaded layer.
+    head_parameter_count:
+        Parameters of the classifier head.
+    """
+
+    name: str
+    layers: tuple[LayerCost, ...]
+    input_elements: int
+    num_classes: int
+    head_flops: float = 0.0
+    head_parameter_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("an architecture needs at least one layer")
+        check_positive(self.input_elements, "input_elements")
+        check_positive(self.num_classes, "num_classes")
+        check_non_negative(self.head_flops, "head_flops")
+        check_non_negative(self.head_parameter_count, "head_parameter_count")
+
+    # ------------------------------------------------------------------
+    # Whole-model quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """Number of offloadable layers."""
+        return len(self.layers)
+
+    @property
+    def total_forward_flops(self) -> float:
+        """Forward cost per sample for the full model (layers + head).
+
+        All *flops-named quantities on this class are wall-clock cost
+        proxies (FLOPs + memory-traffic term); see ``MEMORY_TRAFFIC_WEIGHT``.
+        """
+        return sum(layer.forward_cost for layer in self.layers) + self.head_flops
+
+    @property
+    def total_train_flops(self) -> float:
+        """Training cost per sample for the full model."""
+        return self.total_forward_flops * TRAIN_FLOPS_MULTIPLIER
+
+    @property
+    def total_parameter_count(self) -> int:
+        """Total parameters (layers + head)."""
+        return (
+            sum(layer.parameter_count for layer in self.layers)
+            + self.head_parameter_count
+        )
+
+    @property
+    def model_bytes(self) -> float:
+        """Serialized model size in bytes (what AllReduce moves)."""
+        return self.total_parameter_count * BYTES_PER_SCALAR
+
+    # ------------------------------------------------------------------
+    # Split queries (offload index m = layers offloaded from the end)
+    # ------------------------------------------------------------------
+    def validate_offload(self, offloaded_layers: int) -> int:
+        """Check an offload index and return it."""
+        if not 0 <= offloaded_layers <= self.num_layers:
+            raise ValueError(
+                f"offloaded_layers must lie in [0, {self.num_layers}], "
+                f"got {offloaded_layers}"
+            )
+        return offloaded_layers
+
+    def split_boundary(self, offloaded_layers: int) -> int:
+        """Index of the first offloaded layer (slow agent keeps ``[0, boundary)``)."""
+        self.validate_offload(offloaded_layers)
+        return self.num_layers - offloaded_layers
+
+    def slow_side_forward_flops(self, offloaded_layers: int) -> float:
+        """Forward cost per sample retained by the slow agent.
+
+        When nothing is offloaded the slow agent also runs the classifier
+        head; otherwise the head belongs to the fast side.
+        """
+        boundary = self.split_boundary(offloaded_layers)
+        flops = sum(layer.forward_cost for layer in self.layers[:boundary])
+        if offloaded_layers == 0:
+            flops += self.head_flops
+        return flops
+
+    def fast_side_forward_flops(self, offloaded_layers: int) -> float:
+        """Forward cost per sample handled by the fast agent for the offload."""
+        boundary = self.split_boundary(offloaded_layers)
+        if offloaded_layers == 0:
+            return 0.0
+        return sum(layer.forward_cost for layer in self.layers[boundary:]) + self.head_flops
+
+    def intermediate_elements(self, offloaded_layers: int) -> int:
+        """Scalars of the activation crossing the split, per sample (the paper's ν_m basis)."""
+        boundary = self.split_boundary(offloaded_layers)
+        if offloaded_layers == 0:
+            return 0
+        if boundary == 0:
+            return self.input_elements
+        return self.layers[boundary - 1].output_elements
+
+    def intermediate_bytes(self, offloaded_layers: int) -> float:
+        """Bytes of the activation crossing the split, per sample."""
+        return self.intermediate_elements(offloaded_layers) * BYTES_PER_SCALAR
+
+    def slow_side_parameter_count(self, offloaded_layers: int) -> int:
+        """Parameters retained by the slow agent (excluding the auxiliary head)."""
+        boundary = self.split_boundary(offloaded_layers)
+        count = sum(layer.parameter_count for layer in self.layers[:boundary])
+        if offloaded_layers == 0:
+            count += self.head_parameter_count
+        return count
+
+    def fast_side_parameter_count(self, offloaded_layers: int) -> int:
+        """Parameters of the offloaded portion (including the classifier head)."""
+        boundary = self.split_boundary(offloaded_layers)
+        if offloaded_layers == 0:
+            return 0
+        return (
+            sum(layer.parameter_count for layer in self.layers[boundary:])
+            + self.head_parameter_count
+        )
+
+    def fast_side_parameter_bytes(self, offloaded_layers: int) -> float:
+        """Bytes of the offloaded sub-model (shipped once when the pair forms)."""
+        return self.fast_side_parameter_count(offloaded_layers) * BYTES_PER_SCALAR
+
+    def auxiliary_head_parameter_count(self, offloaded_layers: int) -> int:
+        """Parameters of the slow agent's auxiliary network for this split.
+
+        The paper attaches an average-pooling layer plus one fully connected
+        layer to the split boundary; we model the fully connected layer over
+        the (pooled) boundary activation.  Pooling reduces the spatial extent
+        so the auxiliary head is intentionally small.
+        """
+        if offloaded_layers == 0:
+            return 0
+        elements = self.intermediate_elements(offloaded_layers)
+        # Average pooling compresses the activation by ~16x (4x4 spatial pool)
+        # before the fully connected layer, mirroring the paper's aux design.
+        pooled = max(self.num_classes, elements // 16)
+        return pooled * self.num_classes + self.num_classes
+
+    def auxiliary_head_forward_flops(self, offloaded_layers: int) -> float:
+        """Forward FLOPs per sample of the auxiliary head for this split."""
+        if offloaded_layers == 0:
+            return 0.0
+        return 2.0 * self.auxiliary_head_parameter_count(offloaded_layers)
+
+    def offload_options(self, granularity: int = 1) -> list[int]:
+        """Candidate offload indices ``{0, granularity, 2·granularity, ...}``.
+
+        The paper evaluates M candidate split models; a granularity of ``9``
+        on ResNet-56, for example, yields the Table I style options.
+        """
+        check_positive(granularity, "granularity")
+        options = list(range(0, self.num_layers, granularity))
+        if (self.num_layers - 1) not in options:
+            options.append(self.num_layers - 1)
+        return options

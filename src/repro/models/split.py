@@ -1,0 +1,225 @@
+"""Split models for local-loss split training.
+
+A :class:`SplitModel` partitions a ``Sequential`` backbone into a *slow
+agent-side* prefix and a *fast agent-side* suffix, and attaches an
+:class:`AuxiliaryHead` to the split boundary.  The slow agent trains its
+prefix with the auxiliary head's local loss; the fast agent trains the
+suffix on the (detached) intermediate activations it receives.  Because the
+two halves are views over the *same* parameter objects as the full backbone,
+re-assembling the globally averaged model after AllReduce needs no extra
+bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Dense
+from repro.nn.module import Module, Parameter, Sequential
+from repro.utils.validation import check_positive
+
+
+class AuxiliaryHead(Module):
+    """Small local-loss head: average pooling over feature groups + one Dense layer.
+
+    Mirrors the paper's auxiliary network ("a fully connected layer and an
+    average pooling layer") adapted to flat feature vectors: the input is
+    average-pooled in groups of ``pool_factor`` before the classifier, which
+    keeps the head small relative to the backbone.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        num_classes: int,
+        pool_factor: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        check_positive(in_features, "in_features")
+        check_positive(num_classes, "num_classes")
+        check_positive(pool_factor, "pool_factor")
+        self.in_features = in_features
+        self.pool_factor = min(pool_factor, in_features)
+        # Truncate to a multiple of the pool factor so pooling is exact.
+        self.pooled_features = max(1, in_features // self.pool_factor)
+        self._used_features = self.pooled_features * self.pool_factor
+        self.classifier = Dense(
+            self.pooled_features, num_classes, rng=rng, name="aux.classifier"
+        )
+        self._input_shape: Optional[tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {inputs.shape}"
+            )
+        self._input_shape = inputs.shape
+        pooled = inputs[:, : self._used_features].reshape(
+            inputs.shape[0], self.pooled_features, self.pool_factor
+        ).mean(axis=2)
+        return self.classifier.forward(pooled)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        grad_pooled = self.classifier.backward(grad_output)
+        grad_input = np.zeros(self._input_shape, dtype=np.float64)
+        expanded = np.repeat(grad_pooled / self.pool_factor, self.pool_factor, axis=1)
+        grad_input[:, : self._used_features] = expanded
+        return grad_input
+
+    def parameters(self) -> list[Parameter]:
+        return self.classifier.parameters()
+
+    def children(self):
+        return [self.classifier]
+
+
+class SplitModel:
+    """A backbone split into slow/fast halves with an auxiliary local-loss head.
+
+    Attributes
+    ----------
+    slow_side:
+        ``Sequential`` prefix trained by the slow agent.
+    fast_side:
+        ``Sequential`` suffix trained by the fast agent (empty when nothing
+        is offloaded).
+    auxiliary:
+        The slow agent's local-loss head (``None`` when nothing is offloaded,
+        because the slow agent then trains the full model with its real head).
+    offloaded_layers:
+        Number of backbone blocks offloaded to the fast agent.
+    """
+
+    def __init__(
+        self,
+        slow_side: Sequential,
+        fast_side: Sequential,
+        auxiliary: Optional[AuxiliaryHead],
+        offloaded_layers: int,
+    ) -> None:
+        self.slow_side = slow_side
+        self.fast_side = fast_side
+        self.auxiliary = auxiliary
+        self.offloaded_layers = int(offloaded_layers)
+
+    @property
+    def is_split(self) -> bool:
+        """Whether any work is actually offloaded."""
+        return self.offloaded_layers > 0 and len(self.fast_side) > 0
+
+    def forward_slow(self, inputs: np.ndarray) -> np.ndarray:
+        """Slow-side forward pass, returning the boundary activation."""
+        return self.slow_side.forward(inputs)
+
+    def forward_auxiliary(self, boundary_activation: np.ndarray) -> np.ndarray:
+        """Auxiliary-head logits computed from the boundary activation."""
+        if self.auxiliary is None:
+            raise RuntimeError("model is not split; no auxiliary head exists")
+        return self.auxiliary.forward(boundary_activation)
+
+    def forward_fast(self, boundary_activation: np.ndarray) -> np.ndarray:
+        """Fast-side forward pass from the boundary activation to final logits."""
+        return self.fast_side.forward(boundary_activation)
+
+    def forward_full(self, inputs: np.ndarray) -> np.ndarray:
+        """Full-model forward (slow then fast side), used for evaluation."""
+        activation = self.slow_side.forward(inputs)
+        if self.is_split:
+            return self.fast_side.forward(activation)
+        return activation
+
+    def slow_parameters(self) -> list[Parameter]:
+        """Parameters updated on the slow agent (prefix + auxiliary head)."""
+        params = list(self.slow_side.parameters())
+        if self.auxiliary is not None:
+            params.extend(self.auxiliary.parameters())
+        return params
+
+    def fast_parameters(self) -> list[Parameter]:
+        """Parameters updated on the fast agent (the offloaded suffix)."""
+        return list(self.fast_side.parameters())
+
+
+def split_sequential(
+    backbone: Sequential,
+    offloaded_layers: int,
+    num_classes: int,
+    aux_pool_factor: int = 4,
+    rng: Optional[np.random.Generator] = None,
+) -> SplitModel:
+    """Split a ``Sequential`` backbone ``offloaded_layers`` blocks from the end.
+
+    The auxiliary head's input width is inferred from the first Dense layer
+    found at or after the boundary (walking backwards from the boundary when
+    the suffix starts with an activation), falling back to probing is not
+    required because the proxy backbones used in this library keep a constant
+    feature width.
+    """
+    total = len(backbone)
+    if not 0 <= offloaded_layers <= total:
+        raise ValueError(
+            f"offloaded_layers must lie in [0, {total}], got {offloaded_layers}"
+        )
+    boundary = total - offloaded_layers
+    slow_side = backbone.slice(0, boundary)
+    fast_side = backbone.slice(boundary, total)
+    auxiliary: Optional[AuxiliaryHead] = None
+    if offloaded_layers > 0:
+        boundary_width = _infer_boundary_width(backbone, boundary)
+        auxiliary = AuxiliaryHead(
+            in_features=boundary_width,
+            num_classes=num_classes,
+            pool_factor=aux_pool_factor,
+            rng=rng,
+        )
+    return SplitModel(
+        slow_side=slow_side,
+        fast_side=fast_side,
+        auxiliary=auxiliary,
+        offloaded_layers=offloaded_layers,
+    )
+
+
+def _infer_boundary_width(backbone: Sequential, boundary: int) -> int:
+    """Feature width of the activation flowing across the split boundary."""
+    # Walk backwards over the slow side looking for the last layer that
+    # declares an output width.
+    for module in reversed(backbone.modules[:boundary]):
+        width = _output_width(module)
+        if width is not None:
+            return width
+    # Nothing before the boundary declares a width (e.g. boundary == 0, or
+    # only activations); use the first declared *input* width after it.
+    for module in backbone.modules[boundary:]:
+        width = _input_width(module)
+        if width is not None:
+            return width
+    raise ValueError("could not infer the feature width at the split boundary")
+
+
+def _output_width(module) -> Optional[int]:
+    if isinstance(module, Dense):
+        return module.out_features
+    children = list(module.children()) if hasattr(module, "children") else []
+    for child in reversed(children):
+        width = _output_width(child)
+        if width is not None:
+            return width
+    return None
+
+
+def _input_width(module) -> Optional[int]:
+    if isinstance(module, Dense):
+        return module.in_features
+    children = list(module.children()) if hasattr(module, "children") else []
+    for child in children:
+        width = _input_width(child)
+        if width is not None:
+            return width
+    return None

@@ -1,0 +1,27 @@
+"""Network substrate: topologies, links, and collective aggregation."""
+
+from repro.network.topology import Topology, full_topology, random_topology, ring_topology
+from repro.network.link import LinkModel, pairwise_bandwidth
+from repro.network.allreduce import (
+    AllReduceResult,
+    ring_allreduce,
+    halving_doubling_allreduce,
+    allreduce_average,
+)
+from repro.network.compression import GradientCompressor, QuantizationCompressor, NoCompression
+
+__all__ = [
+    "Topology",
+    "full_topology",
+    "random_topology",
+    "ring_topology",
+    "LinkModel",
+    "pairwise_bandwidth",
+    "AllReduceResult",
+    "ring_allreduce",
+    "halving_doubling_allreduce",
+    "allreduce_average",
+    "GradientCompressor",
+    "QuantizationCompressor",
+    "NoCompression",
+]

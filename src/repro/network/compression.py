@@ -1,0 +1,97 @@
+"""Optional aggregation compression.
+
+The paper notes that "other existing aggregation techniques (e.g. quantized
+gradients) can also be integrated into the proposed training process to
+further reduce communication overhead".  This module provides that hook: a
+compressor both shrinks the simulated byte volume (timing plane) and applies
+the corresponding lossy transform to parameter vectors (learning plane).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class GradientCompressor(ABC):
+    """Interface for (de)compressing parameter/gradient vectors."""
+
+    @abstractmethod
+    def compressed_bytes(self, original_bytes: float) -> float:
+        """Bytes on the wire after compression."""
+
+    @abstractmethod
+    def compress(self, values: np.ndarray) -> np.ndarray:
+        """Lossy round-trip of the values (what the receiver reconstructs)."""
+
+
+class NoCompression(GradientCompressor):
+    """Identity compressor (the default)."""
+
+    def compressed_bytes(self, original_bytes: float) -> float:
+        return original_bytes
+
+    def compress(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values)
+
+
+class QuantizationCompressor(GradientCompressor):
+    """Uniform scalar quantization to ``bits`` bits per value.
+
+    Bytes shrink by ``bits / 32`` (parameters are float32 on the wire in the
+    uncompressed case); values are reconstructed by de-quantizing, which
+    introduces bounded error of half a quantization step.
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        check_positive(bits, "bits")
+        if bits > 32:
+            raise ValueError(f"bits must be <= 32, got {bits}")
+        self.bits = int(bits)
+
+    def compressed_bytes(self, original_bytes: float) -> float:
+        return original_bytes * self.bits / 32.0
+
+    def compress(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return values.copy()
+        low = float(values.min())
+        high = float(values.max())
+        if high == low:
+            return values.copy()
+        levels = (1 << self.bits) - 1
+        scale = (high - low) / levels
+        quantized = np.round((values - low) / scale)
+        return quantized * scale + low
+
+
+class TopKSparsifier(GradientCompressor):
+    """Keep only the ``fraction`` largest-magnitude entries (rest are zeroed).
+
+    This mirrors the sparsification used by GossipFL-style baselines; the
+    wire size shrinks by roughly the kept fraction (index overhead ignored).
+    """
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must lie in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def compressed_bytes(self, original_bytes: float) -> float:
+        return original_bytes * self.fraction
+
+    def compress(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return values.copy()
+        keep = max(1, int(round(self.fraction * values.size)))
+        flat = values.ravel()
+        threshold_index = np.argsort(np.abs(flat))[-keep]
+        threshold = np.abs(flat[threshold_index])
+        mask = np.abs(flat) >= threshold
+        result = np.where(mask, flat, 0.0)
+        return result.reshape(values.shape)

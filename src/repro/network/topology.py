@@ -1,0 +1,145 @@
+"""Peer-to-peer network topologies.
+
+ComDML is evaluated on full graphs, ring graphs, and random graphs that
+retain only a fraction of the full graph's links (Figure 3 uses 20 %
+connectivity).  ``Topology`` wraps a :class:`networkx.Graph` whose nodes are
+agent ids, and exposes the neighbour queries the pairing scheduler needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+class Topology:
+    """Undirected communication topology over agent ids."""
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph`."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of agents in the topology."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of communication links."""
+        return self._graph.number_of_edges()
+
+    @property
+    def nodes(self) -> list[int]:
+        """Agent ids in sorted order."""
+        return sorted(self._graph.nodes)
+
+    def neighbors(self, agent_id: int) -> list[int]:
+        """Agents directly connected to ``agent_id`` (sorted for determinism)."""
+        if agent_id not in self._graph:
+            raise KeyError(f"agent {agent_id} not in topology")
+        return sorted(self._graph.neighbors(agent_id))
+
+    def are_connected(self, a: int, b: int) -> bool:
+        """Whether agents ``a`` and ``b`` share a direct link."""
+        return self._graph.has_edge(a, b)
+
+    def degree(self, agent_id: int) -> int:
+        """Number of direct neighbours of an agent."""
+        if agent_id not in self._graph:
+            raise KeyError(f"agent {agent_id} not in topology")
+        return self._graph.degree[agent_id]
+
+    @property
+    def is_connected_graph(self) -> bool:
+        """Whether the topology forms a single connected component."""
+        if self.num_nodes == 0:
+            return True
+        return nx.is_connected(self._graph)
+
+    def connectivity_fraction(self) -> float:
+        """Fraction of full-graph links present (1.0 for a complete graph)."""
+        n = self.num_nodes
+        if n < 2:
+            return 1.0
+        full_edges = n * (n - 1) / 2
+        return self.num_edges / full_edges
+
+    def subgraph(self, agent_ids: Iterable[int]) -> "Topology":
+        """Topology restricted to the given agents (e.g. round participants)."""
+        return Topology(self._graph.subgraph(list(agent_ids)).copy())
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"connectivity={self.connectivity_fraction():.2f})"
+        )
+
+
+def full_topology(agent_ids: Sequence[int]) -> Topology:
+    """Complete graph: every agent can talk to every other agent."""
+    graph = nx.complete_graph(list(agent_ids))
+    return Topology(graph)
+
+
+def ring_topology(agent_ids: Sequence[int]) -> Topology:
+    """Ring graph: each agent has exactly two neighbours."""
+    ids = list(agent_ids)
+    graph = nx.Graph()
+    graph.add_nodes_from(ids)
+    if len(ids) >= 2:
+        for index, agent_id in enumerate(ids):
+            graph.add_edge(agent_id, ids[(index + 1) % len(ids)])
+    return Topology(graph)
+
+
+def random_topology(
+    agent_ids: Sequence[int],
+    link_fraction: float,
+    rng: np.random.Generator,
+    ensure_connected: bool = True,
+) -> Topology:
+    """Random graph keeping ``link_fraction`` of the full graph's links.
+
+    This matches the Figure 3 setting ("agents are randomly connected through
+    only 20 % of the links present in a full graph").  When
+    ``ensure_connected`` is true, a random spanning chain is added first so
+    that no agent is isolated; the remaining link budget is filled with
+    uniformly sampled extra edges.
+    """
+    check_probability(link_fraction, "link_fraction")
+    ids = list(agent_ids)
+    graph = nx.Graph()
+    graph.add_nodes_from(ids)
+    n = len(ids)
+    if n < 2:
+        return Topology(graph)
+
+    full_edges = [(ids[i], ids[j]) for i in range(n) for j in range(i + 1, n)]
+    target_edges = max(1, int(round(link_fraction * len(full_edges))))
+
+    chosen: set[tuple[int, int]] = set()
+    if ensure_connected:
+        order = list(rng.permutation(ids))
+        for a, b in zip(order, order[1:]):
+            chosen.add((min(a, b), max(a, b)))
+
+    remaining = [edge for edge in full_edges if edge not in chosen]
+    extra_needed = max(0, target_edges - len(chosen))
+    if extra_needed > 0 and remaining:
+        extra_indices = rng.choice(
+            len(remaining), size=min(extra_needed, len(remaining)), replace=False
+        )
+        for index in extra_indices:
+            chosen.add(remaining[int(index)])
+
+    graph.add_edges_from(chosen)
+    return Topology(graph)

@@ -1,0 +1,54 @@
+"""Minimal numpy neural-network substrate.
+
+Replaces PyTorch in this reproduction: layers with explicit
+forward/backward passes, parameter containers, losses, SGD with momentum,
+and learning-rate schedules.  The split-training machinery in
+``repro.models`` and ``repro.training`` is built exclusively on this
+package, so the local-loss split-training code path of the paper is
+exercised end to end with real gradient updates.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import (
+    Dense,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    LayerNorm,
+    Flatten,
+    Dropout,
+    Identity,
+    ResidualBlock,
+)
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import SGD
+from repro.nn.schedule import StepDecay, ReduceOnPlateau, ConstantSchedule
+from repro.nn.functional import softmax, one_hot, relu
+from repro.nn.serialization import get_flat_parameters, set_flat_parameters, parameter_count
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "LayerNorm",
+    "Flatten",
+    "Dropout",
+    "Identity",
+    "ResidualBlock",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "SGD",
+    "StepDecay",
+    "ReduceOnPlateau",
+    "ConstantSchedule",
+    "softmax",
+    "one_hot",
+    "relu",
+    "get_flat_parameters",
+    "set_flat_parameters",
+    "parameter_count",
+]

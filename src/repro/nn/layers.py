@@ -1,0 +1,253 @@
+"""Layers: dense, activations, dropout, flatten, and residual blocks.
+
+Every layer caches whatever it needs during ``forward`` to compute exact
+gradients in ``backward``.  The residual block mirrors the structure of the
+CIFAR ResNets used by the paper (two transform layers plus an identity
+skip), which is what makes the proxy model's split points analogous to
+offloading ResNet layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.init import he_normal
+from repro.nn.module import Module, Parameter, Sequential
+
+
+class Dense(Module):
+    """Fully connected layer: ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "dense",
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"feature sizes must be positive, got {in_features}, {out_features}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(he_normal(in_features, out_features, rng), f"{name}.weight")
+        self.bias = Parameter(np.zeros(out_features), f"{name}.bias")
+        self._input_cache: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input of shape (N, {self.in_features}), got {inputs.shape}"
+            )
+        self._input_cache = inputs
+        return inputs @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_cache is None:
+            raise RuntimeError("backward called before forward")
+        inputs = self._input_cache
+        self.weight.grad += inputs.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+
+class ReLU(Module):
+    """Rectified linear unit activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return np.where(self._mask, inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(inputs)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * (1.0 - self._output**2)
+
+
+class Identity(Module):
+    """Pass-through layer (useful as a placeholder in split points)."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Flatten(Module):
+    """Flatten all trailing dimensions into features: ``(N, ...) -> (N, D)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: Optional[tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in evaluation mode."""
+
+    def __init__(self, rate: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must lie in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-np.asarray(inputs, dtype=np.float64)))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the feature dimension with learnable scale/shift."""
+
+    def __init__(self, features: int, epsilon: float = 1e-5, name: str = "layernorm") -> None:
+        super().__init__()
+        if features <= 0:
+            raise ValueError(f"features must be positive, got {features}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.features = features
+        self.epsilon = epsilon
+        self.gamma = Parameter(np.ones(features), f"{name}.gamma")
+        self.beta = Parameter(np.zeros(features), f"{name}.beta")
+        self._cache: Optional[tuple[np.ndarray, np.ndarray]] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.features:
+            raise ValueError(
+                f"expected input of shape (N, {self.features}), got {inputs.shape}"
+            )
+        mean = inputs.mean(axis=1, keepdims=True)
+        variance = inputs.var(axis=1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(variance + self.epsilon)
+        normalized = (inputs - mean) * inv_std
+        self._cache = (normalized, inv_std)
+        return normalized * self.gamma.value + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std = self._cache
+        self.gamma.grad += (grad_output * normalized).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        grad_normalized = grad_output * self.gamma.value
+        # Standard layer-norm backward: remove the mean and the projection on
+        # the normalized activations.
+        return inv_std * (
+            grad_normalized
+            - grad_normalized.mean(axis=1, keepdims=True)
+            - normalized * (grad_normalized * normalized).mean(axis=1, keepdims=True)
+        )
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gamma, self.beta]
+
+
+class ResidualBlock(Module):
+    """``y = x + body(x)`` with an exact gradient through both branches.
+
+    ``body`` must preserve the feature dimension.  This is the proxy-model
+    analogue of the ResNet basic block; stacking ``ResidualBlock`` instances
+    gives the proxy model the same "split anywhere between blocks" structure
+    the paper exploits for workload offloading.
+    """
+
+    def __init__(self, body: Module) -> None:
+        super().__init__()
+        self.body = body
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return inputs + self.body.forward(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output + self.body.backward(grad_output)
+
+    def parameters(self) -> list[Parameter]:
+        return self.body.parameters()
+
+    def children(self):
+        return [self.body]
+
+
+def dense_residual_block(
+    features: int,
+    hidden: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "block",
+) -> ResidualBlock:
+    """Standard two-layer residual block: Dense → ReLU → Dense with a skip."""
+    hidden = hidden if hidden is not None else features
+    rng = rng if rng is not None else np.random.default_rng(0)
+    body = Sequential(
+        Dense(features, hidden, rng=rng, name=f"{name}.fc1"),
+        ReLU(),
+        Dense(hidden, features, rng=rng, name=f"{name}.fc2"),
+    )
+    return ResidualBlock(body)

@@ -1,0 +1,72 @@
+"""Loss functions with explicit gradients."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient of
+    that mean loss with respect to the logits (shape ``(N, C)``).
+    """
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, C), got shape {logits.shape}")
+        if targets.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: {logits.shape[0]} logits vs {targets.shape[0]} targets"
+            )
+        self._probs = softmax(logits)
+        self._targets = targets
+        log_probs = log_softmax(logits)
+        picked = log_probs[np.arange(targets.shape[0]), targets]
+        return float(-picked.mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._targets.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class MSELoss:
+    """Mean squared error between predictions and continuous targets."""
+
+    def __init__(self) -> None:
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

@@ -1,0 +1,148 @@
+"""Module and parameter primitives.
+
+A :class:`Module` owns :class:`Parameter` objects and implements an explicit
+``forward`` / ``backward`` pair.  ``backward`` receives the gradient of the
+loss with respect to the module's output and must (a) accumulate gradients
+into its parameters and (b) return the gradient with respect to its input so
+that upstream modules can continue the chain.  This is all the autodiff the
+reproduction needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the parameter tensor."""
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar entries."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the module output for a batch of inputs."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate: accumulate parameter grads, return grad w.r.t. input."""
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of this module (and submodules)."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    def zero_grad(self) -> None:
+        """Reset gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch to training mode (affects e.g. dropout)."""
+        self.training = True
+        for child in self.children():
+            child.train()
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode."""
+        self.training = False
+        for child in self.children():
+            child.eval()
+        return self
+
+    def children(self) -> Iterable["Module"]:
+        """Direct submodules; overridden by containers."""
+        return []
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(parameter.size for parameter in self.parameters())
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.modules: list[Module] = list(modules)
+
+    def append(self, module: Module) -> "Sequential":
+        """Add a module to the end of the chain."""
+        self.modules.append(module)
+        return self
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = inputs
+        for module in self.modules:
+            output = module.forward(output)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+    def parameters(self) -> list[Parameter]:
+        params: list[Parameter] = []
+        for module in self.modules:
+            params.extend(module.parameters())
+        return params
+
+    def children(self) -> Iterable[Module]:
+        return list(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.modules)
+
+    def slice(self, start: int, stop: Optional[int] = None) -> "Sequential":
+        """A new ``Sequential`` sharing the modules in ``[start, stop)``.
+
+        Parameters are *shared*, not copied — this is exactly what split
+        training needs: the slow-side and fast-side views reference the same
+        underlying parameters as the full model.
+        """
+        return Sequential(*self.modules[start:stop])

@@ -1,0 +1,59 @@
+"""Optimizers.
+
+The paper trains with SGD with momentum 0.9; that is the only optimizer the
+reproduction needs, but it is implemented against the generic
+:class:`~repro.nn.module.Parameter` interface so adding others is trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class SGD:
+    """Stochastic gradient descent with (heavy-ball) momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        learning_rate: float = 0.001,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        check_positive(learning_rate, "learning_rate")
+        check_non_negative(momentum, "momentum")
+        if momentum >= 1.0:
+            raise ValueError(f"momentum must be < 1, got {momentum}")
+        check_non_negative(weight_decay, "weight_decay")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            velocity *= self.momentum
+            velocity -= self.learning_rate * grad
+            parameter.value += velocity
+
+    def set_learning_rate(self, learning_rate: float) -> None:
+        """Update the learning rate (used by schedules)."""
+        check_positive(learning_rate, "learning_rate")
+        self.learning_rate = learning_rate

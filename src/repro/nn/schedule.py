@@ -1,0 +1,97 @@
+"""Learning-rate schedules.
+
+The paper starts at 0.001 and multiplies the learning rate by 0.2 (10
+agents) or 0.5 (20/50/100 agents) whenever accuracy plateaus; that is
+:class:`ReduceOnPlateau` here.  :class:`StepDecay` and
+:class:`ConstantSchedule` are provided for the examples and ablations.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive, check_probability
+
+
+class ConstantSchedule:
+    """Learning rate that never changes."""
+
+    def __init__(self, learning_rate: float) -> None:
+        check_positive(learning_rate, "learning_rate")
+        self.learning_rate = learning_rate
+
+    def step(self, metric: float | None = None) -> float:
+        """Return the (unchanged) learning rate."""
+        return self.learning_rate
+
+
+class StepDecay:
+    """Multiply the learning rate by ``factor`` every ``step_size`` calls."""
+
+    def __init__(self, learning_rate: float, step_size: int, factor: float = 0.5) -> None:
+        check_positive(learning_rate, "learning_rate")
+        check_positive(step_size, "step_size")
+        check_probability(factor, "factor")
+        self.learning_rate = learning_rate
+        self.step_size = int(step_size)
+        self.factor = factor
+        self._calls = 0
+
+    def step(self, metric: float | None = None) -> float:
+        """Advance one round and return the current learning rate."""
+        self._calls += 1
+        if self._calls % self.step_size == 0:
+            self.learning_rate *= self.factor
+        return self.learning_rate
+
+
+class ReduceOnPlateau:
+    """Reduce the learning rate by ``factor`` when a metric stops improving.
+
+    ``step`` is called once per round with the monitored metric (accuracy by
+    default, i.e. higher is better).  If no improvement larger than
+    ``min_delta`` is seen for ``patience`` consecutive rounds, the learning
+    rate is multiplied by ``factor`` (never dropping below ``min_lr``).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float,
+        factor: float = 0.2,
+        patience: int = 10,
+        min_delta: float = 1e-4,
+        min_lr: float = 1e-6,
+        mode: str = "max",
+    ) -> None:
+        check_positive(learning_rate, "learning_rate")
+        check_probability(factor, "factor")
+        check_positive(patience, "patience")
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.learning_rate = learning_rate
+        self.factor = factor
+        self.patience = int(patience)
+        self.min_delta = min_delta
+        self.min_lr = min_lr
+        self.mode = mode
+        self._best: float | None = None
+        self._bad_rounds = 0
+
+    def _improved(self, metric: float) -> bool:
+        if self._best is None:
+            return True
+        if self.mode == "max":
+            return metric > self._best + self.min_delta
+        return metric < self._best - self.min_delta
+
+    def step(self, metric: float | None = None) -> float:
+        """Record one round's metric and return the current learning rate."""
+        if metric is None:
+            return self.learning_rate
+        if self._improved(metric):
+            self._best = metric
+            self._bad_rounds = 0
+        else:
+            self._bad_rounds += 1
+            if self._bad_rounds >= self.patience:
+                self.learning_rate = max(self.min_lr, self.learning_rate * self.factor)
+                self._bad_rounds = 0
+        return self.learning_rate

@@ -1,0 +1,49 @@
+"""Flattening model parameters to vectors and back.
+
+AllReduce (and the privacy mechanisms that perturb whole models) operate on
+flat float vectors; these helpers convert between a module's parameter list
+and a single contiguous vector without copying structure information
+anywhere else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def parameter_count(module: Module) -> int:
+    """Total number of scalar parameters in a module."""
+    return sum(parameter.size for parameter in module.parameters())
+
+
+def get_flat_parameters(module: Module) -> np.ndarray:
+    """Concatenate all parameters of ``module`` into one float64 vector."""
+    parameters = module.parameters()
+    if not parameters:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([parameter.value.ravel() for parameter in parameters])
+
+
+def set_flat_parameters(module: Module, flat: np.ndarray) -> None:
+    """Write a flat vector back into the module's parameters in place."""
+    flat = np.asarray(flat, dtype=np.float64)
+    expected = parameter_count(module)
+    if flat.size != expected:
+        raise ValueError(
+            f"flat vector has {flat.size} entries but module has {expected} parameters"
+        )
+    offset = 0
+    for parameter in module.parameters():
+        size = parameter.size
+        parameter.value[...] = flat[offset : offset + size].reshape(parameter.shape)
+        offset += size
+
+
+def get_flat_gradients(module: Module) -> np.ndarray:
+    """Concatenate all parameter gradients into one float64 vector."""
+    parameters = module.parameters()
+    if not parameters:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([parameter.grad.ravel() for parameter in parameters])

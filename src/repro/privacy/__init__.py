@@ -1,0 +1,26 @@
+"""Privacy toolkit (Section IV-C / V-B-4 of the paper).
+
+Three mechanisms the paper integrates with ComDML:
+
+* :class:`~repro.privacy.distance_correlation.DistanceCorrelationDefense` —
+  reduces the distance correlation between raw inputs and the intermediate
+  activations shipped across the split;
+* :class:`~repro.privacy.patch_shuffle.PatchShuffle` — permutes feature
+  patches of the intermediate activations;
+* :class:`~repro.privacy.differential_privacy.DifferentialPrivacy` —
+  clips and perturbs model parameters with Laplace noise before aggregation.
+"""
+
+from repro.privacy.distance_correlation import (
+    distance_correlation,
+    DistanceCorrelationDefense,
+)
+from repro.privacy.patch_shuffle import PatchShuffle
+from repro.privacy.differential_privacy import DifferentialPrivacy
+
+__all__ = [
+    "distance_correlation",
+    "DistanceCorrelationDefense",
+    "PatchShuffle",
+    "DifferentialPrivacy",
+]

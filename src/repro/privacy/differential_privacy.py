@@ -1,0 +1,84 @@
+"""Differential privacy for model aggregation.
+
+Before an agent's model update enters the aggregation, its parameter vector
+is clipped to an L2 norm bound and perturbed with Laplace noise calibrated
+to the (ε, δ) budget — the mechanism the paper evaluates with Laplace noise
+at ε = 0.5, δ = 1e-5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+
+class DifferentialPrivacy:
+    """Clip-and-perturb mechanism applied to flat parameter vectors."""
+
+    def __init__(
+        self,
+        epsilon: float = 0.5,
+        delta: float = 1e-5,
+        clip_norm: float = 1.0,
+        mechanism: str = "laplace",
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        check_positive(epsilon, "epsilon")
+        check_probability(delta, "delta")
+        check_positive(clip_norm, "clip_norm")
+        if mechanism not in ("laplace", "gaussian"):
+            raise ValueError(
+                f"mechanism must be 'laplace' or 'gaussian', got {mechanism!r}"
+            )
+        self.epsilon = epsilon
+        self.delta = delta
+        self.clip_norm = clip_norm
+        self.mechanism = mechanism
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def clip(self, parameters: np.ndarray) -> np.ndarray:
+        """Scale the vector so its L2 norm does not exceed ``clip_norm``."""
+        parameters = np.asarray(parameters, dtype=np.float64)
+        norm = float(np.linalg.norm(parameters))
+        if norm <= self.clip_norm or norm == 0.0:
+            return parameters.copy()
+        return parameters * (self.clip_norm / norm)
+
+    @property
+    def noise_scale(self) -> float:
+        """Scale of the additive noise implied by the privacy budget.
+
+        For the Laplace mechanism the scale is ``sensitivity / ε`` with L1
+        sensitivity approximated by ``2 × clip_norm``; for the Gaussian
+        mechanism the standard ``sqrt(2 ln(1.25/δ)) × sensitivity / ε`` is
+        used with L2 sensitivity ``2 × clip_norm``.
+        """
+        sensitivity = 2.0 * self.clip_norm
+        if self.mechanism == "laplace":
+            return sensitivity / self.epsilon
+        return float(np.sqrt(2.0 * np.log(1.25 / self.delta)) * sensitivity / self.epsilon)
+
+    def add_noise(self, parameters: np.ndarray) -> np.ndarray:
+        """Add mechanism noise (per-coordinate, scaled by vector size)."""
+        parameters = np.asarray(parameters, dtype=np.float64)
+        if parameters.size == 0:
+            return parameters.copy()
+        # Spread the total noise budget across coordinates so the expected
+        # perturbation norm matches the scalar mechanism's scale.
+        per_coordinate = self.noise_scale / np.sqrt(parameters.size)
+        if self.mechanism == "laplace":
+            noise = self._rng.laplace(0.0, per_coordinate, size=parameters.shape)
+        else:
+            noise = self._rng.normal(0.0, per_coordinate, size=parameters.shape)
+        return parameters + noise
+
+    def privatize(self, parameters: np.ndarray) -> np.ndarray:
+        """Clip then perturb a parameter vector."""
+        return self.add_noise(self.clip(parameters))
+
+    def __call__(self, parameters: np.ndarray) -> np.ndarray:
+        return self.privatize(parameters)

@@ -1,0 +1,56 @@
+"""Patch shuffling defense (Yao et al., 2022).
+
+Splits each intermediate-activation vector into contiguous patches and
+permutes the patches with a fresh random permutation per batch.  The fast
+agent still receives all the information needed for classification in
+aggregate, but the spatial arrangement that an inversion attack would
+exploit is destroyed.  Applied to the activations crossing the split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class PatchShuffle:
+    """Permute contiguous feature patches of each batch of activations."""
+
+    def __init__(
+        self,
+        num_patches: int = 8,
+        rng: Optional[np.random.Generator] = None,
+        per_sample: bool = False,
+    ) -> None:
+        check_positive(num_patches, "num_patches")
+        self.num_patches = int(num_patches)
+        self.per_sample = bool(per_sample)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __call__(self, activations: np.ndarray) -> np.ndarray:
+        return self.shuffle(activations)
+
+    def shuffle(self, activations: np.ndarray) -> np.ndarray:
+        """Return a patch-shuffled copy of ``activations`` (shape ``(N, D)``)."""
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim != 2:
+            raise ValueError(
+                f"activations must be 2-D (N, D), got shape {activations.shape}"
+            )
+        n, d = activations.shape
+        patches = min(self.num_patches, d)
+        boundaries = np.linspace(0, d, patches + 1, dtype=int)
+        segments = [
+            activations[:, boundaries[i] : boundaries[i + 1]] for i in range(patches)
+        ]
+        if self.per_sample:
+            result = np.empty_like(activations)
+            for row in range(n):
+                order = self._rng.permutation(patches)
+                result[row] = np.concatenate([segments[j][row] for j in order])
+            return result
+        order = self._rng.permutation(patches)
+        return np.concatenate([segments[j] for j in order], axis=1)

@@ -1,0 +1,103 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by ``(timestamp, priority, sequence)``.  The sequence
+number is a monotonically increasing tiebreaker assigned by the queue so
+that events scheduled at the same instant fire in insertion order — this
+keeps runs deterministic regardless of payload contents.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time (seconds) at which the event fires.
+    priority:
+        Secondary ordering key; lower fires first at equal timestamps.
+    sequence:
+        Insertion-order tiebreaker, assigned by :class:`EventQueue`.
+    kind:
+        Free-form event type string (e.g. ``"round_end"``,
+        ``"profile_churn"``); excluded from ordering.
+    payload:
+        Arbitrary data attached to the event; excluded from ordering.
+    callback:
+        Optional callable invoked by the engine when the event fires.
+    """
+
+    timestamp: float
+    priority: int = 0
+    sequence: int = 0
+    kind: str = field(default="generic", compare=False)
+    payload: Any = field(default=None, compare=False)
+    callback: Optional[Callable[["Event"], None]] = field(default=None, compare=False)
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` ordered by time, priority, insertion order."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> Event:
+        """Insert an event, stamping its sequence number; returns the event."""
+        event.sequence = next(self._counter)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(
+        self,
+        timestamp: float,
+        kind: str = "generic",
+        payload: Any = None,
+        priority: int = 0,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> Event:
+        """Convenience constructor + push."""
+        event = Event(
+            timestamp=timestamp,
+            priority=priority,
+            kind=kind,
+            payload=payload,
+            callback=callback,
+        )
+        return self.push(event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises
+        ------
+        IndexError
+            If the queue is empty.
+        """
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on empty EventQueue")
+        return self._heap[0]
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,18 @@
+"""Training plane: local trainers, local-loss split training, metrics, curves."""
+
+from repro.training.trainer import LocalTrainer, evaluate_accuracy
+from repro.training.local_loss import LocalLossSplitTrainer, SplitTrainingResult
+from repro.training.metrics import RoundRecord, RunHistory
+from repro.training.curves import LearningCurveModel, CurvePreset, curve_preset_for
+
+__all__ = [
+    "LocalTrainer",
+    "evaluate_accuracy",
+    "LocalLossSplitTrainer",
+    "SplitTrainingResult",
+    "RoundRecord",
+    "RunHistory",
+    "LearningCurveModel",
+    "CurvePreset",
+    "curve_preset_for",
+]

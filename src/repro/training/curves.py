@@ -1,0 +1,198 @@
+"""Calibrated learning-curve model.
+
+The Table II / Table III / Figure 3 experiments involve 10-100 agents
+training ResNet-56/110 for hundreds of rounds.  Training such models for
+real is impossible in this environment (see DESIGN.md), so the *accuracy*
+progression for those large sweeps comes from a calibrated learning-curve
+model, while the *timing* comes from the exact cost model.  Small-scale runs
+(the examples and several tests) instead train the numpy proxy model for
+real; the curve model's qualitative behaviour (saturating exponential whose
+rate scales with the fraction of data actually contributing each round) is
+validated against those real runs.
+
+The curve is a saturating exponential in *effective progress*:
+
+    acc(P) = acc_final - (acc_final - acc_initial) * exp(-rate * P)
+
+where each round contributes ``participation × statistical_efficiency`` to
+``P``.  Statistical efficiency captures that methods which average over all
+agents every round (FedAvg, AllReduce, ComDML) make more progress per round
+than purely local exchanges (gossip averages only one neighbour per round),
+and that local-loss split training gives up a small amount of per-round
+progress relative to end-to-end backpropagation — consistent with the
+findings of the local-loss literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+#: Per-round statistical efficiency of each aggregation style, relative to
+#: synchronous full averaging with end-to-end backpropagation.
+METHOD_EFFICIENCY = {
+    "comdml": 0.95,        # local-loss split training: slightly lower per-round gain
+    "fedavg": 1.00,
+    "fedprox": 0.97,
+    "allreduce": 1.00,
+    "braintorrent": 0.98,  # sequential aggregator rotation
+    "gossip": 0.62,        # neighbour-only averaging mixes information slowly
+}
+
+
+@dataclass(frozen=True)
+class CurvePreset:
+    """Calibration of one (dataset, model, distribution) combination.
+
+    Attributes
+    ----------
+    accuracy_initial:
+        Accuracy of the untrained model (chance level).
+    accuracy_final:
+        Asymptotic accuracy of the trained model.
+    rate:
+        Exponential rate per unit of effective progress; larger is faster.
+    noniid_final_penalty:
+        Absolute drop of the asymptote under Dirichlet(0.5) label skew.
+    noniid_rate_factor:
+        Multiplicative slowdown of the rate under label skew.
+    """
+
+    accuracy_initial: float
+    accuracy_final: float
+    rate: float
+    noniid_final_penalty: float = 0.05
+    noniid_rate_factor: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_probability(self.accuracy_initial, "accuracy_initial")
+        check_probability(self.accuracy_final, "accuracy_final")
+        if self.accuracy_final <= self.accuracy_initial:
+            raise ValueError("accuracy_final must exceed accuracy_initial")
+        check_positive(self.rate, "rate")
+
+
+#: Presets keyed by (dataset, model).  The asymptotes follow the published
+#: accuracies of ResNet-56/110 on these datasets; the rates are set so the
+#: paper's target accuracies are reached after a plausible number of rounds
+#: (roughly 150-300 full-participation rounds).
+_CURVE_PRESETS: dict[tuple[str, str], CurvePreset] = {
+    ("cifar10", "resnet56"): CurvePreset(0.10, 0.935, 0.022, 0.030, 0.95),
+    ("cifar10", "resnet110"): CurvePreset(0.10, 0.940, 0.020, 0.030, 0.95),
+    ("cifar100", "resnet56"): CurvePreset(0.01, 0.710, 0.016, 0.060, 0.70),
+    ("cifar100", "resnet110"): CurvePreset(0.01, 0.725, 0.015, 0.060, 0.70),
+    ("cinic10", "resnet56"): CurvePreset(0.10, 0.840, 0.014, 0.090, 0.70),
+    ("cinic10", "resnet110"): CurvePreset(0.10, 0.850, 0.013, 0.090, 0.70),
+}
+
+
+def curve_preset_for(dataset: str, model: str) -> CurvePreset:
+    """Look up the calibration preset for a dataset/model combination."""
+    dataset_key = dataset.lower().replace("-like", "").replace("-", "").replace("_", "")
+    model_key = model.lower().replace("-", "").replace("_", "")
+    key = (dataset_key, model_key)
+    if key not in _CURVE_PRESETS:
+        raise KeyError(
+            f"no curve preset for dataset={dataset!r}, model={model!r}; "
+            f"available: {sorted(_CURVE_PRESETS)}"
+        )
+    return _CURVE_PRESETS[key]
+
+
+class LearningCurveModel:
+    """Stateful accuracy tracker driven by per-round effective progress."""
+
+    def __init__(
+        self,
+        preset: CurvePreset,
+        method: str = "comdml",
+        iid: bool = True,
+        rng: np.random.Generator | None = None,
+        noise_scale: float = 0.002,
+    ) -> None:
+        method_key = method.lower()
+        if method_key not in METHOD_EFFICIENCY:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {sorted(METHOD_EFFICIENCY)}"
+            )
+        self.preset = preset
+        self.method = method_key
+        self.iid = bool(iid)
+        self.noise_scale = noise_scale
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._progress = 0.0
+
+    @property
+    def accuracy_final(self) -> float:
+        """Asymptotic accuracy for this configuration."""
+        if self.iid:
+            return self.preset.accuracy_final
+        return self.preset.accuracy_final - self.preset.noniid_final_penalty
+
+    @property
+    def rate(self) -> float:
+        """Effective exponential rate for this configuration."""
+        base = self.preset.rate
+        if not self.iid:
+            base *= self.preset.noniid_rate_factor
+        return base
+
+    @property
+    def progress(self) -> float:
+        """Accumulated effective progress."""
+        return self._progress
+
+    def current_accuracy(self) -> float:
+        """Accuracy implied by the accumulated progress (noise-free)."""
+        final = self.accuracy_final
+        initial = self.preset.accuracy_initial
+        return final - (final - initial) * np.exp(-self.rate * self._progress)
+
+    def advance_round(
+        self,
+        participation_fraction: float = 1.0,
+        efficiency_override: float | None = None,
+    ) -> float:
+        """Account for one global round and return the new accuracy.
+
+        ``participation_fraction`` is the fraction of agents (weighted by
+        data) whose updates entered the aggregation this round.
+        """
+        check_probability(participation_fraction, "participation_fraction")
+        efficiency = (
+            efficiency_override
+            if efficiency_override is not None
+            else METHOD_EFFICIENCY[self.method]
+        )
+        self._progress += participation_fraction * efficiency
+        accuracy = self.current_accuracy()
+        if self.noise_scale > 0:
+            accuracy += float(self._rng.normal(0.0, self.noise_scale))
+        return float(np.clip(accuracy, 0.0, 1.0))
+
+    def rounds_to_accuracy(
+        self, target: float, participation_fraction: float = 1.0
+    ) -> int:
+        """Rounds needed to reach ``target`` (noise-free closed form).
+
+        Raises
+        ------
+        ValueError
+            If the target exceeds the asymptotic accuracy for this
+            configuration.
+        """
+        check_probability(target, "target")
+        final = self.accuracy_final
+        initial = self.preset.accuracy_initial
+        if target >= final:
+            raise ValueError(
+                f"target accuracy {target} is unreachable (asymptote {final:.3f})"
+            )
+        if target <= initial:
+            return 0
+        needed_progress = -np.log((final - target) / (final - initial)) / self.rate
+        per_round = participation_fraction * METHOD_EFFICIENCY[self.method]
+        return int(np.ceil(needed_progress / per_round))

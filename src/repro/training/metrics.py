@@ -1,0 +1,113 @@
+"""Round-level metrics and run histories.
+
+Every training method (ComDML and baselines) produces a :class:`RunHistory`:
+an ordered list of :class:`RoundRecord` with the simulated round duration,
+cumulative time, and model accuracy.  ``time_to_accuracy`` is the primary
+quantity reported in the paper's Tables II/III and Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Outcome of one global training round.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round number.
+    duration_seconds:
+        Simulated duration of this round (compute + communication +
+        aggregation).
+    cumulative_seconds:
+        Simulated time elapsed since the start of training, inclusive.
+    accuracy:
+        Global-model test accuracy after aggregation.
+    compute_seconds / communication_seconds / aggregation_seconds:
+        Breakdown of the round duration (useful for the Table I style
+        decomposition).
+    num_pairs:
+        Number of offloading pairs formed in this round (0 for baselines).
+    """
+
+    round_index: int
+    duration_seconds: float
+    cumulative_seconds: float
+    accuracy: float
+    compute_seconds: float = 0.0
+    communication_seconds: float = 0.0
+    aggregation_seconds: float = 0.0
+    num_pairs: int = 0
+
+
+@dataclass
+class RunHistory:
+    """Accumulated per-round records for one training run."""
+
+    method: str
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Add a round record (rounds must be appended in order)."""
+        if self.records and record.round_index <= self.records[-1].round_index:
+            raise ValueError(
+                "round records must be appended in strictly increasing order"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated training time so far."""
+        return self.records[-1].cumulative_seconds if self.records else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        """Accuracy after the last recorded round."""
+        return self.records[-1].accuracy if self.records else 0.0
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best accuracy seen over the run."""
+        return max((r.accuracy for r in self.records), default=0.0)
+
+    def accuracies(self) -> list[float]:
+        """Accuracy after each round."""
+        return [record.accuracy for record in self.records]
+
+    def times(self) -> list[float]:
+        """Cumulative simulated time after each round."""
+        return [record.cumulative_seconds for record in self.records]
+
+    def time_to_accuracy(self, target: float) -> Optional[float]:
+        """Simulated seconds needed to first reach ``target`` accuracy.
+
+        Returns ``None`` if the target was never reached during the run.
+        """
+        for record in self.records:
+            if record.accuracy >= target:
+                return record.cumulative_seconds
+        return None
+
+    def rounds_to_accuracy(self, target: float) -> Optional[int]:
+        """Number of rounds needed to first reach ``target`` accuracy."""
+        for record in self.records:
+            if record.accuracy >= target:
+                return record.round_index + 1
+        return None
+
+    def summary(self) -> dict:
+        """Compact dictionary summary for reports."""
+        return {
+            "method": self.method,
+            "rounds": len(self.records),
+            "total_time_seconds": self.total_time,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+        }

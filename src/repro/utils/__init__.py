@@ -1,0 +1,32 @@
+"""Shared utilities: units, seeding, logging and validation helpers."""
+
+from repro.utils.units import (
+    BYTES_PER_MB,
+    bits_to_bytes,
+    bytes_to_megabytes,
+    mbps_to_bytes_per_second,
+    megabytes_to_bytes,
+    seconds_to_human,
+)
+from repro.utils.seeding import SeedSequenceFactory, seeded_rng
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+)
+
+__all__ = [
+    "BYTES_PER_MB",
+    "bits_to_bytes",
+    "bytes_to_megabytes",
+    "mbps_to_bytes_per_second",
+    "megabytes_to_bytes",
+    "seconds_to_human",
+    "SeedSequenceFactory",
+    "seeded_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+]

@@ -1,0 +1,31 @@
+"""Logging helpers.
+
+The library uses the standard :mod:`logging` module.  ``get_logger`` returns
+a namespaced logger; ``configure_logging`` installs a simple console handler
+suitable for the example scripts and benchmarks.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace."""
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a console handler to the ``repro`` root logger (idempotent)."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)

@@ -1,0 +1,64 @@
+"""Unit conversions used throughout the timing simulator.
+
+The paper expresses link speed in Mbps (megabits per second) and model /
+intermediate-activation sizes in bytes.  All timing code in this repository
+works in *bytes* and *seconds*; these helpers keep the conversions in one
+place so that factor-of-8 errors cannot creep in.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+BYTES_PER_KB = 1024
+BYTES_PER_MB = 1024 * 1024
+BYTES_PER_GB = 1024 * 1024 * 1024
+
+
+def bits_to_bytes(bits: float) -> float:
+    """Convert a number of bits to bytes."""
+    return bits / BITS_PER_BYTE
+
+
+def mbps_to_bytes_per_second(mbps: float) -> float:
+    """Convert a link speed in megabits per second to bytes per second.
+
+    A value of ``0`` (the paper's "disconnected" profile) maps to ``0.0``;
+    callers must treat zero-bandwidth links as unusable rather than dividing
+    by the result.
+    """
+    if mbps < 0:
+        raise ValueError(f"link speed must be non-negative, got {mbps}")
+    return mbps * 1_000_000 / BITS_PER_BYTE
+
+
+def bytes_per_second_to_mbps(bytes_per_second: float) -> float:
+    """Inverse of :func:`mbps_to_bytes_per_second`."""
+    if bytes_per_second < 0:
+        raise ValueError(
+            f"throughput must be non-negative, got {bytes_per_second}"
+        )
+    return bytes_per_second * BITS_PER_BYTE / 1_000_000
+
+
+def megabytes_to_bytes(megabytes: float) -> float:
+    """Convert mebibytes to bytes."""
+    return megabytes * BYTES_PER_MB
+
+
+def bytes_to_megabytes(num_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return num_bytes / BYTES_PER_MB
+
+
+def seconds_to_human(seconds: float) -> str:
+    """Render a duration as ``"1h 02m 03s"`` for logs and reports."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    total = int(round(seconds))
+    hours, remainder = divmod(total, 3600)
+    minutes, secs = divmod(remainder, 60)
+    if hours:
+        return f"{hours}h {minutes:02d}m {secs:02d}s"
+    if minutes:
+        return f"{minutes}m {secs:02d}s"
+    return f"{secs}s"

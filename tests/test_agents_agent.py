@@ -1,0 +1,79 @@
+"""Tests for the Agent timing-plane quantities."""
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
+
+
+def make_agent(cpu=1.0, bandwidth=50.0, samples=1_000, batch=100):
+    return Agent(
+        agent_id=0,
+        profile=ResourceProfile(cpu_share=cpu, bandwidth_mbps=bandwidth),
+        num_samples=samples,
+        batch_size=batch,
+    )
+
+
+class TestAgentBatches:
+    def test_num_batches_rounds_up(self):
+        assert make_agent(samples=250, batch=100).num_batches == 3
+
+    def test_no_samples_no_batches(self):
+        assert make_agent(samples=0).num_batches == 0
+
+    def test_batches_per_round_scales_with_epochs(self):
+        agent = make_agent(samples=300, batch=100)
+        agent.local_epochs = 2
+        assert agent.batches_per_round == 6
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            make_agent(samples=-1)
+
+    def test_rejects_zero_batch_size(self):
+        with pytest.raises(ValueError):
+            make_agent(batch=0)
+
+
+class TestProcessingSpeed:
+    def test_speed_proportional_to_cpu(self):
+        flops = 1e9
+        slow = make_agent(cpu=1.0).processing_speed(flops)
+        fast = make_agent(cpu=2.0).processing_speed(flops)
+        assert fast > slow
+
+    def test_individual_training_time_inverse_of_speed(self):
+        agent = make_agent(cpu=1.0, samples=1_000, batch=100)
+        flops = 1e9
+        expected = agent.batches_per_round / agent.processing_speed(flops)
+        assert agent.individual_training_time(flops) == pytest.approx(expected)
+
+    def test_faster_agent_trains_faster(self):
+        flops = 1e9
+        assert make_agent(cpu=4.0).individual_training_time(flops) < make_agent(
+            cpu=0.5
+        ).individual_training_time(flops)
+
+    def test_no_data_no_time(self):
+        assert make_agent(samples=0).individual_training_time(1e9) == 0.0
+
+    def test_rejects_non_positive_flops(self):
+        with pytest.raises(ValueError):
+            make_agent().processing_speed(0.0)
+
+
+class TestAgentProfileUpdates:
+    def test_update_profile(self):
+        agent = make_agent(cpu=1.0)
+        agent.update_profile(ResourceProfile(cpu_share=2.0, bandwidth_mbps=10.0))
+        assert agent.profile.cpu_share == 2.0
+
+    def test_is_connected_tracks_profile(self):
+        agent = make_agent(bandwidth=0.0)
+        assert not agent.is_connected
+        agent.update_profile(ResourceProfile(cpu_share=1.0, bandwidth_mbps=10.0))
+        assert agent.is_connected
+
+    def test_agent_hashable_by_id(self):
+        assert hash(make_agent()) == hash(make_agent())

@@ -1,0 +1,61 @@
+"""Tests for dynamic resource churn."""
+
+import numpy as np
+import pytest
+
+from repro.agents.dynamics import ResourceChurn
+from repro.agents.registry import AgentRegistry
+
+
+class TestChurnTrigger:
+    def test_does_not_trigger_at_round_zero(self):
+        assert not ResourceChurn(interval_rounds=100).should_trigger(0)
+
+    def test_triggers_on_interval(self):
+        churn = ResourceChurn(interval_rounds=100)
+        assert churn.should_trigger(100)
+        assert churn.should_trigger(200)
+        assert not churn.should_trigger(150)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceChurn(fraction=1.5)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceChurn(interval_rounds=0)
+
+
+class TestChurnApplication:
+    def test_apply_changes_requested_fraction(self, rng):
+        registry = AgentRegistry.build(num_agents=20, rng=rng)
+        churn = ResourceChurn(fraction=0.2, interval_rounds=100)
+        changed = churn.apply(registry, np.random.default_rng(0))
+        assert len(changed) == 4
+
+    def test_apply_changes_profiles(self, rng):
+        registry = AgentRegistry.build(num_agents=10, rng=rng)
+        before = {agent.agent_id: agent.profile for agent in registry}
+        churn = ResourceChurn(fraction=1.0, interval_rounds=100)
+        changed = churn.apply(registry, np.random.default_rng(1))
+        assert len(changed) == 10
+        after = {agent.agent_id: agent.profile for agent in registry}
+        # At least some profiles must differ (all re-drawn from the grid).
+        assert any(before[i] != after[i] for i in before)
+
+    def test_zero_fraction_changes_nothing(self, rng):
+        registry = AgentRegistry.build(num_agents=10, rng=rng)
+        churn = ResourceChurn(fraction=0.0, interval_rounds=100)
+        assert churn.apply(registry, np.random.default_rng(2)) == []
+
+    def test_maybe_apply_respects_interval(self, rng):
+        registry = AgentRegistry.build(num_agents=10, rng=rng)
+        churn = ResourceChurn(fraction=0.5, interval_rounds=10)
+        assert churn.maybe_apply(5, registry, np.random.default_rng(3)) == []
+        assert len(churn.maybe_apply(10, registry, np.random.default_rng(3))) == 5
+
+    def test_new_profiles_remain_connected(self, rng):
+        registry = AgentRegistry.build(num_agents=10, rng=rng)
+        churn = ResourceChurn(fraction=1.0, interval_rounds=1)
+        churn.apply(registry, np.random.default_rng(4))
+        assert all(agent.is_connected for agent in registry)

@@ -1,0 +1,83 @@
+"""Tests for the agent registry."""
+
+import numpy as np
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.agents.resources import ResourceProfile
+
+
+class TestRegistryConstruction:
+    def test_build_creates_requested_population(self, rng):
+        registry = AgentRegistry.build(num_agents=8, rng=rng, samples_per_agent=500)
+        assert len(registry) == 8
+        assert registry.total_samples == 4_000
+
+    def test_build_with_per_agent_sizes(self, rng):
+        sizes = [100, 200, 300]
+        registry = AgentRegistry.build(num_agents=3, rng=rng, samples_per_agent=sizes)
+        assert [agent.num_samples for agent in registry] == sizes
+
+    def test_build_size_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AgentRegistry.build(num_agents=3, rng=rng, samples_per_agent=[100, 200])
+
+    def test_build_profile_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            AgentRegistry.build(
+                num_agents=3,
+                rng=rng,
+                profiles=[ResourceProfile(1.0, 10.0)],
+            )
+
+    def test_duplicate_ids_rejected(self):
+        registry = AgentRegistry()
+        agent = Agent(agent_id=1, profile=ResourceProfile(1.0, 10.0), num_samples=10)
+        registry.add(agent)
+        with pytest.raises(ValueError):
+            registry.add(Agent(agent_id=1, profile=ResourceProfile(1.0, 10.0), num_samples=5))
+
+
+class TestRegistryAccess:
+    def test_get_and_contains(self, small_registry):
+        assert 0 in small_registry
+        assert small_registry.get(0).agent_id == 0
+        assert 999 not in small_registry
+
+    def test_get_unknown_raises(self, small_registry):
+        with pytest.raises(KeyError):
+            small_registry.get(999)
+
+    def test_iteration_order_stable(self, small_registry):
+        assert [a.agent_id for a in small_registry] == small_registry.ids
+
+    def test_agents_property(self, small_registry):
+        assert len(small_registry.agents) == len(small_registry)
+
+
+class TestParticipationSampling:
+    def test_sampling_fraction(self, rng):
+        registry = AgentRegistry.build(num_agents=50, rng=rng)
+        sample = registry.sample_participants(0.2, rng)
+        assert len(sample) == 10
+
+    def test_sampling_respects_minimum(self, rng):
+        registry = AgentRegistry.build(num_agents=10, rng=rng)
+        sample = registry.sample_participants(0.01, rng, minimum=2)
+        assert len(sample) >= 2
+
+    def test_sampling_no_duplicates(self, rng):
+        registry = AgentRegistry.build(num_agents=30, rng=rng)
+        sample = registry.sample_participants(0.5, rng)
+        ids = [agent.agent_id for agent in sample]
+        assert len(ids) == len(set(ids))
+
+    def test_sampling_full_fraction_returns_everyone(self, rng):
+        registry = AgentRegistry.build(num_agents=12, rng=rng)
+        assert len(registry.sample_participants(1.0, rng)) == 12
+
+    def test_invalid_fraction_rejected(self, rng):
+        registry = AgentRegistry.build(num_agents=5, rng=rng)
+        with pytest.raises(ValueError):
+            registry.sample_participants(1.5, rng)

@@ -1,0 +1,96 @@
+"""Tests for resource profiles and assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.agents.resources import (
+    BANDWIDTH_PROFILES_MBPS,
+    CONNECTED_BANDWIDTH_PROFILES_MBPS,
+    CPU_PROFILES,
+    ResourceProfile,
+    assign_profiles_evenly,
+    assign_profiles_randomly,
+    default_profile_grid,
+)
+
+
+class TestResourceProfile:
+    def test_paper_profiles_present(self):
+        assert CPU_PROFILES == (4.0, 2.0, 1.0, 0.5, 0.2)
+        assert BANDWIDTH_PROFILES_MBPS == (0.0, 10.0, 20.0, 50.0, 100.0)
+
+    def test_bandwidth_conversion(self):
+        profile = ResourceProfile(cpu_share=1.0, bandwidth_mbps=8.0)
+        assert profile.bandwidth_bytes_per_second == pytest.approx(1_000_000.0)
+
+    def test_disconnected_profile(self):
+        assert not ResourceProfile(cpu_share=1.0, bandwidth_mbps=0.0).is_connected
+        assert ResourceProfile(cpu_share=1.0, bandwidth_mbps=10.0).is_connected
+
+    def test_rejects_non_positive_cpu(self):
+        with pytest.raises(ValueError):
+            ResourceProfile(cpu_share=0.0, bandwidth_mbps=10.0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            ResourceProfile(cpu_share=1.0, bandwidth_mbps=-1.0)
+
+    def test_with_cpu_and_bandwidth(self):
+        profile = ResourceProfile(cpu_share=1.0, bandwidth_mbps=10.0)
+        assert profile.with_cpu(2.0).cpu_share == 2.0
+        assert profile.with_bandwidth(50.0).bandwidth_mbps == 50.0
+        # Original unchanged (frozen dataclass).
+        assert profile.cpu_share == 1.0
+
+    def test_profile_is_hashable(self):
+        assert len({ResourceProfile(1.0, 10.0), ResourceProfile(1.0, 10.0)}) == 1
+
+
+class TestProfileGrid:
+    def test_grid_excludes_disconnected_by_default(self):
+        grid = default_profile_grid()
+        assert all(profile.is_connected for profile in grid)
+        assert len(grid) == len(CPU_PROFILES) * len(CONNECTED_BANDWIDTH_PROFILES_MBPS)
+
+    def test_grid_with_disconnected(self):
+        grid = default_profile_grid(include_disconnected=True)
+        assert len(grid) == len(CPU_PROFILES) * len(BANDWIDTH_PROFILES_MBPS)
+
+
+class TestEvenAssignment:
+    def test_counts_per_tier_balanced(self, rng):
+        profiles = assign_profiles_evenly(20, rng)
+        counts = {cpu: 0 for cpu in CPU_PROFILES}
+        for profile in profiles:
+            counts[profile.cpu_share] += 1
+        assert all(count == 4 for count in counts.values())
+
+    def test_handles_remainder(self, rng):
+        profiles = assign_profiles_evenly(12, rng)
+        assert len(profiles) == 12
+
+    def test_all_connected(self, rng):
+        assert all(p.is_connected for p in assign_profiles_evenly(15, rng))
+
+    def test_rejects_zero_agents(self, rng):
+        with pytest.raises(ValueError):
+            assign_profiles_evenly(0, rng)
+
+    def test_deterministic_given_rng(self):
+        a = assign_profiles_evenly(10, np.random.default_rng(3))
+        b = assign_profiles_evenly(10, np.random.default_rng(3))
+        assert a == b
+
+
+class TestRandomAssignment:
+    def test_length(self, rng):
+        assert len(assign_profiles_randomly(25, rng)) == 25
+
+    def test_values_from_grid(self, rng):
+        for profile in assign_profiles_randomly(50, rng):
+            assert profile.cpu_share in CPU_PROFILES
+            assert profile.bandwidth_mbps in CONNECTED_BANDWIDTH_PROFILES_MBPS
+
+    def test_rejects_zero_agents(self, rng):
+        with pytest.raises(ValueError):
+            assign_profiles_randomly(0, rng)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.agents == 10
+        assert args.dataset == "cifar10"
+        assert args.target == 0.9
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "imagenet"])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        for command in ("compare", "table1", "table2", "table3", "fig1", "fig3", "privacy"):
+            args = parser.parse_args([command])
+            assert callable(args.handler)
+
+
+class TestMain:
+    def test_compare_runs_and_prints(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--agents",
+                "6",
+                "--target",
+                "0.5",
+                "--max-rounds",
+                "80",
+                "--methods",
+                "ComDML",
+                "AllReduce",
+                "--granularity",
+                "9",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ComDML" in captured and "AllReduce" in captured
+        assert "faster than" in captured
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "offloaded layers" in capsys.readouterr().out
+
+    def test_table1_json_export(self, tmp_path, capsys):
+        out = tmp_path / "table1.json"
+        exit_code = main(["table1", "--samples", "1000", "--json", str(out)])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"setting1", "setting2"}
+        assert len(payload["setting1"]) == 8
+
+    def test_target_zero_disables_early_stop(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--agents",
+                "4",
+                "--target",
+                "0",
+                "--max-rounds",
+                "5",
+                "--methods",
+                "ComDML",
+                "--granularity",
+                "9",
+            ]
+        )
+        assert exit_code == 0
+        assert "total_time_s" in capsys.readouterr().out

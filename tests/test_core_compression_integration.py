@@ -1,0 +1,44 @@
+"""Tests for quantized-gradient aggregation integrated into ComDML."""
+
+import pytest
+
+from repro.core.comdml import ComDML
+from repro.core.config import ComDMLConfig
+from repro.models.resnet import resnet56_spec
+
+
+class TestAggregationCompression:
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ComDMLConfig(aggregation_compression_bits=0)
+        with pytest.raises(ValueError):
+            ComDMLConfig(aggregation_compression_bits=64)
+
+    def test_compression_reduces_aggregation_time(self, small_registry):
+        def run(bits):
+            config = ComDMLConfig(
+                max_rounds=1,
+                offload_granularity=9,
+                seed=4,
+                aggregation_compression_bits=bits,
+            )
+            comdml = ComDML(registry=small_registry, spec=resnet56_spec(), config=config)
+            record = comdml.run_round(0)
+            return record.aggregation_seconds
+
+        uncompressed = run(None)
+        compressed = run(8)
+        assert compressed < uncompressed
+
+    def test_compression_does_not_change_compute_time(self, small_registry):
+        def run(bits):
+            config = ComDMLConfig(
+                max_rounds=1,
+                offload_granularity=9,
+                seed=4,
+                aggregation_compression_bits=bits,
+            )
+            comdml = ComDML(registry=small_registry, spec=resnet56_spec(), config=config)
+            return comdml.run_round(0).compute_seconds
+
+        assert run(None) == pytest.approx(run(8))

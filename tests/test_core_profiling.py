@@ -1,0 +1,70 @@
+"""Tests for split-model profiling."""
+
+import pytest
+
+from repro.core.profiling import profile_architecture
+
+
+class TestProfileArchitecture:
+    def test_default_options_cover_range(self, resnet56):
+        profile = profile_architecture(resnet56, granularity=9)
+        assert profile.offload_options[0] == 0
+        assert max(profile.offload_options) == resnet56.num_layers - 1
+
+    def test_explicit_options_are_sorted_and_include_zero(self, resnet56):
+        profile = profile_architecture(resnet56, offload_options=[37, 19, 55])
+        assert profile.offload_options == (0, 19, 37, 55)
+
+    def test_relative_times_are_fractions(self, resnet56_profile):
+        for option in resnet56_profile.offload_options:
+            slow = resnet56_profile.slow_time_factor(option)
+            fast = resnet56_profile.fast_time_factor(option)
+            assert 0.0 <= slow <= 1.1  # auxiliary head may push slightly above the pure share
+            assert 0.0 <= fast <= 1.0
+
+    def test_zero_offload_has_full_slow_share(self, resnet56_profile):
+        assert resnet56_profile.slow_time_factor(0) == pytest.approx(1.0)
+        assert resnet56_profile.fast_time_factor(0) == 0.0
+        assert resnet56_profile.intermediate_bytes(0) == 0.0
+        assert resnet56_profile.offloaded_bytes(0) == 0.0
+
+    def test_slow_share_decreases_with_offload(self, resnet56_profile):
+        options = resnet56_profile.offload_options
+        slow = [resnet56_profile.slow_time_factor(m) for m in options]
+        assert all(a >= b - 1e-9 for a, b in zip(slow, slow[1:]))
+
+    def test_fast_share_increases_with_offload(self, resnet56_profile):
+        options = resnet56_profile.offload_options
+        fast = [resnet56_profile.fast_time_factor(m) for m in options]
+        assert all(a <= b + 1e-9 for a, b in zip(fast, fast[1:]))
+
+    def test_shares_roughly_partition_unity(self, resnet56_profile):
+        for option in resnet56_profile.offload_options:
+            total = resnet56_profile.slow_time_factor(option) + resnet56_profile.fast_time_factor(option)
+            # The auxiliary head adds a small overhead above 1 for split models.
+            assert 0.99 <= total <= 1.15
+
+    def test_offloaded_bytes_increase_with_offload(self, resnet56_profile):
+        options = [m for m in resnet56_profile.offload_options if m > 0]
+        offloaded = [resnet56_profile.offloaded_bytes(m) for m in options]
+        assert all(a <= b + 1e-9 for a, b in zip(offloaded, offloaded[1:]))
+
+    def test_full_model_bytes_positive(self, resnet56_profile):
+        assert resnet56_profile.full_model_bytes > 1e6
+
+    def test_unknown_option_lookup_raises(self, resnet56_profile):
+        with pytest.raises(KeyError):
+            resnet56_profile.slow_time_factor(7)
+
+    def test_empty_explicit_options_rejected(self, resnet56):
+        with pytest.raises(ValueError):
+            profile_architecture(resnet56, offload_options=[])
+
+    def test_num_options(self, resnet56):
+        profile = profile_architecture(resnet56, offload_options=[0, 9, 18])
+        assert profile.num_options == 3
+
+    def test_tiny_spec_profile(self, tiny_spec):
+        profile = profile_architecture(tiny_spec, granularity=1)
+        assert profile.architecture == "tiny"
+        assert profile.num_options == tiny_spec.num_layers

@@ -1,0 +1,74 @@
+"""Tests for the stateful pairing scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import DecentralizedPairingScheduler
+
+
+def make_scheduler(small_registry, small_link_model, resnet56_profile, **kwargs):
+    return DecentralizedPairingScheduler(
+        registry=small_registry,
+        link_model=small_link_model,
+        profile=resnet56_profile,
+        rng=np.random.default_rng(0),
+        **kwargs,
+    )
+
+
+class TestScheduler:
+    def test_plan_round_returns_decisions_for_everyone(
+        self, small_registry, small_link_model, resnet56_profile
+    ):
+        scheduler = make_scheduler(small_registry, small_link_model, resnet56_profile)
+        decisions = scheduler.plan_round()
+        involved = set()
+        for decision in decisions:
+            involved.add(decision.slow_id)
+            if decision.fast_id is not None:
+                involved.add(decision.fast_id)
+        assert involved == set(small_registry.ids)
+
+    def test_shared_times_refreshed(self, small_registry, small_link_model, resnet56_profile):
+        scheduler = make_scheduler(small_registry, small_link_model, resnet56_profile)
+        scheduler.plan_round()
+        assert set(scheduler.shared_training_times) == set(small_registry.ids)
+        assert all(t > 0 for t in scheduler.shared_training_times.values())
+
+    def test_stats_accumulate(self, small_registry, small_link_model, resnet56_profile):
+        scheduler = make_scheduler(small_registry, small_link_model, resnet56_profile)
+        for _ in range(3):
+            scheduler.plan_round()
+        assert scheduler.stats.rounds == 3
+        assert len(scheduler.stats.makespans) == 3
+        assert scheduler.stats.average_makespan > 0
+        assert scheduler.stats.average_pairs_per_round >= 0
+
+    def test_participation_sampling(self, small_registry, small_link_model, resnet56_profile):
+        scheduler = make_scheduler(
+            small_registry, small_link_model, resnet56_profile, participation_fraction=0.5
+        )
+        participants = scheduler.select_participants()
+        assert len(participants) == 3
+
+    def test_full_participation_returns_all(self, small_registry, small_link_model, resnet56_profile):
+        scheduler = make_scheduler(small_registry, small_link_model, resnet56_profile)
+        assert len(scheduler.select_participants()) == len(small_registry)
+
+    def test_invalid_participation_rejected(self, small_registry, small_link_model, resnet56_profile):
+        with pytest.raises(ValueError):
+            make_scheduler(
+                small_registry,
+                small_link_model,
+                resnet56_profile,
+                participation_fraction=1.2,
+            )
+
+    def test_explicit_participants_used(self, small_registry, small_link_model, resnet56_profile):
+        scheduler = make_scheduler(small_registry, small_link_model, resnet56_profile)
+        subset = small_registry.agents[:3]
+        decisions = scheduler.plan_round(subset)
+        involved = {d.slow_id for d in decisions} | {
+            d.fast_id for d in decisions if d.fast_id is not None
+        }
+        assert involved <= {agent.agent_id for agent in subset}

@@ -1,0 +1,70 @@
+"""Tests for round-timing assembly."""
+
+import pytest
+
+from repro.core.pairing import greedy_pairing
+from repro.core.timing import compute_round_timing
+from repro.core.workload import individual_training_time
+
+
+class TestComputeRoundTiming:
+    @pytest.fixture
+    def decisions(self, small_registry, small_link_model, resnet56_profile):
+        return greedy_pairing(small_registry.agents, small_link_model, resnet56_profile)
+
+    def test_total_is_makespan_plus_aggregation(
+        self, decisions, small_registry, resnet56_profile
+    ):
+        timing = compute_round_timing(decisions, small_registry, resnet56_profile)
+        assert timing.total_time == pytest.approx(timing.makespan + timing.aggregation_time)
+        assert timing.aggregation_time > 0
+
+    def test_makespan_is_max_pair_time(self, decisions, small_registry, resnet56_profile):
+        timing = compute_round_timing(decisions, small_registry, resnet56_profile)
+        assert timing.makespan == pytest.approx(
+            max(pair.pair_time for pair in timing.pair_timings)
+        )
+
+    def test_num_pairs_matches_decisions(self, decisions, small_registry, resnet56_profile):
+        timing = compute_round_timing(decisions, small_registry, resnet56_profile)
+        assert timing.num_pairs == sum(1 for d in decisions if d.is_offloading)
+
+    def test_balanced_round_faster_than_unbalanced(
+        self, decisions, small_registry, resnet56_profile
+    ):
+        timing = compute_round_timing(decisions, small_registry, resnet56_profile)
+        unbalanced = max(
+            individual_training_time(agent, resnet56_profile, 100)
+            for agent in small_registry.agents
+        )
+        assert timing.makespan <= unbalanced + 1e-9
+
+    def test_idle_time_non_negative(self, decisions, small_registry, resnet56_profile):
+        timing = compute_round_timing(decisions, small_registry, resnet56_profile)
+        assert timing.total_idle_time >= 0
+        assert timing.total_compute_time > 0
+
+    def test_ring_and_halving_doubling_supported(
+        self, decisions, small_registry, resnet56_profile
+    ):
+        ring = compute_round_timing(
+            decisions, small_registry, resnet56_profile, allreduce_algorithm="ring"
+        )
+        hd = compute_round_timing(
+            decisions, small_registry, resnet56_profile, allreduce_algorithm="halving_doubling"
+        )
+        assert ring.aggregation_time > 0 and hd.aggregation_time > 0
+
+    def test_explicit_aggregating_count(self, decisions, small_registry, resnet56_profile):
+        small = compute_round_timing(
+            decisions, small_registry, resnet56_profile, num_aggregating_agents=2
+        )
+        large = compute_round_timing(
+            decisions, small_registry, resnet56_profile, num_aggregating_agents=64
+        )
+        assert large.aggregation_time >= small.aggregation_time
+
+    def test_empty_decisions(self, small_registry, resnet56_profile):
+        timing = compute_round_timing([], small_registry, resnet56_profile)
+        assert timing.makespan == 0.0
+        assert timing.num_pairs == 0

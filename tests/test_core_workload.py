@@ -1,0 +1,138 @@
+"""Tests for the workload-balancing estimates and the exact solver."""
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
+from repro.core.workload import (
+    best_offload,
+    estimate_offload_time,
+    exact_min_makespan,
+    individual_training_time,
+)
+from repro.network.link import pairwise_bandwidth
+from repro.utils.units import mbps_to_bytes_per_second
+
+
+class TestIndividualTrainingTime:
+    def test_slower_agent_takes_longer(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        assert individual_training_time(slow, resnet56_profile, 100) > individual_training_time(
+            fast, resnet56_profile, 100
+        )
+
+    def test_scales_with_dataset_size(self, resnet56_profile, two_agents):
+        slow, _ = two_agents
+        small = individual_training_time(slow, resnet56_profile, 100)
+        slow.num_samples *= 2
+        assert individual_training_time(slow, resnet56_profile, 100) == pytest.approx(2 * small)
+
+
+class TestEstimateOffloadTime:
+    def test_zero_offload_equals_individual_time(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        estimate = estimate_offload_time(
+            slow, fast, 0, resnet56_profile, mbps_to_bytes_per_second(50.0)
+        )
+        assert estimate.pair_time == pytest.approx(
+            max(
+                individual_training_time(slow, resnet56_profile, 100),
+                individual_training_time(fast, resnet56_profile, 100),
+            )
+        )
+        assert estimate.communication_time == 0.0
+
+    def test_pair_time_is_max_of_chains(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        estimate = estimate_offload_time(
+            slow, fast, 27, resnet56_profile, mbps_to_bytes_per_second(50.0)
+        )
+        assert estimate.pair_time == pytest.approx(
+            max(estimate.slow_time, estimate.fast_chain_time)
+        )
+        assert estimate.idle_time == pytest.approx(
+            abs(estimate.slow_time - estimate.fast_chain_time)
+        )
+
+    def test_more_bandwidth_never_hurts(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        slow_link = estimate_offload_time(
+            slow, fast, 27, resnet56_profile, mbps_to_bytes_per_second(10.0)
+        )
+        fast_link = estimate_offload_time(
+            slow, fast, 27, resnet56_profile, mbps_to_bytes_per_second(100.0)
+        )
+        assert fast_link.communication_time < slow_link.communication_time
+        assert fast_link.pair_time <= slow_link.pair_time
+
+    def test_offloading_reduces_slow_time(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        none = estimate_offload_time(slow, fast, 0, resnet56_profile, mbps_to_bytes_per_second(50.0))
+        some = estimate_offload_time(slow, fast, 45, resnet56_profile, mbps_to_bytes_per_second(50.0))
+        assert some.slow_time < none.slow_time
+
+    def test_zero_bandwidth_rejected(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        with pytest.raises(ValueError):
+            estimate_offload_time(slow, fast, 9, resnet56_profile, 0.0)
+
+
+class TestBestOffload:
+    def test_best_is_minimum_over_options(self, resnet56_profile, two_agents):
+        slow, fast = two_agents
+        bandwidth = mbps_to_bytes_per_second(50.0)
+        best = best_offload(slow, fast, resnet56_profile, bandwidth)
+        for option in resnet56_profile.offload_options:
+            other = estimate_offload_time(slow, fast, option, resnet56_profile, bandwidth)
+            assert best.pair_time <= other.pair_time + 1e-9
+
+    def test_heterogeneous_pair_prefers_offloading(self, resnet56_profile):
+        slow = Agent(0, ResourceProfile(0.2, 50.0), num_samples=2_000, batch_size=100)
+        fast = Agent(1, ResourceProfile(4.0, 50.0), num_samples=2_000, batch_size=100)
+        best = best_offload(slow, fast, resnet56_profile, mbps_to_bytes_per_second(50.0))
+        assert best.offloaded_layers > 0
+        assert best.pair_time < individual_training_time(slow, resnet56_profile, 100)
+
+    def test_equal_agents_prefer_no_offload(self, resnet56_profile):
+        a = Agent(0, ResourceProfile(1.0, 10.0), num_samples=1_000, batch_size=100)
+        b = Agent(1, ResourceProfile(1.0, 10.0), num_samples=1_000, batch_size=100)
+        best = best_offload(a, b, resnet56_profile, mbps_to_bytes_per_second(10.0))
+        # Offloading to an equally slow helper over a slow link cannot beat
+        # training alone by much; the best plan keeps (almost) everything local.
+        assert best.pair_time <= individual_training_time(a, resnet56_profile, 100) * 1.01
+
+
+class TestExactSolver:
+    def test_exact_beats_or_matches_no_offloading(self, small_registry, resnet56_profile):
+        agents = small_registry.agents
+
+        def bandwidth_lookup(a, b):
+            return pairwise_bandwidth(a, b)
+
+        makespan, assignment = exact_min_makespan(agents, resnet56_profile, bandwidth_lookup)
+        baseline = max(
+            individual_training_time(agent, resnet56_profile, 100) for agent in agents
+        )
+        assert makespan <= baseline + 1e-9
+        assert len(assignment) >= len(agents) / 2
+
+    def test_each_agent_appears_once(self, small_registry, resnet56_profile):
+        agents = small_registry.agents
+        _, assignment = exact_min_makespan(
+            agents, resnet56_profile, pairwise_bandwidth
+        )
+        seen = []
+        for slow_id, fast_id, _ in assignment:
+            seen.append(slow_id)
+            if fast_id is not None:
+                seen.append(fast_id)
+        assert sorted(seen) == sorted(agent.agent_id for agent in agents)
+
+    def test_population_limit_enforced(self, resnet56_profile, rng):
+        from repro.agents.registry import AgentRegistry
+
+        registry = AgentRegistry.build(num_agents=12, rng=rng)
+        with pytest.raises(ValueError):
+            exact_min_makespan(
+                registry.agents, resnet56_profile, pairwise_bandwidth, max_agents=10
+            )

@@ -1,0 +1,70 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, train_test_split
+
+
+def make_dataset(n=20, d=4, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return Dataset(
+        features=rng.normal(size=(n, d)),
+        labels=rng.integers(0, classes, size=n),
+        num_classes=classes,
+        name="test",
+    )
+
+
+class TestDataset:
+    def test_length_and_features(self):
+        dataset = make_dataset(n=15, d=6)
+        assert len(dataset) == 15
+        assert dataset.num_features == 6
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2, 2)), np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros((3, 1), dtype=int), 2)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_labels_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), 3)
+
+    def test_subset(self):
+        dataset = make_dataset(n=10)
+        subset = dataset.subset(np.array([0, 2, 4]))
+        assert len(subset) == 3
+        assert np.array_equal(subset.features[1], dataset.features[2])
+
+    def test_subset_copies_data(self):
+        dataset = make_dataset(n=5)
+        subset = dataset.subset(np.array([0]))
+        subset.features[0, 0] = 999.0
+        assert dataset.features[0, 0] != 999.0
+
+    def test_class_counts(self):
+        dataset = Dataset(np.zeros((4, 2)), np.array([0, 0, 1, 2]), 4)
+        assert np.array_equal(dataset.class_counts(), [2, 1, 1, 0])
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self, rng):
+        train, test = train_test_split(make_dataset(n=100), 0.2, rng)
+        assert len(train) == 80 and len(test) == 20
+
+    def test_split_disjoint_and_complete(self, rng):
+        dataset = make_dataset(n=50)
+        dataset.features[:, 0] = np.arange(50)  # make rows identifiable
+        train, test = train_test_split(dataset, 0.3, rng)
+        seen = np.concatenate([train.features[:, 0], test.features[:, 0]])
+        assert sorted(seen.tolist()) == list(range(50))
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), 1.5, rng)

@@ -1,0 +1,68 @@
+"""Tests for the batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchLoader
+
+
+def make_dataset(n=25):
+    return Dataset(
+        features=np.arange(n, dtype=float)[:, None],
+        labels=np.zeros(n, dtype=int),
+        num_classes=2,
+    )
+
+
+class TestBatchLoader:
+    def test_number_of_batches(self):
+        loader = BatchLoader(make_dataset(25), batch_size=10, shuffle=False)
+        assert len(loader) == 3
+        assert len(list(loader)) == 3
+
+    def test_drop_last(self):
+        loader = BatchLoader(make_dataset(25), batch_size=10, shuffle=False, drop_last=True)
+        assert len(loader) == 2
+        batches = list(loader)
+        assert all(batch[0].shape[0] == 10 for batch in batches)
+
+    def test_covers_all_samples(self):
+        loader = BatchLoader(make_dataset(23), batch_size=5, shuffle=True, rng=np.random.default_rng(0))
+        seen = np.concatenate([features[:, 0] for features, _ in loader])
+        assert sorted(seen.tolist()) == list(range(23))
+
+    def test_shuffle_changes_order(self):
+        dataset = make_dataset(30)
+        unshuffled = np.concatenate(
+            [f[:, 0] for f, _ in BatchLoader(dataset, batch_size=30, shuffle=False)]
+        )
+        shuffled = np.concatenate(
+            [
+                f[:, 0]
+                for f, _ in BatchLoader(
+                    dataset, batch_size=30, shuffle=True, rng=np.random.default_rng(1)
+                )
+            ]
+        )
+        assert not np.array_equal(unshuffled, shuffled)
+
+    def test_empty_dataset_yields_nothing(self):
+        empty = Dataset(np.zeros((0, 3)), np.zeros(0, dtype=int), 2)
+        loader = BatchLoader(empty, batch_size=4)
+        assert len(loader) == 0
+        assert list(loader) == []
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchLoader(make_dataset(), batch_size=0)
+
+    def test_labels_follow_features(self):
+        dataset = Dataset(
+            features=np.arange(10, dtype=float)[:, None],
+            labels=np.arange(10, dtype=int) % 2,
+            num_classes=2,
+        )
+        loader = BatchLoader(dataset, batch_size=4, shuffle=True, rng=np.random.default_rng(2))
+        for features, labels in loader:
+            assert np.array_equal(labels, features[:, 0].astype(int) % 2)

@@ -1,0 +1,108 @@
+"""Tests for federated data partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_distribution,
+    partition_sizes,
+)
+
+
+class TestPartitionSizes:
+    def test_equal_shares(self):
+        assert partition_sizes(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        sizes = partition_sizes(10, 3)
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_imbalanced_shares_sum_to_total(self, rng):
+        sizes = partition_sizes(1_000, 8, rng=rng, imbalance=0.5)
+        assert sum(sizes) == 1_000
+        assert all(size >= 1 for size in sizes)
+
+    def test_imbalance_increases_spread(self, rng):
+        balanced = partition_sizes(1_000, 8)
+        skewed = partition_sizes(1_000, 8, rng=rng, imbalance=1.0)
+        assert max(skewed) - min(skewed) > max(balanced) - min(balanced)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            partition_sizes(3, 5)
+
+    def test_negative_imbalance_rejected(self, rng):
+        with pytest.raises(ValueError):
+            partition_sizes(100, 4, rng=rng, imbalance=-1.0)
+
+
+class TestIIDPartition:
+    def test_covers_without_overlap(self, rng):
+        labels = rng.integers(0, 10, size=200)
+        shards = iid_partition(labels, 4, rng)
+        combined = np.concatenate(shards)
+        assert len(combined) == 200
+        assert len(np.unique(combined)) == 200
+
+    def test_respects_custom_sizes(self, rng):
+        labels = np.zeros(100, dtype=int)
+        shards = iid_partition(labels, 3, rng, sizes=[10, 20, 30])
+        assert [len(shard) for shard in shards] == [10, 20, 30]
+
+    def test_label_distribution_roughly_uniform(self, rng):
+        labels = rng.integers(0, 10, size=5_000)
+        shards = iid_partition(labels, 5, rng)
+        histogram = label_distribution(labels, shards, 10)
+        proportions = histogram / histogram.sum(axis=1, keepdims=True)
+        assert np.all(np.abs(proportions - 0.1) < 0.05)
+
+    def test_oversubscription_rejected(self, rng):
+        with pytest.raises(ValueError):
+            iid_partition(np.zeros(10, dtype=int), 2, rng, sizes=[8, 8])
+
+    def test_wrong_size_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            iid_partition(np.zeros(10, dtype=int), 2, rng, sizes=[5])
+
+
+class TestDirichletPartition:
+    def test_covers_without_overlap(self, rng):
+        labels = rng.integers(0, 10, size=500)
+        shards = dirichlet_partition(labels, 5, rng, alpha=0.5)
+        combined = np.concatenate(shards)
+        assert len(combined) == 500
+        assert len(np.unique(combined)) == 500
+
+    def test_no_agent_left_empty(self, rng):
+        labels = rng.integers(0, 10, size=300)
+        shards = dirichlet_partition(labels, 10, rng, alpha=0.1)
+        assert all(len(shard) >= 1 for shard in shards)
+
+    def test_low_alpha_more_skewed_than_high_alpha(self):
+        labels = np.random.default_rng(0).integers(0, 10, size=5_000)
+        skewed = dirichlet_partition(labels, 10, np.random.default_rng(1), alpha=0.1)
+        uniform = dirichlet_partition(labels, 10, np.random.default_rng(1), alpha=100.0)
+
+        def skew_score(shards):
+            histogram = label_distribution(labels, shards, 10).astype(float)
+            histogram = histogram / np.maximum(histogram.sum(axis=1, keepdims=True), 1)
+            return float(np.std(histogram))
+
+        assert skew_score(skewed) > skew_score(uniform)
+
+    def test_deterministic_given_rng(self):
+        labels = np.random.default_rng(0).integers(0, 5, size=200)
+        a = dirichlet_partition(labels, 4, np.random.default_rng(3), alpha=0.5)
+        b = dirichlet_partition(labels, 4, np.random.default_rng(3), alpha=0.5)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_invalid_alpha_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(10, dtype=int), 2, rng, alpha=0.0)
+
+    def test_too_many_agents_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(3, dtype=int), 5, rng)

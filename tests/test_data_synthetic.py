@@ -1,0 +1,80 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticSpec,
+    cifar10_like,
+    cifar100_like,
+    cinic10_like,
+    load_preset,
+    make_synthetic_classification,
+)
+
+
+class TestSyntheticGeneration:
+    def test_sizes_and_classes(self):
+        train, test = cifar10_like(train_samples=500, test_samples=100)
+        assert len(train) == 500 and len(test) == 100
+        assert train.num_classes == 10
+
+    def test_cifar100_has_100_classes(self):
+        train, _ = cifar100_like(train_samples=400, test_samples=100)
+        assert train.num_classes == 100
+
+    def test_cinic_is_larger_by_default(self):
+        assert cinic10_like()[0].num_classes == 10
+
+    def test_deterministic_given_seed(self):
+        a, _ = cifar10_like(train_samples=50, test_samples=10, seed=7)
+        b, _ = cifar10_like(train_samples=50, test_samples=10, seed=7)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a, _ = cifar10_like(train_samples=50, test_samples=10, seed=1)
+        b, _ = cifar10_like(train_samples=50, test_samples=10, seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_all_classes_present_in_large_sample(self):
+        train, _ = cifar10_like(train_samples=2_000, test_samples=100)
+        assert set(np.unique(train.labels)) == set(range(10))
+
+    def test_task_is_learnable_by_nearest_centroid(self):
+        # A trivial nearest-class-centroid classifier must beat chance by a
+        # wide margin, otherwise time-to-accuracy experiments are meaningless.
+        train, test = cifar10_like(train_samples=2_000, test_samples=500, seed=3)
+        centroids = np.stack(
+            [train.features[train.labels == c].mean(axis=0) for c in range(10)]
+        )
+        distances = np.linalg.norm(
+            test.features[:, None, :] - centroids[None, :, :], axis=2
+        )
+        accuracy = float((distances.argmin(axis=1) == test.labels).mean())
+        assert accuracy > 0.5
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticSpec(
+                name="bad",
+                num_classes=0,
+                num_features=8,
+                train_samples=10,
+                test_samples=10,
+                class_separation=1.0,
+            )
+
+
+class TestPresets:
+    def test_load_preset_by_name(self):
+        train, _ = load_preset("cifar10", train_samples=100, test_samples=50)
+        assert train.num_classes == 10
+
+    def test_load_preset_normalises_name(self):
+        train, _ = load_preset("CIFAR-100-like", train_samples=100, test_samples=50)
+        assert train.num_classes == 100
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            load_preset("imagenet")

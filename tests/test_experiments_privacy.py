@@ -1,0 +1,62 @@
+"""Tests for the privacy-integration experiment (real proxy training)."""
+
+import pytest
+
+from repro.experiments.privacy import (
+    format_privacy_results,
+    run_privacy_comparison,
+    run_privacy_configuration,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return run_privacy_configuration(
+        "none", num_agents=4, rounds=5, train_samples=1_200, test_samples=400, seed=0
+    )
+
+
+class TestPrivacyExperiment:
+    def test_baseline_learns(self, baseline_result):
+        assert baseline_result.final_accuracy > 0.3
+        assert baseline_result.rounds == 5
+
+    def test_patch_shuffle_close_to_baseline(self, baseline_result):
+        result = run_privacy_configuration(
+            "patch_shuffle",
+            num_agents=4,
+            rounds=5,
+            train_samples=1_200,
+            test_samples=400,
+            seed=0,
+        )
+        assert result.final_accuracy > 0.2
+        assert result.final_accuracy >= baseline_result.final_accuracy - 0.3
+
+    def test_differential_privacy_costs_some_accuracy(self, baseline_result):
+        result = run_privacy_configuration(
+            "differential_privacy",
+            num_agents=4,
+            rounds=5,
+            train_samples=1_200,
+            test_samples=400,
+            seed=0,
+        )
+        # DP must not destroy learning entirely but typically costs accuracy.
+        assert 0.05 < result.final_accuracy <= baseline_result.final_accuracy + 0.05
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            run_privacy_configuration("homomorphic", num_agents=4, rounds=2)
+
+    def test_format_results(self, baseline_result):
+        text = format_privacy_results([baseline_result])
+        assert "none" in text
+
+
+@pytest.mark.slow
+class TestFullPrivacyComparison:
+    def test_all_mechanisms_run(self):
+        results = run_privacy_comparison(num_agents=4, rounds=4, seed=1)
+        assert len(results) == 4
+        assert all(0.0 <= result.final_accuracy <= 1.0 for result in results)

@@ -1,0 +1,148 @@
+"""Tests for the table/figure reproduction harnesses (reduced-size runs)."""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig3 import Fig3Bar, format_fig3, run_fig3_dataset
+from repro.experiments.table1 import (
+    TABLE1_OFFLOAD_OPTIONS,
+    TABLE1_SETTINGS,
+    format_table1,
+    run_setting,
+    run_table1,
+)
+from repro.experiments.table2 import TABLE2_TARGETS, format_table2, run_table2_cell
+from repro.experiments.table3 import format_table3, run_table3_cell
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(samples_per_agent=5_000)
+
+    def test_all_offload_options_reported(self, table1):
+        for rows in table1.values():
+            assert [row.layers_offloaded for row in rows] == list(TABLE1_OFFLOAD_OPTIONS)
+
+    def test_offloading_beats_no_offloading(self, table1):
+        for rows in table1.values():
+            no_offload = rows[0].total_seconds
+            best = min(row.total_seconds for row in rows)
+            assert best < no_offload
+
+    def test_setting1_optimum_is_interior(self, table1):
+        rows = table1["setting1"]
+        best = min(rows, key=lambda row: row.total_seconds)
+        assert 0 < best.layers_offloaded < 55
+
+    def test_setting2_optimum_is_interior(self, table1):
+        rows = table1["setting2"]
+        best = min(rows, key=lambda row: row.total_seconds)
+        assert 0 < best.layers_offloaded < 55
+
+    def test_optimal_offload_differs_between_settings(self, table1):
+        best1 = min(table1["setting1"], key=lambda row: row.total_seconds)
+        best2 = min(table1["setting2"], key=lambda row: row.total_seconds)
+        # The more heterogeneous setting offloads more layers.
+        assert best1.layers_offloaded >= best2.layers_offloaded
+
+    def test_total_consistent_with_components(self, table1):
+        for rows in table1.values():
+            for row in rows:
+                assert row.total_seconds > 0
+                assert row.fast_train_seconds >= 0
+                assert row.communication_seconds >= 0
+                assert row.idle_seconds >= 0
+
+    def test_format_table1_lists_all_rows(self, table1):
+        text = format_table1(table1)
+        assert len(text.splitlines()) == 1 + len(TABLE1_OFFLOAD_OPTIONS)
+
+    def test_single_setting_runner(self):
+        rows = run_setting(TABLE1_SETTINGS[0], samples_per_agent=1_000)
+        assert len(rows) == len(TABLE1_OFFLOAD_OPTIONS)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def cifar10_cell(self):
+        return run_table2_cell(
+            "cifar10", True, methods=("ComDML", "AllReduce", "FedAvg"), max_rounds=400
+        )
+
+    def test_targets_cover_all_settings(self):
+        assert len(TABLE2_TARGETS) == 6
+
+    def test_all_methods_reach_target(self, cifar10_cell):
+        assert all(cell.time_to_target_seconds is not None for cell in cifar10_cell)
+
+    def test_comdml_fastest(self, cifar10_cell):
+        by_method = {cell.method: cell.time_to_target_seconds for cell in cifar10_cell}
+        assert by_method["ComDML"] < by_method["AllReduce"]
+        assert by_method["ComDML"] < by_method["FedAvg"]
+
+    def test_substantial_reduction(self, cifar10_cell):
+        by_method = {cell.method: cell.time_to_target_seconds for cell in cifar10_cell}
+        reduction = 1.0 - by_method["ComDML"] / by_method["FedAvg"]
+        assert reduction > 0.4  # the paper reports ~0.70
+
+    def test_format_table2(self, cifar10_cell):
+        text = format_table2(cifar10_cell)
+        assert "ComDML" in text and "cifar10" in text
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        return run_table3_cell(
+            "resnet56", 20, methods=("ComDML", "AllReduce"), max_rounds=700, seed=1
+        )
+
+    def test_methods_reach_target(self, cell):
+        assert all(c.time_to_target_seconds is not None for c in cell)
+
+    def test_comdml_scales_better(self, cell):
+        by_method = {c.method: c.time_to_target_seconds for c in cell}
+        assert by_method["ComDML"] < by_method["AllReduce"]
+
+    def test_format_table3(self, cell):
+        assert "resnet56" in format_table3(cell)
+
+
+class TestFig1:
+    def test_balancing_reduces_round_time(self):
+        timeline = run_fig1()
+        assert timeline.round_time_with_balancing < timeline.round_time_without_balancing
+        assert timeline.offloaded_layers > 0
+        assert 0.0 < timeline.round_time_reduction_fraction < 1.0
+
+    def test_idle_time_reduced(self):
+        timeline = run_fig1()
+        assert timeline.idle_with_balancing < timeline.idle_without_balancing
+
+    def test_homogeneous_agents_gain_nothing(self):
+        timeline = run_fig1(slow_cpu=1.0, fast_cpu=1.0, bandwidth_mbps=10.0)
+        assert timeline.round_time_reduction_fraction <= 0.05
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def bars(self):
+        return run_fig3_dataset(
+            "cifar10",
+            methods=("ComDML", "AllReduce"),
+            num_agents=20,
+            max_rounds=1_000,
+            seed=2,
+        )
+
+    def test_bars_have_times(self, bars):
+        assert all(isinstance(bar, Fig3Bar) for bar in bars)
+        assert all(bar.time_to_target_seconds is not None for bar in bars)
+
+    def test_comdml_retains_lead_under_sparse_topology(self, bars):
+        by_method = {bar.method: bar.time_to_target_seconds for bar in bars}
+        assert by_method["ComDML"] < by_method["AllReduce"]
+
+    def test_format_fig3(self, bars):
+        assert "ComDML" in format_fig3(bars)

@@ -1,0 +1,61 @@
+"""Tests for the proxy model factory."""
+
+import numpy as np
+import pytest
+
+from repro.models.proxy import ProxyModelFactory, build_proxy_classifier
+from repro.models.resnet import resnet56_spec
+
+
+class TestBuildProxyClassifier:
+    def test_output_shape(self, rng):
+        model = build_proxy_classifier(12, 5, num_blocks=3, width=16, rng=rng)
+        assert model.forward(np.zeros((4, 12))).shape == (4, 5)
+
+    def test_depth_structure(self, rng):
+        model = build_proxy_classifier(12, 5, num_blocks=3, width=16, rng=rng)
+        # stem Dense + ReLU + 3 blocks + head Dense.
+        assert len(model) == 6
+
+    def test_invalid_args_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_proxy_classifier(0, 5, rng=rng)
+
+
+class TestProxyModelFactory:
+    @pytest.fixture
+    def factory(self):
+        return ProxyModelFactory(
+            spec=resnet56_spec(), input_features=16, num_blocks=4, width=24
+        )
+
+    def test_build_uses_spec_classes(self, factory, rng):
+        model = factory.build(rng)
+        assert model.forward(np.zeros((2, 16))).shape == (2, 10)
+
+    def test_offload_mapping_monotone(self, factory):
+        offloads = [factory.proxy_offload_for(m) for m in (0, 9, 18, 27, 36, 45, 54)]
+        assert offloads[0] == 0
+        assert all(a <= b for a, b in zip(offloads, offloads[1:]))
+        assert offloads[-1] <= factory.max_proxy_offload
+
+    def test_offload_mapping_zero_is_zero(self, factory):
+        assert factory.proxy_offload_for(0) == 0
+
+    def test_offload_mapping_nonzero_is_at_least_one(self, factory):
+        assert factory.proxy_offload_for(1) >= 1
+
+    def test_build_split_shares_backbone(self, factory, rng):
+        backbone = factory.build(rng)
+        split = factory.build_split(27, rng=rng, backbone=backbone)
+        assert split.is_split
+        x = rng.normal(size=(3, 16))
+        assert np.allclose(split.forward_full(x), backbone.forward(x))
+
+    def test_invalid_spec_offload_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory.proxy_offload_for(56)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            ProxyModelFactory(spec=resnet56_spec(), input_features=0)

@@ -1,0 +1,62 @@
+"""Tests for the ResNet cost descriptors."""
+
+import pytest
+
+from repro.models.resnet import cifar_resnet_spec, resnet56_spec, resnet110_spec
+
+
+class TestResNetStructure:
+    def test_resnet56_has_55_offloadable_layers(self):
+        # Stem + 3 stages × 9 blocks × 2 convs = 55, matching Table I's range.
+        assert resnet56_spec().num_layers == 55
+
+    def test_resnet110_has_109_offloadable_layers(self):
+        assert resnet110_spec().num_layers == 109
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            cifar_resnet_spec(57)
+
+    def test_parameter_count_close_to_published(self):
+        # ResNet-56 for CIFAR-10 has ~0.85 M parameters.
+        params = resnet56_spec().total_parameter_count
+        assert 0.7e6 < params < 1.0e6
+
+    def test_resnet110_parameter_count(self):
+        # ResNet-110 has ~1.7 M parameters.
+        params = resnet110_spec().total_parameter_count
+        assert 1.5e6 < params < 2.0e6
+
+    def test_resnet110_costs_more_than_resnet56(self):
+        assert resnet110_spec().total_forward_flops > resnet56_spec().total_forward_flops
+
+    def test_num_classes_only_changes_head(self):
+        ten = resnet56_spec(num_classes=10)
+        hundred = resnet56_spec(num_classes=100)
+        assert hundred.total_parameter_count > ten.total_parameter_count
+        assert hundred.layers == ten.layers
+
+    def test_input_elements_are_cifar_shaped(self):
+        assert resnet56_spec().input_elements == 3 * 32 * 32
+
+
+class TestResNetActivations:
+    def test_stage_activation_sizes(self):
+        spec = resnet56_spec()
+        # Stage 1 convs output 16×32×32, stage 2 32×16×16, stage 3 64×8×8.
+        stage1 = spec.layers[1]
+        stage2 = spec.layers[1 + 18]
+        stage3 = spec.layers[1 + 36]
+        assert stage1.output_elements == 16 * 32 * 32
+        assert stage2.output_elements == 32 * 16 * 16
+        assert stage3.output_elements == 64 * 8 * 8
+
+    def test_intermediate_size_depends_on_split_stage(self):
+        spec = resnet56_spec()
+        # Offloading few layers splits late (small activations); offloading
+        # many splits early (large activations) — the non-trivial trade-off
+        # Table I highlights.
+        assert spec.intermediate_bytes(5) < spec.intermediate_bytes(45)
+
+    def test_model_bytes_about_3_4_mb(self):
+        assert 2.5e6 < resnet56_spec().model_bytes < 4.5e6

@@ -1,0 +1,86 @@
+"""Tests for the architecture cost descriptors."""
+
+import pytest
+
+from repro.models.spec import ArchitectureSpec, LayerCost
+
+
+class TestLayerCost:
+    def test_bytes_and_train_cost(self):
+        layer = LayerCost("conv", forward_flops=1_000.0, parameter_count=50, output_elements=20)
+        assert layer.parameter_bytes == 200
+        assert layer.output_bytes == 80
+        assert layer.train_flops == 3_000.0
+        assert layer.forward_cost > layer.forward_flops  # memory traffic added
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValueError):
+            LayerCost("bad", forward_flops=-1.0, parameter_count=0, output_elements=0)
+
+
+class TestArchitectureSpecTotals:
+    def test_totals_include_head(self, tiny_spec):
+        layer_params = sum(layer.parameter_count for layer in tiny_spec.layers)
+        assert tiny_spec.total_parameter_count == layer_params + tiny_spec.head_parameter_count
+        assert tiny_spec.model_bytes == tiny_spec.total_parameter_count * 4
+
+    def test_train_flops_are_triple_forward(self, tiny_spec):
+        assert tiny_spec.total_train_flops == pytest.approx(3 * tiny_spec.total_forward_flops)
+
+    def test_needs_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            ArchitectureSpec(name="empty", layers=(), input_elements=10, num_classes=2)
+
+
+class TestSplitQueries:
+    def test_offload_zero_keeps_everything(self, tiny_spec):
+        assert tiny_spec.fast_side_forward_flops(0) == 0.0
+        assert tiny_spec.intermediate_elements(0) == 0
+        assert tiny_spec.fast_side_parameter_count(0) == 0
+        assert tiny_spec.auxiliary_head_parameter_count(0) == 0
+
+    def test_slow_plus_fast_cover_whole_model(self, tiny_spec):
+        for offload in range(tiny_spec.num_layers + 1):
+            slow = tiny_spec.slow_side_forward_flops(offload)
+            fast = tiny_spec.fast_side_forward_flops(offload)
+            assert slow + fast == pytest.approx(tiny_spec.total_forward_flops)
+
+    def test_parameters_partition(self, tiny_spec):
+        for offload in range(tiny_spec.num_layers + 1):
+            total = tiny_spec.slow_side_parameter_count(offload) + tiny_spec.fast_side_parameter_count(offload)
+            assert total == tiny_spec.total_parameter_count
+
+    def test_slow_side_decreases_with_offload(self, tiny_spec):
+        costs = [tiny_spec.slow_side_forward_flops(m) for m in range(tiny_spec.num_layers + 1)]
+        assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+    def test_intermediate_elements_match_boundary_layer(self, tiny_spec):
+        # The activation crossing the split is the output of the last layer
+        # the slow agent retains: offloading 1 layer keeps l1-l3 (l3 → 32),
+        # offloading 3 keeps only l1 (64), offloading all ships the input.
+        assert tiny_spec.intermediate_elements(1) == 32
+        assert tiny_spec.intermediate_elements(3) == 64
+        assert tiny_spec.intermediate_elements(tiny_spec.num_layers) == tiny_spec.input_elements
+
+    def test_intermediate_bytes(self, tiny_spec):
+        assert tiny_spec.intermediate_bytes(2) == 32 * 4
+
+    def test_invalid_offload_rejected(self, tiny_spec):
+        with pytest.raises(ValueError):
+            tiny_spec.validate_offload(-1)
+        with pytest.raises(ValueError):
+            tiny_spec.validate_offload(tiny_spec.num_layers + 1)
+
+    def test_auxiliary_head_small_relative_to_model(self, tiny_spec):
+        for offload in range(1, tiny_spec.num_layers + 1):
+            assert tiny_spec.auxiliary_head_parameter_count(offload) > 0
+            assert (
+                tiny_spec.auxiliary_head_forward_flops(offload)
+                < tiny_spec.total_forward_flops
+            )
+
+    def test_offload_options_include_zero_and_respect_granularity(self, tiny_spec):
+        options = tiny_spec.offload_options(granularity=2)
+        assert options[0] == 0
+        assert tiny_spec.num_layers - 1 in options
+        assert all(m < tiny_spec.num_layers for m in options)

@@ -1,0 +1,90 @@
+"""Tests for split models and the auxiliary head."""
+
+import numpy as np
+import pytest
+
+from repro.models.proxy import build_proxy_classifier
+from repro.models.split import AuxiliaryHead, split_sequential
+from repro.nn.serialization import get_flat_parameters
+
+
+class TestAuxiliaryHead:
+    def test_output_shape(self, rng):
+        head = AuxiliaryHead(in_features=32, num_classes=10, rng=rng)
+        assert head.forward(np.zeros((5, 32))).shape == (5, 10)
+
+    def test_backward_shape(self, rng):
+        head = AuxiliaryHead(in_features=32, num_classes=10, rng=rng)
+        head.forward(np.zeros((5, 32)))
+        assert head.backward(np.ones((5, 10))).shape == (5, 32)
+
+    def test_pooling_reduces_classifier_width(self, rng):
+        head = AuxiliaryHead(in_features=64, num_classes=10, pool_factor=4, rng=rng)
+        assert head.classifier.in_features == 16
+
+    def test_rejects_wrong_width(self, rng):
+        head = AuxiliaryHead(in_features=16, num_classes=4, rng=rng)
+        with pytest.raises(ValueError):
+            head.forward(np.zeros((2, 8)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            AuxiliaryHead(16, 4, rng=rng).backward(np.zeros((2, 4)))
+
+
+class TestSplitSequential:
+    def test_no_offload_has_no_aux(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 0, num_classes=4, rng=rng)
+        assert not split.is_split
+        assert split.auxiliary is None
+        assert len(split.fast_side) == 0
+
+    def test_split_shares_parameters_with_backbone(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 2, num_classes=4, rng=rng)
+        backbone_params = {id(p) for p in backbone.parameters()}
+        split_params = {id(p) for p in split.slow_side.parameters()} | {
+            id(p) for p in split.fast_side.parameters()
+        }
+        assert split_params == backbone_params
+
+    def test_full_forward_matches_backbone(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 2, num_classes=4, rng=rng)
+        x = rng.normal(size=(3, 8))
+        assert np.allclose(split.forward_full(x), backbone.forward(x))
+
+    def test_forward_slow_then_fast_matches_full(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=3, width=16, rng=rng)
+        split = split_sequential(backbone, 2, num_classes=4, rng=rng)
+        x = rng.normal(size=(3, 8))
+        boundary = split.forward_slow(x)
+        assert np.allclose(split.forward_fast(boundary), backbone.forward(x))
+
+    def test_auxiliary_logits_shape(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 1, num_classes=4, rng=rng)
+        boundary = split.forward_slow(rng.normal(size=(5, 8)))
+        assert split.forward_auxiliary(boundary).shape == (5, 4)
+
+    def test_forward_auxiliary_without_split_raises(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 0, num_classes=4, rng=rng)
+        with pytest.raises(RuntimeError):
+            split.forward_auxiliary(np.zeros((2, 16)))
+
+    def test_parameter_partition(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 2, num_classes=4, rng=rng)
+        slow = split.slow_parameters()
+        fast = split.fast_parameters()
+        # Slow params include the auxiliary head, which is not in the backbone.
+        aux_count = sum(p.size for p in split.auxiliary.parameters())
+        backbone_count = get_flat_parameters(backbone).size
+        assert sum(p.size for p in slow) + sum(p.size for p in fast) == backbone_count + aux_count
+
+    def test_invalid_offload_rejected(self, rng):
+        backbone = build_proxy_classifier(8, 4, num_blocks=2, width=16, rng=rng)
+        with pytest.raises(ValueError):
+            split_sequential(backbone, len(backbone) + 1, num_classes=4, rng=rng)

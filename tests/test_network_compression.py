@@ -1,0 +1,70 @@
+"""Tests for aggregation compressors."""
+
+import numpy as np
+import pytest
+
+from repro.network.compression import (
+    NoCompression,
+    QuantizationCompressor,
+    TopKSparsifier,
+)
+
+
+class TestNoCompression:
+    def test_bytes_unchanged(self):
+        assert NoCompression().compressed_bytes(1234.0) == 1234.0
+
+    def test_values_unchanged(self):
+        values = np.array([1.0, -2.0, 3.0])
+        assert np.array_equal(NoCompression().compress(values), values)
+
+
+class TestQuantization:
+    def test_bytes_scale_with_bits(self):
+        assert QuantizationCompressor(bits=8).compressed_bytes(400.0) == pytest.approx(100.0)
+        assert QuantizationCompressor(bits=16).compressed_bytes(400.0) == pytest.approx(200.0)
+
+    def test_error_bounded_by_step(self):
+        values = np.linspace(-1.0, 1.0, 101)
+        compressor = QuantizationCompressor(bits=8)
+        reconstructed = compressor.compress(values)
+        step = 2.0 / 255
+        assert np.max(np.abs(reconstructed - values)) <= step / 2 + 1e-12
+
+    def test_constant_vector_preserved(self):
+        values = np.full(10, 3.14)
+        assert np.allclose(QuantizationCompressor(bits=4).compress(values), values)
+
+    def test_empty_vector(self):
+        assert QuantizationCompressor().compress(np.array([])).size == 0
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizationCompressor(bits=0)
+        with pytest.raises(ValueError):
+            QuantizationCompressor(bits=64)
+
+
+class TestTopKSparsifier:
+    def test_keeps_largest_magnitudes(self):
+        values = np.array([0.1, -5.0, 0.2, 4.0, 0.05])
+        sparse = TopKSparsifier(fraction=0.4).compress(values)
+        assert sparse[1] == -5.0 and sparse[3] == 4.0
+        assert sparse[0] == 0.0 and sparse[4] == 0.0
+
+    def test_bytes_scale_with_fraction(self):
+        assert TopKSparsifier(fraction=0.25).compressed_bytes(1000.0) == pytest.approx(250.0)
+
+    def test_full_fraction_identity(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(TopKSparsifier(fraction=1.0).compress(values), values)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            TopKSparsifier(fraction=0.0)
+        with pytest.raises(ValueError):
+            TopKSparsifier(fraction=1.5)
+
+    def test_preserves_shape(self):
+        values = np.arange(12, dtype=float).reshape(3, 4)
+        assert TopKSparsifier(fraction=0.5).compress(values).shape == (3, 4)

@@ -1,0 +1,73 @@
+"""Tests for the pairwise link model."""
+
+import pytest
+
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.agents.resources import ResourceProfile
+from repro.network.link import LinkModel, pairwise_bandwidth
+from repro.network.topology import full_topology, ring_topology
+
+
+def make_agent(agent_id, bandwidth):
+    return Agent(
+        agent_id=agent_id,
+        profile=ResourceProfile(cpu_share=1.0, bandwidth_mbps=bandwidth),
+        num_samples=100,
+    )
+
+
+class TestPairwiseBandwidth:
+    def test_limited_by_slower_endpoint(self):
+        a, b = make_agent(0, 100.0), make_agent(1, 10.0)
+        assert pairwise_bandwidth(a, b) == b.profile.bandwidth_bytes_per_second
+
+
+class TestLinkModel:
+    def test_can_communicate_with_edge(self):
+        agents = [make_agent(i, 50.0) for i in range(3)]
+        model = LinkModel(full_topology([0, 1, 2]))
+        assert model.can_communicate(agents[0], agents[1])
+
+    def test_cannot_communicate_without_edge(self):
+        agents = [make_agent(i, 50.0) for i in range(4)]
+        model = LinkModel(ring_topology([0, 1, 2, 3]))
+        assert not model.can_communicate(agents[0], agents[2])
+
+    def test_cannot_communicate_with_self(self):
+        agent = make_agent(0, 50.0)
+        model = LinkModel(full_topology([0, 1]))
+        assert not model.can_communicate(agent, agent)
+
+    def test_disconnected_agent_cannot_communicate(self):
+        a, b = make_agent(0, 0.0), make_agent(1, 50.0)
+        model = LinkModel(full_topology([0, 1]))
+        assert not model.can_communicate(a, b)
+        assert model.bandwidth(a, b) == 0.0
+
+    def test_transfer_time_positive(self):
+        a, b = make_agent(0, 50.0), make_agent(1, 50.0)
+        model = LinkModel(full_topology([0, 1]))
+        assert model.transfer_time(a, b, 1_000_000) > 0
+
+    def test_transfer_without_link_raises(self):
+        a, b = make_agent(0, 0.0), make_agent(1, 50.0)
+        model = LinkModel(full_topology([0, 1]))
+        with pytest.raises(ValueError):
+            model.transfer_time(a, b, 100)
+
+    def test_transfer_time_monotone_in_bytes(self):
+        a, b = make_agent(0, 50.0), make_agent(1, 50.0)
+        model = LinkModel(full_topology([0, 1]))
+        assert model.transfer_time(a, b, 2_000_000) > model.transfer_time(a, b, 1_000_000)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel(full_topology([0, 1]), latency_seconds=-0.1)
+
+    def test_neighbors_of_filters_disconnected(self):
+        agents = [make_agent(0, 50.0), make_agent(1, 0.0), make_agent(2, 20.0)]
+        registry = AgentRegistry(agents)
+        model = LinkModel(full_topology([0, 1, 2]))
+        neighbor_ids = [n.agent_id for n in model.neighbors_of(agents[0], registry)]
+        assert neighbor_ids == [2]

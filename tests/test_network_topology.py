@@ -1,0 +1,77 @@
+"""Tests for network topologies."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import full_topology, random_topology, ring_topology
+
+
+class TestFullTopology:
+    def test_edge_count(self):
+        topology = full_topology(range(6))
+        assert topology.num_edges == 15
+        assert topology.connectivity_fraction() == pytest.approx(1.0)
+
+    def test_everyone_connected_to_everyone(self):
+        topology = full_topology(range(4))
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert topology.are_connected(a, b)
+
+    def test_neighbors_sorted(self):
+        topology = full_topology([3, 1, 2])
+        assert topology.neighbors(1) == [2, 3]
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            full_topology(range(3)).neighbors(99)
+
+
+class TestRingTopology:
+    def test_every_node_has_two_neighbors(self):
+        topology = ring_topology(range(8))
+        assert all(topology.degree(node) == 2 for node in topology.nodes)
+
+    def test_is_connected(self):
+        assert ring_topology(range(8)).is_connected_graph
+
+    def test_two_node_ring(self):
+        topology = ring_topology([0, 1])
+        assert topology.are_connected(0, 1)
+
+    def test_single_node(self):
+        topology = ring_topology([0])
+        assert topology.num_edges == 0
+
+
+class TestRandomTopology:
+    def test_link_fraction_respected(self, rng):
+        topology = random_topology(range(30), link_fraction=0.2, rng=rng)
+        # Spanning connectivity may push slightly above the target but it
+        # should stay in the same ballpark.
+        assert 0.05 <= topology.connectivity_fraction() <= 0.35
+
+    def test_connected_by_default(self, rng):
+        topology = random_topology(range(25), link_fraction=0.2, rng=rng)
+        assert topology.is_connected_graph
+
+    def test_without_connectivity_guarantee(self, rng):
+        topology = random_topology(
+            range(25), link_fraction=0.05, rng=rng, ensure_connected=False
+        )
+        assert topology.num_edges >= 1
+
+    def test_invalid_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_topology(range(5), link_fraction=1.5, rng=rng)
+
+    def test_deterministic_given_rng(self):
+        a = random_topology(range(12), 0.3, np.random.default_rng(5))
+        b = random_topology(range(12), 0.3, np.random.default_rng(5))
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_subgraph_restricts_nodes(self, rng):
+        topology = random_topology(range(10), 0.5, rng)
+        sub = topology.subgraph([0, 1, 2])
+        assert set(sub.nodes) == {0, 1, 2}

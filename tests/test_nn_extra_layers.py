@@ -1,0 +1,86 @@
+"""Tests for the additional layers (Sigmoid, LayerNorm)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, LayerNorm, Sigmoid
+from repro.nn.losses import MSELoss
+from repro.nn.module import Sequential
+
+
+class TestSigmoid:
+    def test_range_and_midpoint(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-6)
+        assert out[0, 1] == pytest.approx(0.5)
+        assert out[0, 2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_gradient_at_midpoint(self):
+        layer = Sigmoid()
+        layer.forward(np.array([[0.0]]))
+        assert layer.backward(np.array([[1.0]]))[0, 0] == pytest.approx(0.25)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Sigmoid().backward(np.zeros((1, 1)))
+
+
+class TestLayerNorm:
+    def test_output_is_normalised(self, rng):
+        layer = LayerNorm(8)
+        out = layer.forward(rng.normal(loc=5.0, scale=3.0, size=(10, 8)))
+        assert np.allclose(out.mean(axis=1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_scale_and_shift_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gamma.value[:] = 2.0
+        layer.beta.value[:] = 1.0
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert np.allclose(out.mean(axis=1), 1.0, atol=1e-6)
+
+    def test_gradient_check(self, rng):
+        layer = LayerNorm(5)
+        x = rng.normal(size=(4, 5))
+        loss_fn = MSELoss()
+        targets = np.zeros((4, 5))
+
+        layer.zero_grad()
+        loss_fn.forward(layer.forward(x), targets)
+        analytic_input_grad = layer.backward(loss_fn.backward())
+
+        epsilon = 1e-6
+        for i in range(4):
+            for j in range(5):
+                perturbed = x.copy()
+                perturbed[i, j] += epsilon
+                loss_plus = loss_fn.forward(layer.forward(perturbed), targets)
+                perturbed[i, j] -= 2 * epsilon
+                loss_minus = loss_fn.forward(layer.forward(perturbed), targets)
+                numeric = (loss_plus - loss_minus) / (2 * epsilon)
+                assert analytic_input_grad[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_parameter_gradients_accumulate(self, rng):
+        layer = LayerNorm(6)
+        layer.forward(rng.normal(size=(3, 6)))
+        layer.backward(np.ones((3, 6)))
+        assert np.any(layer.gamma.grad != 0)
+        assert np.allclose(layer.beta.grad, 3.0)
+
+    def test_wrong_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(8).forward(rng.normal(size=(2, 4)))
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+        with pytest.raises(ValueError):
+            LayerNorm(4, epsilon=0.0)
+
+    def test_composes_in_sequential(self, rng):
+        model = Sequential(Dense(6, 8, rng=rng), LayerNorm(8), Sigmoid(), Dense(8, 2, rng=rng))
+        out = model.forward(rng.normal(size=(3, 6)))
+        assert out.shape == (3, 2)
+        model.backward(np.ones((3, 2)))
+        assert all(p.grad is not None for p in model.parameters())

@@ -1,0 +1,41 @@
+"""Tests for functional helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.functional import log_softmax, one_hot, relu, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(size=(6, 5)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+        assert not np.any(np.isnan(probs))
+
+    def test_log_softmax_consistent(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+
+class TestOneHot:
+    def test_shape_and_values(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        assert np.array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestRelu:
+    def test_clips_negatives(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])

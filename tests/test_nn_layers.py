@@ -1,0 +1,148 @@
+"""Tests for layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Dense,
+    Dropout,
+    Flatten,
+    Identity,
+    ReLU,
+    ResidualBlock,
+    Tanh,
+    dense_residual_block,
+)
+from repro.nn.losses import MSELoss
+from repro.nn.module import Sequential
+
+
+def numerical_gradient_check(model, x, epsilon=1e-6):
+    """Compare analytic parameter gradients with central differences."""
+    loss_fn = MSELoss()
+    targets = np.zeros_like(model.forward(x))
+
+    model.zero_grad()
+    predictions = model.forward(x)
+    loss_fn.forward(predictions, targets)
+    model.backward(loss_fn.backward())
+    analytic = [p.grad.copy() for p in model.parameters()]
+
+    for index, param in enumerate(model.parameters()):
+        flat = param.value.ravel()
+        numeric = np.zeros_like(flat)
+        for i in range(min(flat.size, 12)):  # spot-check a handful of coordinates
+            original = flat[i]
+            flat[i] = original + epsilon
+            loss_plus = loss_fn.forward(model.forward(x), targets)
+            flat[i] = original - epsilon
+            loss_minus = loss_fn.forward(model.forward(x), targets)
+            flat[i] = original
+            numeric[i] = (loss_plus - loss_minus) / (2 * epsilon)
+        analytic_flat = analytic[index].ravel()
+        for i in range(min(flat.size, 12)):
+            assert analytic_flat[i] == pytest.approx(numeric[i], rel=1e-4, abs=1e-7)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        assert layer.forward(np.zeros((7, 5))).shape == (7, 3)
+
+    def test_rejects_wrong_input_width(self, rng):
+        with pytest.raises(ValueError):
+            Dense(5, 3, rng=rng).forward(np.zeros((2, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(5, 3, rng=rng).backward(np.zeros((2, 3)))
+
+    def test_gradient_check(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        numerical_gradient_check(layer, rng.normal(size=(5, 4)))
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng=rng)
+
+
+class TestActivations:
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        assert np.array_equal(out, [[0.0, 2.0]])
+
+    def test_relu_gradient_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        assert np.array_equal(grad, [[0.0, 5.0]])
+
+    def test_relu_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.zeros((1, 1)))
+
+    def test_tanh_range(self):
+        out = Tanh().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_tanh_gradient(self):
+        layer = Tanh()
+        layer.forward(np.array([[0.0]]))
+        assert layer.backward(np.array([[1.0]]))[0, 0] == pytest.approx(1.0)
+
+    def test_identity_passthrough(self):
+        x = np.arange(6, dtype=float).reshape(2, 3)
+        layer = Identity()
+        assert np.array_equal(layer.forward(x), x)
+        assert np.array_equal(layer.backward(x), x)
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.arange(24, dtype=float).reshape(2, 3, 4)
+        out = layer.forward(x)
+        assert out.shape == (2, 12)
+        assert layer.backward(out).shape == (2, 3, 4)
+
+    def test_dropout_eval_mode_is_identity(self, rng):
+        layer = Dropout(rate=0.5, rng=rng)
+        layer.eval()
+        x = np.ones((4, 10))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_dropout_training_zeroes_some(self, rng):
+        layer = Dropout(rate=0.5, rng=rng)
+        out = layer.forward(np.ones((10, 100)))
+        assert np.any(out == 0.0)
+
+    def test_dropout_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Dropout(rate=1.0)
+
+
+class TestResidualBlock:
+    def test_identity_plus_body(self, rng):
+        block = dense_residual_block(6, rng=rng)
+        x = rng.normal(size=(3, 6))
+        out = block.forward(x)
+        assert out.shape == x.shape
+        body_out = block.body.forward(x)
+        assert np.allclose(out, x + body_out)
+
+    def test_gradient_check(self, rng):
+        block = dense_residual_block(4, hidden=5, rng=rng)
+        numerical_gradient_check(block, rng.normal(size=(3, 4)))
+
+    def test_parameters_exposed(self, rng):
+        block = dense_residual_block(4, rng=rng)
+        assert len(block.parameters()) == 4
+
+    def test_stacked_blocks_gradient_check(self, rng):
+        model = Sequential(
+            Dense(3, 4, rng=rng),
+            ReLU(),
+            dense_residual_block(4, rng=rng),
+            Dense(4, 2, rng=rng),
+        )
+        numerical_gradient_check(model, rng.normal(size=(4, 3)))

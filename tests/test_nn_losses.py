@@ -1,0 +1,83 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_give_log_classes(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        targets = np.array([0, 3, 5, 9])
+        assert loss_fn.forward(logits, targets) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_gives_small_loss(self):
+        loss_fn = CrossEntropyLoss()
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert loss_fn.forward(logits, np.array([1, 2])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_sums_to_zero_per_row(self):
+        loss_fn = CrossEntropyLoss()
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(5, 4))
+        loss_fn.forward(logits, np.array([0, 1, 2, 3, 0]))
+        grad = loss_fn.backward()
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_gradient_matches_numerical(self):
+        loss_fn = CrossEntropyLoss()
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 4))
+        targets = np.array([1, 0, 3])
+        loss_fn.forward(logits, targets)
+        analytic = loss_fn.backward()
+        epsilon = 1e-6
+        for i in range(3):
+            for j in range(4):
+                perturbed = logits.copy()
+                perturbed[i, j] += epsilon
+                loss_plus = CrossEntropyLoss().forward(perturbed, targets)
+                perturbed[i, j] -= 2 * epsilon
+                loss_minus = CrossEntropyLoss().forward(perturbed, targets)
+                numeric = (loss_plus - loss_minus) / (2 * epsilon)
+                assert analytic[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_batch_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss().forward(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+    def test_one_dimensional_logits_rejected(self):
+        with pytest.raises(ValueError):
+            CrossEntropyLoss().forward(np.zeros(3), np.array([0, 1, 2]))
+
+
+class TestMSELoss:
+    def test_zero_for_equal_inputs(self):
+        loss_fn = MSELoss()
+        values = np.array([[1.0, 2.0]])
+        assert loss_fn.forward(values, values) == 0.0
+
+    def test_value(self):
+        loss_fn = MSELoss()
+        assert loss_fn.forward(np.array([2.0, 0.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_gradient(self):
+        loss_fn = MSELoss()
+        loss_fn.forward(np.array([3.0]), np.array([1.0]))
+        assert loss_fn.backward()[0] == pytest.approx(4.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MSELoss().forward(np.zeros(2), np.zeros(3))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MSELoss().backward()

@@ -1,0 +1,83 @@
+"""Tests for Module / Parameter / Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.module import Module, Parameter, Sequential
+
+
+class TestParameter:
+    def test_grad_initialised_to_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        assert param.grad.shape == (2, 3)
+        assert np.all(param.grad == 0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.ones(4))
+        param.grad += 2.0
+        param.zero_grad()
+        assert np.all(param.grad == 0)
+
+    def test_size_and_shape(self):
+        param = Parameter(np.ones((3, 5)), name="w")
+        assert param.size == 15
+        assert param.shape == (3, 5)
+        assert "w" in repr(param)
+
+
+class TestSequential:
+    def test_forward_chains_modules(self, rng):
+        model = Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+        out = model.forward(np.zeros((3, 4)))
+        assert out.shape == (3, 2)
+
+    def test_parameters_collected_from_children(self, rng):
+        model = Sequential(Dense(4, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng))
+        assert len(model.parameters()) == 4  # two Dense layers × (W, b)
+
+    def test_zero_grad_resets_all(self, rng):
+        model = Sequential(Dense(4, 4, rng=rng))
+        model.forward(np.ones((2, 4)))
+        model.backward(np.ones((2, 4)))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Dense(4, 4, rng=rng), ReLU())
+        model.eval()
+        assert not model.training
+        assert all(not child.training for child in model.children())
+        model.train()
+        assert model.training
+
+    def test_slice_shares_parameters(self, rng):
+        model = Sequential(Dense(4, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng))
+        prefix = model.slice(0, 2)
+        assert prefix[0] is model[0]
+        # Mutating through the slice is visible in the original.
+        prefix[0].weight.value[0, 0] = 123.0
+        assert model[0].weight.value[0, 0] == 123.0
+
+    def test_len_getitem_iter(self, rng):
+        model = Sequential(Dense(2, 2, rng=rng), ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+        assert len(list(iter(model))) == 2
+
+    def test_append(self, rng):
+        model = Sequential(Dense(2, 2, rng=rng))
+        model.append(ReLU())
+        assert len(model) == 2
+
+    def test_num_parameters(self, rng):
+        model = Sequential(Dense(3, 5, rng=rng))
+        assert model.num_parameters() == 3 * 5 + 5
+
+    def test_base_module_raises_not_implemented(self):
+        module = Module()
+        with pytest.raises(NotImplementedError):
+            module.forward(np.zeros((1, 1)))
+        with pytest.raises(NotImplementedError):
+            module.backward(np.zeros((1, 1)))

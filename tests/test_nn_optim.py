@@ -1,0 +1,72 @@
+"""Tests for the SGD optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+
+
+def make_param(value):
+    return Parameter(np.asarray(value, dtype=float))
+
+
+class TestSGD:
+    def test_basic_step_moves_against_gradient(self):
+        param = make_param([1.0])
+        optimizer = SGD([param], learning_rate=0.1, momentum=0.0)
+        param.grad[:] = 2.0
+        optimizer.step()
+        assert param.value[0] == pytest.approx(0.8)
+
+    def test_momentum_accumulates(self):
+        param = make_param([0.0])
+        optimizer = SGD([param], learning_rate=0.1, momentum=0.9)
+        for _ in range(2):
+            param.zero_grad()
+            param.grad[:] = 1.0
+            optimizer.step()
+        # First step: -0.1; second: velocity = 0.9*(-0.1) - 0.1 = -0.19 → total -0.29.
+        assert param.value[0] == pytest.approx(-0.29)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = make_param([1.0])
+        optimizer = SGD([param], learning_rate=0.1, momentum=0.0, weight_decay=0.5)
+        param.grad[:] = 0.0
+        optimizer.step()
+        assert param.value[0] < 1.0
+
+    def test_zero_grad(self):
+        param = make_param([1.0])
+        optimizer = SGD([param], learning_rate=0.1)
+        param.grad[:] = 3.0
+        optimizer.zero_grad()
+        assert np.all(param.grad == 0.0)
+
+    def test_minimises_quadratic(self):
+        param = make_param([5.0])
+        optimizer = SGD([param], learning_rate=0.1, momentum=0.9)
+        for _ in range(200):
+            param.zero_grad()
+            param.grad[:] = 2 * param.value  # d/dx of x^2
+            optimizer.step()
+        assert abs(param.value[0]) < 1e-3
+
+    def test_set_learning_rate(self):
+        optimizer = SGD([make_param([1.0])], learning_rate=0.1)
+        optimizer.set_learning_rate(0.01)
+        assert optimizer.learning_rate == 0.01
+        with pytest.raises(ValueError):
+            optimizer.set_learning_rate(0.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], learning_rate=0.1, momentum=1.0)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([make_param([1.0])], learning_rate=0.0)

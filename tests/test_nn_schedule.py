@@ -1,0 +1,71 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.nn.schedule import ConstantSchedule, ReduceOnPlateau, StepDecay
+
+
+class TestConstantSchedule:
+    def test_never_changes(self):
+        schedule = ConstantSchedule(0.01)
+        for _ in range(5):
+            assert schedule.step(0.5) == 0.01
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+
+
+class TestStepDecay:
+    def test_decays_every_step_size(self):
+        schedule = StepDecay(1.0, step_size=2, factor=0.5)
+        rates = [schedule.step() for _ in range(4)]
+        assert rates == pytest.approx([1.0, 0.5, 0.5, 0.25])
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            StepDecay(1.0, step_size=2, factor=1.5)
+
+
+class TestReduceOnPlateau:
+    def test_reduces_after_patience_without_improvement(self):
+        schedule = ReduceOnPlateau(1.0, factor=0.2, patience=3)
+        schedule.step(0.5)
+        for _ in range(3):
+            schedule.step(0.5)  # no improvement
+        assert schedule.learning_rate == pytest.approx(0.2)
+
+    def test_improvement_resets_patience(self):
+        schedule = ReduceOnPlateau(1.0, factor=0.2, patience=2)
+        schedule.step(0.5)
+        schedule.step(0.5)
+        schedule.step(0.6)  # improvement resets the counter
+        schedule.step(0.6)
+        assert schedule.learning_rate == pytest.approx(1.0)
+
+    def test_respects_min_lr(self):
+        schedule = ReduceOnPlateau(1e-5, factor=0.1, patience=1, min_lr=1e-6)
+        for _ in range(10):
+            schedule.step(0.5)
+        assert schedule.learning_rate >= 1e-6
+
+    def test_min_mode(self):
+        schedule = ReduceOnPlateau(1.0, factor=0.5, patience=2, mode="min")
+        schedule.step(1.0)
+        schedule.step(0.5)  # improvement in min mode
+        schedule.step(0.6)
+        schedule.step(0.6)
+        assert schedule.learning_rate == pytest.approx(0.5)
+
+    def test_none_metric_is_noop(self):
+        schedule = ReduceOnPlateau(1.0, patience=1)
+        assert schedule.step(None) == 1.0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ReduceOnPlateau(1.0, mode="other")
+
+    def test_paper_defaults_are_constructible(self):
+        # 0.2 for 10 agents, 0.5 for larger populations.
+        assert ReduceOnPlateau(0.001, factor=0.2).learning_rate == 0.001
+        assert ReduceOnPlateau(0.001, factor=0.5).learning_rate == 0.001

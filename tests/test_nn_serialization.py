@@ -1,0 +1,47 @@
+"""Tests for parameter flattening."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.module import Sequential
+from repro.nn.serialization import (
+    get_flat_gradients,
+    get_flat_parameters,
+    parameter_count,
+    set_flat_parameters,
+)
+
+
+class TestFlattening:
+    def test_roundtrip(self, rng):
+        model = Sequential(Dense(3, 4, rng=rng), ReLU(), Dense(4, 2, rng=rng))
+        flat = get_flat_parameters(model)
+        assert flat.size == parameter_count(model)
+        set_flat_parameters(model, flat * 2.0)
+        assert np.allclose(get_flat_parameters(model), flat * 2.0)
+
+    def test_set_wrong_size_rejected(self, rng):
+        model = Sequential(Dense(3, 4, rng=rng))
+        with pytest.raises(ValueError):
+            set_flat_parameters(model, np.zeros(5))
+
+    def test_empty_model(self):
+        model = Sequential(ReLU())
+        assert get_flat_parameters(model).size == 0
+        assert parameter_count(model) == 0
+
+    def test_flat_gradients(self, rng):
+        model = Sequential(Dense(3, 2, rng=rng))
+        model.forward(np.ones((4, 3)))
+        model.backward(np.ones((4, 2)))
+        grads = get_flat_gradients(model)
+        assert grads.size == parameter_count(model)
+        assert np.any(grads != 0)
+
+    def test_transfer_between_identically_shaped_models(self, rng):
+        source = Sequential(Dense(3, 3, rng=np.random.default_rng(1)))
+        target = Sequential(Dense(3, 3, rng=np.random.default_rng(2)))
+        set_flat_parameters(target, get_flat_parameters(source))
+        x = rng.normal(size=(2, 3))
+        assert np.allclose(source.forward(x), target.forward(x))

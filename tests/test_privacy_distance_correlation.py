@@ -1,0 +1,94 @@
+"""Tests for the distance-correlation statistic and defense."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.distance_correlation import (
+    DistanceCorrelationDefense,
+    distance_correlation,
+)
+
+
+class TestDistanceCorrelationStatistic:
+    def test_identical_data_has_correlation_one(self, rng):
+        x = rng.normal(size=(40, 5))
+        assert distance_correlation(x, x) == pytest.approx(1.0)
+
+    def test_linear_transform_has_high_correlation(self, rng):
+        x = rng.normal(size=(50, 4))
+        y = x @ rng.normal(size=(4, 3))
+        assert distance_correlation(x, y) > 0.7
+
+    def test_independent_data_has_low_correlation(self, rng):
+        # The empirical statistic is positively biased at finite sample size,
+        # so "low" means well below the ~0.7+ seen for dependent data.
+        x = rng.normal(size=(200, 4))
+        y = rng.normal(size=(200, 4))
+        assert distance_correlation(x, y) < 0.3
+
+    def test_bounded_between_zero_and_one(self, rng):
+        for _ in range(5):
+            x = rng.normal(size=(30, 3))
+            y = rng.normal(size=(30, 6))
+            value = distance_correlation(x, y)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    def test_one_dimensional_inputs_supported(self, rng):
+        x = rng.normal(size=60)
+        assert distance_correlation(x, 2 * x + 1) > 0.95
+
+    def test_constant_input_gives_zero(self, rng):
+        x = np.ones((20, 3))
+        y = rng.normal(size=(20, 3))
+        assert distance_correlation(x, y) == 0.0
+
+    def test_sample_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            distance_correlation(rng.normal(size=(10, 2)), rng.normal(size=(11, 2)))
+
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(ValueError):
+            distance_correlation(np.zeros((1, 2)), np.zeros((1, 2)))
+
+
+class TestDistanceCorrelationDefense:
+    def test_reduces_correlation_towards_target(self, rng):
+        inputs = rng.normal(size=(60, 8))
+        activations = np.tanh(inputs @ rng.normal(size=(8, 6)))
+        defense = DistanceCorrelationDefense(alpha=0.5, rng=np.random.default_rng(1))
+        protected = defense.protect(inputs, activations)
+        baseline, achieved = defense.last_measurement
+        assert achieved < baseline
+        assert achieved <= 0.65 * baseline + 0.05
+
+    def test_smaller_alpha_means_more_reduction(self, rng):
+        inputs = rng.normal(size=(60, 8))
+        activations = np.tanh(inputs @ rng.normal(size=(8, 6)))
+        strong = DistanceCorrelationDefense(alpha=0.2, rng=np.random.default_rng(2))
+        weak = DistanceCorrelationDefense(alpha=0.8, rng=np.random.default_rng(2))
+        strong.protect(inputs, activations)
+        weak.protect(inputs, activations)
+        assert strong.last_measurement[1] < weak.last_measurement[1]
+
+    def test_output_shape_preserved(self, rng):
+        inputs = rng.normal(size=(30, 4))
+        activations = rng.normal(size=(30, 7))
+        defense = DistanceCorrelationDefense(alpha=0.5)
+        assert defense.protect(inputs, activations).shape == activations.shape
+
+    def test_tiny_batch_passthrough(self, rng):
+        defense = DistanceCorrelationDefense(alpha=0.5)
+        activations = rng.normal(size=(1, 4))
+        assert np.array_equal(defense.protect(activations, activations), activations)
+
+    def test_make_transform_callable(self, rng):
+        defense = DistanceCorrelationDefense(alpha=0.5, rng=np.random.default_rng(3))
+        transform = defense.make_transform()
+        activations = rng.normal(size=(40, 6))
+        protected = transform(activations)
+        assert protected.shape == activations.shape
+        assert not np.array_equal(protected, activations)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceCorrelationDefense(alpha=1.5)

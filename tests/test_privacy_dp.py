@@ -1,0 +1,78 @@
+"""Tests for the differential-privacy mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.differential_privacy import DifferentialPrivacy
+
+
+class TestClipping:
+    def test_clips_large_vectors(self):
+        mechanism = DifferentialPrivacy(clip_norm=1.0)
+        vector = np.array([3.0, 4.0])  # norm 5
+        clipped = mechanism.clip(vector)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+
+    def test_small_vectors_unchanged(self):
+        mechanism = DifferentialPrivacy(clip_norm=10.0)
+        vector = np.array([3.0, 4.0])
+        assert np.array_equal(mechanism.clip(vector), vector)
+
+    def test_zero_vector_unchanged(self):
+        mechanism = DifferentialPrivacy(clip_norm=1.0)
+        assert np.array_equal(mechanism.clip(np.zeros(3)), np.zeros(3))
+
+
+class TestNoise:
+    def test_noise_changes_values(self):
+        mechanism = DifferentialPrivacy(epsilon=0.5, rng=np.random.default_rng(0))
+        vector = np.ones(100)
+        assert not np.array_equal(mechanism.add_noise(vector), vector)
+
+    def test_smaller_epsilon_means_more_noise(self):
+        strict = DifferentialPrivacy(epsilon=0.1, rng=np.random.default_rng(1))
+        loose = DifferentialPrivacy(epsilon=10.0, rng=np.random.default_rng(1))
+        vector = np.zeros(10_000)
+        strict_noise = np.abs(strict.add_noise(vector)).mean()
+        loose_noise = np.abs(loose.add_noise(vector)).mean()
+        assert strict_noise > loose_noise
+
+    def test_gaussian_mechanism_supported(self):
+        mechanism = DifferentialPrivacy(mechanism="gaussian", rng=np.random.default_rng(2))
+        assert mechanism.noise_scale > 0
+        assert mechanism.add_noise(np.zeros(10)).shape == (10,)
+
+    def test_empty_vector(self):
+        mechanism = DifferentialPrivacy()
+        assert mechanism.add_noise(np.array([])).size == 0
+
+    def test_privatize_combines_clip_and_noise(self):
+        mechanism = DifferentialPrivacy(
+            epsilon=1.0, clip_norm=1.0, rng=np.random.default_rng(3)
+        )
+        vector = np.full(50, 10.0)
+        private = mechanism.privatize(vector)
+        assert private.shape == vector.shape
+        assert not np.array_equal(private, vector)
+
+    def test_callable_interface(self):
+        mechanism = DifferentialPrivacy(rng=np.random.default_rng(4))
+        assert mechanism(np.ones(5)).shape == (5,)
+
+
+class TestValidation:
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialPrivacy(epsilon=0.0)
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialPrivacy(delta=1.5)
+
+    def test_invalid_mechanism_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialPrivacy(mechanism="exponential")
+
+    def test_invalid_clip_norm_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialPrivacy(clip_norm=0.0)

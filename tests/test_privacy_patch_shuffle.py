@@ -1,0 +1,46 @@
+"""Tests for the patch-shuffling defense."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.patch_shuffle import PatchShuffle
+
+
+class TestPatchShuffle:
+    def test_preserves_shape_and_values(self, rng):
+        shuffle = PatchShuffle(num_patches=4, rng=np.random.default_rng(0))
+        activations = rng.normal(size=(10, 16))
+        out = shuffle(activations)
+        assert out.shape == activations.shape
+        assert np.allclose(np.sort(out, axis=1), np.sort(activations, axis=1))
+
+    def test_actually_permutes(self, rng):
+        shuffle = PatchShuffle(num_patches=8, rng=np.random.default_rng(1))
+        activations = np.tile(np.arange(32, dtype=float), (5, 1))
+        out = shuffle(activations)
+        assert not np.array_equal(out, activations)
+
+    def test_batch_level_shuffle_consistent_across_rows(self):
+        shuffle = PatchShuffle(num_patches=4, rng=np.random.default_rng(2), per_sample=False)
+        activations = np.vstack([np.arange(8, dtype=float), np.arange(8, dtype=float)])
+        out = shuffle(activations)
+        assert np.array_equal(out[0], out[1])
+
+    def test_per_sample_shuffle_differs_across_rows(self):
+        shuffle = PatchShuffle(num_patches=8, rng=np.random.default_rng(3), per_sample=True)
+        activations = np.tile(np.arange(64, dtype=float), (20, 1))
+        out = shuffle(activations)
+        assert any(not np.array_equal(out[0], out[i]) for i in range(1, 20))
+
+    def test_more_patches_than_features_handled(self, rng):
+        shuffle = PatchShuffle(num_patches=100, rng=np.random.default_rng(4))
+        activations = rng.normal(size=(3, 5))
+        assert shuffle(activations).shape == (3, 5)
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PatchShuffle()(rng.normal(size=(3, 4, 5)))
+
+    def test_invalid_patch_count_rejected(self):
+        with pytest.raises(ValueError):
+            PatchShuffle(num_patches=0)

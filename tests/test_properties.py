@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
+from repro.core.pairing import greedy_pairing, pairing_makespan
+from repro.core.profiling import profile_architecture
+from repro.core.workload import estimate_offload_time, individual_training_time
+from repro.data.partition import dirichlet_partition, iid_partition, partition_sizes
+from repro.models.resnet import resnet56_spec
+from repro.network.allreduce import (
+    allreduce_average,
+    halving_doubling_allreduce,
+    ring_allreduce,
+)
+from repro.network.compression import QuantizationCompressor
+from repro.network.link import LinkModel
+from repro.network.topology import full_topology
+from repro.nn.functional import one_hot, softmax
+from repro.privacy.differential_privacy import DifferentialPrivacy
+from repro.privacy.patch_shuffle import PatchShuffle
+from repro.utils.units import bytes_per_second_to_mbps, mbps_to_bytes_per_second
+
+RESNET56 = resnet56_spec()
+PROFILE = profile_architecture(RESNET56, granularity=9)
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_bandwidth_roundtrip(mbps):
+    assert bytes_per_second_to_mbps(mbps_to_bytes_per_second(mbps)) == pytest.approx(mbps)
+
+
+# ----------------------------------------------------------------------
+# Partitioning invariants
+# ----------------------------------------------------------------------
+@given(
+    total=st.integers(min_value=10, max_value=2_000),
+    agents=st.integers(min_value=1, max_value=10),
+)
+def test_partition_sizes_sum_to_total(total, agents):
+    if total < agents:
+        return
+    sizes = partition_sizes(total, agents)
+    assert sum(sizes) == total
+    assert all(size >= 1 for size in sizes)
+
+
+@given(
+    num_samples=st.integers(min_value=20, max_value=400),
+    num_agents=st.integers(min_value=2, max_value=8),
+    num_classes=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_iid_partition_is_a_partition(num_samples, num_agents, num_classes, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    shards = iid_partition(labels, num_agents, rng)
+    combined = np.concatenate(shards)
+    assert len(combined) == num_samples
+    assert len(np.unique(combined)) == num_samples
+
+
+@given(
+    num_samples=st.integers(min_value=30, max_value=300),
+    num_agents=st.integers(min_value=2, max_value=6),
+    alpha=st.floats(min_value=0.1, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=1_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_dirichlet_partition_is_a_partition(num_samples, num_agents, alpha, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 5, size=num_samples)
+    shards = dirichlet_partition(labels, num_agents, rng, alpha=alpha)
+    combined = np.concatenate(shards)
+    assert len(combined) == num_samples
+    assert len(np.unique(combined)) == num_samples
+    assert all(len(shard) >= 1 for shard in shards)
+
+
+# ----------------------------------------------------------------------
+# AllReduce invariants
+# ----------------------------------------------------------------------
+@given(
+    num_vectors=st.integers(min_value=1, max_value=6),
+    dimension=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_allreduce_average_bounded_by_extremes(num_vectors, dimension, seed):
+    rng = np.random.default_rng(seed)
+    vectors = [rng.normal(size=dimension) for _ in range(num_vectors)]
+    weights = rng.random(num_vectors) + 0.01
+    average = allreduce_average(vectors, weights)
+    stacked = np.stack(vectors)
+    assert np.all(average >= stacked.min(axis=0) - 1e-9)
+    assert np.all(average <= stacked.max(axis=0) + 1e-9)
+
+
+@given(
+    model_bytes=st.floats(min_value=1e3, max_value=1e8),
+    num_agents=st.integers(min_value=2, max_value=256),
+    bandwidth=st.floats(min_value=1e5, max_value=1e8),
+)
+@settings(max_examples=50, deadline=None)
+def test_allreduce_algorithms_move_same_volume(model_bytes, num_agents, bandwidth):
+    ring = ring_allreduce(model_bytes, num_agents, bandwidth)
+    hd = halving_doubling_allreduce(model_bytes, num_agents, bandwidth)
+    assert ring.per_agent_bytes == pytest.approx(hd.per_agent_bytes)
+    assert ring.time_seconds > 0 and hd.time_seconds > 0
+
+
+# ----------------------------------------------------------------------
+# Compression invariants
+# ----------------------------------------------------------------------
+@given(
+    bits=st.integers(min_value=2, max_value=16),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_quantization_error_bounded(bits, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=200)
+    compressor = QuantizationCompressor(bits=bits)
+    reconstructed = compressor.compress(values)
+    step = (values.max() - values.min()) / ((1 << bits) - 1)
+    assert np.max(np.abs(reconstructed - values)) <= step / 2 + 1e-12
+    assert compressor.compressed_bytes(800.0) <= 800.0
+
+
+# ----------------------------------------------------------------------
+# Softmax / one-hot invariants
+# ----------------------------------------------------------------------
+@given(
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_a_distribution(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    probs = softmax(rng.normal(scale=10, size=(rows, cols)))
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+@given(
+    count=st.integers(min_value=1, max_value=50),
+    classes=st.integers(min_value=2, max_value=20),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_one_hot_rows_sum_to_one(count, classes, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, size=count)
+    encoded = one_hot(labels, classes)
+    assert np.all(encoded.sum(axis=1) == 1)
+    assert np.array_equal(encoded.argmax(axis=1), labels)
+
+
+# ----------------------------------------------------------------------
+# Privacy invariants
+# ----------------------------------------------------------------------
+@given(
+    clip_norm=st.floats(min_value=0.1, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_dp_clipping_never_exceeds_norm(clip_norm, seed):
+    rng = np.random.default_rng(seed)
+    mechanism = DifferentialPrivacy(clip_norm=clip_norm, rng=rng)
+    vector = rng.normal(scale=100.0, size=50)
+    assert np.linalg.norm(mechanism.clip(vector)) <= clip_norm + 1e-9
+
+
+@given(
+    num_patches=st.integers(min_value=1, max_value=32),
+    features=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=30, deadline=None)
+def test_patch_shuffle_is_a_permutation(num_patches, features, seed):
+    rng = np.random.default_rng(seed)
+    shuffle = PatchShuffle(num_patches=num_patches, rng=np.random.default_rng(seed))
+    activations = rng.normal(size=(4, features))
+    out = shuffle(activations)
+    assert np.allclose(np.sort(out, axis=1), np.sort(activations, axis=1))
+
+
+# ----------------------------------------------------------------------
+# Workload-balancing invariants
+# ----------------------------------------------------------------------
+AGENT_STRATEGY = st.tuples(
+    st.sampled_from([4.0, 2.0, 1.0, 0.5, 0.2]),        # cpu share
+    st.sampled_from([10.0, 20.0, 50.0, 100.0]),        # bandwidth
+    st.integers(min_value=100, max_value=3_000),       # samples
+)
+
+
+@given(
+    slow=AGENT_STRATEGY,
+    fast=AGENT_STRATEGY,
+    offload=st.sampled_from(PROFILE.offload_options),
+)
+@settings(max_examples=60, deadline=None)
+def test_offload_estimate_invariants(slow, fast, offload):
+    slow_agent = Agent(0, ResourceProfile(slow[0], slow[1]), num_samples=slow[2], batch_size=100)
+    fast_agent = Agent(1, ResourceProfile(fast[0], fast[1]), num_samples=fast[2], batch_size=100)
+    bandwidth = min(
+        slow_agent.profile.bandwidth_bytes_per_second,
+        fast_agent.profile.bandwidth_bytes_per_second,
+    )
+    estimate = estimate_offload_time(slow_agent, fast_agent, offload, PROFILE, bandwidth)
+    assert estimate.pair_time >= estimate.slow_time - 1e-9
+    assert estimate.pair_time >= 0
+    assert estimate.communication_time >= 0
+    assert estimate.idle_time >= 0
+
+
+@given(
+    population=st.lists(AGENT_STRATEGY, min_size=2, max_size=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_greedy_pairing_invariants(population):
+    agents = [
+        Agent(i, ResourceProfile(cpu, bw), num_samples=samples, batch_size=100)
+        for i, (cpu, bw, samples) in enumerate(population)
+    ]
+    link_model = LinkModel(full_topology(range(len(agents))))
+    decisions = greedy_pairing(agents, link_model, PROFILE)
+
+    used = []
+    for decision in decisions:
+        used.append(decision.slow_id)
+        if decision.fast_id is not None:
+            used.append(decision.fast_id)
+    # Every agent covered exactly once.
+    assert sorted(used) == list(range(len(agents)))
+
+    # The balanced makespan never exceeds the unbalanced straggler time.
+    unbalanced = max(
+        individual_training_time(agent, PROFILE, 100) for agent in agents
+    )
+    assert pairing_makespan(decisions) <= unbalanced + 1e-6

@@ -1,0 +1,73 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestSimulationEngine:
+    def test_step_advances_clock(self):
+        engine = SimulationEngine()
+        engine.schedule_at(3.0, kind="tick")
+        event = engine.step()
+        assert event.kind == "tick"
+        assert engine.now == 3.0
+
+    def test_step_empty_returns_none(self):
+        assert SimulationEngine().step() is None
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0)
+        engine.step()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0)
+
+    def test_schedule_after(self):
+        engine = SimulationEngine()
+        engine.schedule_after(2.0, kind="later")
+        engine.step()
+        assert engine.now == 2.0
+
+    def test_schedule_after_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_after(-1.0)
+
+    def test_callbacks_invoked(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_at(1.0, kind="x", callback=lambda event: seen.append(event.kind))
+        engine.step()
+        assert seen == ["x"]
+
+    def test_kind_handlers_invoked(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.on("churn", lambda event: seen.append(event.timestamp))
+        engine.schedule_at(1.0, kind="churn")
+        engine.schedule_at(2.0, kind="other")
+        engine.run()
+        assert seen == [1.0]
+
+    def test_run_until_processes_only_due_events(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0)
+        engine.schedule_at(10.0)
+        processed = engine.run_until(5.0)
+        assert processed == 1
+        assert engine.now == 5.0
+        assert len(engine.queue) == 1
+
+    def test_run_drains_queue(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t)
+        assert engine.run() == 3
+        assert engine.processed_events == 3
+
+    def test_run_with_max_events(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t)
+        assert engine.run(max_events=2) == 2
+        assert len(engine.queue) == 1

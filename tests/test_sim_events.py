@@ -1,0 +1,69 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_timestamp(self):
+        queue = EventQueue()
+        queue.schedule(5.0, kind="later")
+        queue.schedule(1.0, kind="sooner")
+        assert queue.pop().kind == "sooner"
+        assert queue.pop().kind == "later"
+
+    def test_ties_broken_by_priority(self):
+        queue = EventQueue()
+        queue.schedule(1.0, kind="low", priority=5)
+        queue.schedule(1.0, kind="high", priority=0)
+        assert queue.pop().kind == "high"
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        queue.schedule(1.0, kind="first")
+        queue.schedule(1.0, kind="second")
+        assert queue.pop().kind == "first"
+        assert queue.pop().kind == "second"
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0)
+        assert queue and len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.schedule(1.0, kind="only")
+        assert queue.peek().kind == "only"
+        assert len(queue) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().peek()
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.schedule(1.0)
+        queue.schedule(2.0)
+        queue.clear()
+        assert len(queue) == 0
+
+    def test_payload_and_callback_preserved(self):
+        queue = EventQueue()
+        payload = {"round": 3}
+        callback = lambda event: None
+        queue.schedule(2.0, kind="custom", payload=payload, callback=callback)
+        event = queue.pop()
+        assert event.payload is payload
+        assert event.callback is callback
+
+    def test_push_assigns_sequence(self):
+        queue = EventQueue()
+        first = queue.push(Event(timestamp=1.0))
+        second = queue.push(Event(timestamp=1.0))
+        assert second.sequence > first.sequence

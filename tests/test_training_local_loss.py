@@ -1,0 +1,94 @@
+"""Tests for local-loss split training."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import cifar10_like
+from repro.models.proxy import build_proxy_classifier
+from repro.models.split import split_sequential
+from repro.nn.serialization import get_flat_parameters
+from repro.training.local_loss import LocalLossSplitTrainer
+from repro.training.trainer import evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def task():
+    return cifar10_like(train_samples=600, test_samples=300, num_features=32, seed=1)
+
+
+class TestLocalLossSplitTrainer:
+    def test_split_training_improves_accuracy(self, task):
+        train, test = task
+        rng = np.random.default_rng(0)
+        backbone = build_proxy_classifier(32, 10, num_blocks=3, width=24, rng=rng)
+        split = split_sequential(backbone, 2, num_classes=10, rng=rng)
+        before = evaluate_accuracy(backbone, test)
+        trainer = LocalLossSplitTrainer(learning_rate=0.05, batch_size=50, local_epochs=5)
+        result = trainer.train(split, train)
+        after = evaluate_accuracy(backbone, test)
+        assert result.batches > 0
+        assert result.slow_loss > 0 and result.fast_loss > 0
+        assert after > before + 0.1
+
+    def test_both_sides_updated(self, task):
+        train, _ = task
+        rng = np.random.default_rng(1)
+        backbone = build_proxy_classifier(32, 10, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 1, num_classes=10, rng=rng)
+        slow_before = np.concatenate([p.value.ravel().copy() for p in split.slow_side.parameters()])
+        fast_before = np.concatenate([p.value.ravel().copy() for p in split.fast_side.parameters()])
+        LocalLossSplitTrainer(learning_rate=0.05, batch_size=50).train(split, train)
+        slow_after = np.concatenate([p.value.ravel() for p in split.slow_side.parameters()])
+        fast_after = np.concatenate([p.value.ravel() for p in split.fast_side.parameters()])
+        assert not np.allclose(slow_before, slow_after)
+        assert not np.allclose(fast_before, fast_after)
+
+    def test_intermediate_scalars_counted(self, task):
+        train, _ = task
+        rng = np.random.default_rng(2)
+        backbone = build_proxy_classifier(32, 10, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 1, num_classes=10, rng=rng)
+        result = LocalLossSplitTrainer(batch_size=50).train(split, train)
+        # Every sample's boundary activation (width 16) crossed the split once.
+        assert result.intermediate_scalars == len(train) * 16
+
+    def test_unsplit_model_trains_like_local(self, task):
+        train, test = task
+        rng = np.random.default_rng(3)
+        backbone = build_proxy_classifier(32, 10, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 0, num_classes=10, rng=rng)
+        result = LocalLossSplitTrainer(learning_rate=0.05, batch_size=50, local_epochs=3).train(split, train)
+        assert result.fast_loss == 0.0
+        assert result.intermediate_scalars == 0
+        assert evaluate_accuracy(backbone, test) > 0.2
+
+    def test_activation_transform_applied(self, task):
+        train, _ = task
+        rng = np.random.default_rng(4)
+        calls = []
+
+        def transform(activations):
+            calls.append(activations.shape)
+            return activations
+
+        backbone = build_proxy_classifier(32, 10, num_blocks=2, width=16, rng=rng)
+        split = split_sequential(backbone, 1, num_classes=10, rng=rng)
+        LocalLossSplitTrainer(batch_size=50, activation_transform=transform).train(split, train)
+        assert len(calls) == len(train) // 50
+
+    def test_empty_dataset_is_noop(self):
+        from repro.data.dataset import Dataset
+
+        rng = np.random.default_rng(5)
+        backbone = build_proxy_classifier(8, 2, num_blocks=1, width=8, rng=rng)
+        split = split_sequential(backbone, 1, num_classes=2, rng=rng)
+        before = get_flat_parameters(backbone).copy()
+        result = LocalLossSplitTrainer().train(
+            split, Dataset(np.zeros((0, 8)), np.zeros(0, dtype=int), 2)
+        )
+        assert result.batches == 0
+        assert np.array_equal(get_flat_parameters(backbone), before)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            LocalLossSplitTrainer(batch_size=0)

@@ -1,0 +1,69 @@
+"""Tests for round records and run histories."""
+
+import pytest
+
+from repro.training.metrics import RoundRecord, RunHistory
+
+
+def record(index, duration, cumulative, accuracy):
+    return RoundRecord(
+        round_index=index,
+        duration_seconds=duration,
+        cumulative_seconds=cumulative,
+        accuracy=accuracy,
+    )
+
+
+class TestRunHistory:
+    def test_append_and_totals(self):
+        history = RunHistory("ComDML")
+        history.append(record(0, 10.0, 10.0, 0.2))
+        history.append(record(1, 10.0, 20.0, 0.5))
+        assert len(history) == 2
+        assert history.total_time == 20.0
+        assert history.final_accuracy == 0.5
+
+    def test_out_of_order_append_rejected(self):
+        history = RunHistory("x")
+        history.append(record(1, 1.0, 1.0, 0.1))
+        with pytest.raises(ValueError):
+            history.append(record(0, 1.0, 2.0, 0.2))
+
+    def test_time_to_accuracy(self):
+        history = RunHistory("x")
+        history.append(record(0, 10.0, 10.0, 0.3))
+        history.append(record(1, 10.0, 20.0, 0.6))
+        history.append(record(2, 10.0, 30.0, 0.9))
+        assert history.time_to_accuracy(0.5) == 20.0
+        assert history.rounds_to_accuracy(0.5) == 2
+        assert history.time_to_accuracy(0.95) is None
+        assert history.rounds_to_accuracy(0.95) is None
+
+    def test_best_accuracy_tracks_maximum(self):
+        history = RunHistory("x")
+        history.append(record(0, 1.0, 1.0, 0.7))
+        history.append(record(1, 1.0, 2.0, 0.6))
+        assert history.best_accuracy == 0.7
+        assert history.final_accuracy == 0.6
+
+    def test_empty_history_defaults(self):
+        history = RunHistory("x")
+        assert history.total_time == 0.0
+        assert history.final_accuracy == 0.0
+        assert history.best_accuracy == 0.0
+        assert history.time_to_accuracy(0.5) is None
+
+    def test_accuracies_and_times_lists(self):
+        history = RunHistory("x")
+        history.append(record(0, 2.0, 2.0, 0.1))
+        history.append(record(1, 3.0, 5.0, 0.2))
+        assert history.accuracies() == [0.1, 0.2]
+        assert history.times() == [2.0, 5.0]
+
+    def test_summary_dict(self):
+        history = RunHistory("ComDML")
+        history.append(record(0, 2.0, 2.0, 0.4))
+        summary = history.summary()
+        assert summary["method"] == "ComDML"
+        assert summary["rounds"] == 1
+        assert summary["final_accuracy"] == 0.4

@@ -1,0 +1,79 @@
+"""Tests for the standard local trainer."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import cifar10_like
+from repro.models.proxy import build_proxy_classifier
+from repro.nn.serialization import get_flat_parameters
+from repro.training.trainer import LocalTrainer, evaluate_accuracy
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    train, test = cifar10_like(train_samples=600, test_samples=300, num_features=32, seed=0)
+    return train, test
+
+
+class TestEvaluateAccuracy:
+    def test_untrained_model_near_chance(self, small_task, rng):
+        train, test = small_task
+        model = build_proxy_classifier(32, 10, num_blocks=2, width=24, rng=rng)
+        accuracy = evaluate_accuracy(model, test)
+        assert 0.0 <= accuracy <= 0.35
+
+    def test_empty_dataset_returns_zero(self, rng):
+        from repro.data.dataset import Dataset
+
+        model = build_proxy_classifier(4, 2, num_blocks=1, width=8, rng=rng)
+        empty = Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int), 2)
+        assert evaluate_accuracy(model, empty) == 0.0
+
+
+class TestLocalTrainer:
+    def test_training_reduces_loss_and_improves_accuracy(self, small_task, rng):
+        train, test = small_task
+        model = build_proxy_classifier(32, 10, num_blocks=2, width=24, rng=rng)
+        before = evaluate_accuracy(model, test)
+        trainer = LocalTrainer(learning_rate=0.05, batch_size=50, local_epochs=5)
+        loss = trainer.train(model, train)
+        after = evaluate_accuracy(model, test)
+        assert loss > 0
+        assert after > before + 0.1
+
+    def test_zero_length_dataset_is_noop(self, rng):
+        from repro.data.dataset import Dataset
+
+        model = build_proxy_classifier(4, 2, num_blocks=1, width=8, rng=rng)
+        before = get_flat_parameters(model).copy()
+        empty = Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int), 2)
+        assert LocalTrainer().train(model, empty) == 0.0
+        assert np.array_equal(get_flat_parameters(model), before)
+
+    def test_proximal_term_pulls_towards_reference(self, small_task, rng):
+        train, _ = small_task
+        reference_model = build_proxy_classifier(32, 10, num_blocks=2, width=24, rng=np.random.default_rng(5))
+        reference = get_flat_parameters(reference_model)
+
+        def run(mu):
+            model = build_proxy_classifier(32, 10, num_blocks=2, width=24, rng=np.random.default_rng(5))
+            trainer = LocalTrainer(
+                learning_rate=0.05, batch_size=50, local_epochs=3, proximal_mu=mu
+            )
+            trainer.train(model, train, global_reference=reference)
+            return np.linalg.norm(get_flat_parameters(model) - reference)
+
+        assert run(mu=1.0) < run(mu=0.0)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            LocalTrainer(batch_size=0)
+        with pytest.raises(ValueError):
+            LocalTrainer(proximal_mu=-1.0)
+
+    def test_explicit_learning_rate_override(self, small_task, rng):
+        train, _ = small_task
+        model = build_proxy_classifier(32, 10, num_blocks=1, width=16, rng=rng)
+        trainer = LocalTrainer(learning_rate=0.001, batch_size=50, local_epochs=1)
+        loss = trainer.train(model, train, learning_rate=0.05)
+        assert loss > 0

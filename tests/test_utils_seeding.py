@@ -1,0 +1,52 @@
+"""Tests for deterministic seeding."""
+
+import numpy as np
+import pytest
+
+from repro.utils.seeding import SeedSequenceFactory, seeded_rng
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a = seeded_rng(7).random(5)
+        b = seeded_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = seeded_rng(7).random(5)
+        b = seeded_rng(8).random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequenceFactory:
+    def test_same_label_reproducible(self):
+        first = SeedSequenceFactory(1).generator("data").random(4)
+        second = SeedSequenceFactory(1).generator("data").random(4)
+        assert np.array_equal(first, second)
+
+    def test_different_labels_independent(self):
+        factory = SeedSequenceFactory(1)
+        a = factory.generator("data").random(4)
+        b = factory.generator("topology").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceFactory(1).generator("data").random(4)
+        b = SeedSequenceFactory(2).generator("data").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSequenceFactory(1).generator("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("abc")
+
+    def test_spawn_returns_factory(self):
+        child = SeedSequenceFactory(3).spawn("agent-1")
+        assert isinstance(child, SeedSequenceFactory)
+        assert child.seed != 3 or child.generator("x") is not None
+
+    def test_seed_property(self):
+        assert SeedSequenceFactory(99).seed == 99

@@ -1,0 +1,57 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.utils.units import (
+    bits_to_bytes,
+    bytes_per_second_to_mbps,
+    bytes_to_megabytes,
+    mbps_to_bytes_per_second,
+    megabytes_to_bytes,
+    seconds_to_human,
+)
+
+
+class TestBandwidthConversions:
+    def test_mbps_to_bytes_per_second(self):
+        assert mbps_to_bytes_per_second(8.0) == pytest.approx(1_000_000.0)
+
+    def test_zero_mbps_is_zero(self):
+        assert mbps_to_bytes_per_second(0.0) == 0.0
+
+    def test_negative_mbps_rejected(self):
+        with pytest.raises(ValueError):
+            mbps_to_bytes_per_second(-1.0)
+
+    def test_roundtrip(self):
+        assert bytes_per_second_to_mbps(mbps_to_bytes_per_second(50.0)) == pytest.approx(50.0)
+
+    def test_negative_bytes_per_second_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_per_second_to_mbps(-5.0)
+
+
+class TestByteConversions:
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes(16) == 2.0
+
+    def test_megabytes_roundtrip(self):
+        assert bytes_to_megabytes(megabytes_to_bytes(3.5)) == pytest.approx(3.5)
+
+    def test_megabytes_to_bytes_value(self):
+        assert megabytes_to_bytes(1.0) == 1024 * 1024
+
+
+class TestHumanDuration:
+    def test_seconds_only(self):
+        assert seconds_to_human(42) == "42s"
+
+    def test_minutes(self):
+        assert seconds_to_human(125) == "2m 05s"
+
+    def test_hours(self):
+        assert seconds_to_human(3723) == "1h 02m 03s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            seconds_to_human(-1)
