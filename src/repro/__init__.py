@@ -13,8 +13,10 @@ The package is organised in two planes:
   training.
 
 ``repro.core`` implements the paper's contribution (the ComDML pairing
-scheduler and round orchestration), ``repro.baselines`` the comparison
-systems, and ``repro.experiments`` the table/figure reproductions.
+scheduler and round timing), ``repro.baselines`` the comparison systems,
+``repro.runtime`` the shared event-driven training runtime that executes
+any method in ``sync``/``semi-sync``/``async`` mode, and
+``repro.experiments`` the table/figure reproductions.
 """
 
 from repro.version import __version__
@@ -28,6 +30,7 @@ from repro.models.resnet import resnet56_spec, resnet110_spec
 from repro.data.synthetic import cifar10_like, cifar100_like, cinic10_like
 from repro.data.partition import iid_partition, dirichlet_partition
 from repro.experiments.runner import ExperimentRunner
+from repro.runtime import EventTrace, TrainingRuntime
 
 __all__ = [
     "__version__",
@@ -49,4 +52,6 @@ __all__ = [
     "iid_partition",
     "dirichlet_partition",
     "ExperimentRunner",
+    "TrainingRuntime",
+    "EventTrace",
 ]

@@ -1,38 +1,39 @@
-"""Shared machinery for the baseline training methods.
+"""Baseline contributions to the shared training runtime.
 
-Each baseline differs from ComDML only in (a) how a round's duration is
-computed (no workload balancing — every agent trains the full model) and
-(b) its aggregation pattern.  The run loop, participation sampling, dynamic
-churn, learning-rate schedule and accuracy tracking are identical, so they
-live here.
+Since the runtime split, the round loop no longer lives here.  Everything
+the baselines share with ComDML — participation sampling, dynamic churn,
+the learning-rate schedule, accuracy tracking, the run history, and the
+event-driven execution modes — is owned by
+:class:`~repro.runtime.TrainingRuntime`.  A baseline contributes only its
+**round-timing/aggregation pattern** through the :meth:`BaselineTrainer.round_timing`
+hook (and, optionally, a per-agent :meth:`BaselineTrainer.unit_duration`),
+which this base class packages as a
+:class:`~repro.runtime.strategy.RoundPlan` of one solo work unit per
+participant (no workload balancing — every agent trains the full model).
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.agents.agent import Agent
-from repro.agents.dynamics import ResourceChurn
 from repro.agents.registry import AgentRegistry
 from repro.core.config import ComDMLConfig
 from repro.core.pairing import PairingDecision
 from repro.core.profiling import SplitProfile, profile_architecture
-from repro.core.workload import OffloadEstimate, individual_training_time
+from repro.core.workload import individual_training_time
 from repro.models.spec import ArchitectureSpec
 from repro.network.link import LinkModel
 from repro.network.topology import Topology, full_topology
-from repro.nn.schedule import ReduceOnPlateau
-from repro.sim.clock import SimClock
+from repro.runtime.runtime import RuntimeDelegate, TrainingRuntime
+from repro.runtime.strategy import RoundPlan, StrategyDefaults, WorkUnit, solo_decisions
 from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
 from repro.training.curves import LearningCurveModel, curve_preset_for
-from repro.training.metrics import RoundRecord, RunHistory
 from repro.utils.seeding import SeedSequenceFactory
 
 
-class BaselineTrainer:
-    """Base class implementing the round loop shared by all baselines."""
+class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
+    """Base strategy implementing the plan shared by all baselines."""
 
     #: Human-readable method name used in reports.
     method_name = "Baseline"
@@ -63,16 +64,7 @@ class BaselineTrainer:
         seeds = SeedSequenceFactory(self.config.seed)
         self._participation_rng = seeds.generator(f"{self.method_name}.participation")
         self._method_rng = seeds.generator(f"{self.method_name}.method")
-        self._churn_rng = seeds.generator(f"{self.method_name}.churn")
-        self.churn = (
-            ResourceChurn(
-                fraction=self.config.churn_fraction,
-                interval_rounds=self.config.churn_interval_rounds,
-            )
-            if self.config.churn_fraction > 0
-            else None
-        )
-        self.accuracy_tracker = (
+        tracker = (
             accuracy_tracker
             if accuracy_tracker is not None
             else CurveAccuracyTracker(
@@ -83,12 +75,12 @@ class BaselineTrainer:
                 )
             )
         )
-        self.clock = SimClock()
-        self.history = RunHistory(method=self.method_name)
-        self._lr_schedule = ReduceOnPlateau(
-            learning_rate=self.config.learning_rate,
-            factor=self.config.lr_plateau_factor,
-            patience=self.config.lr_plateau_patience,
+        self.runtime = TrainingRuntime(
+            strategy=self,
+            registry=registry,
+            config=self.config,
+            accuracy_tracker=tracker,
+            churn_rng=seeds.generator(f"{self.method_name}.churn"),
         )
 
     # ------------------------------------------------------------------
@@ -97,6 +89,16 @@ class BaselineTrainer:
     def round_timing(self, participants: Sequence[Agent]) -> tuple[float, float, float]:
         """Return ``(total, compute, communication)`` seconds for one round."""
         raise NotImplementedError
+
+    def unit_duration(self, agent: Agent, decision: PairingDecision) -> float:
+        """How long one participant's unit of local work takes.
+
+        Defaults to the solo decision's already-computed training time;
+        methods whose agents also block on per-agent communication (e.g.
+        FedAvg's download/upload chain) override this so the
+        ``semi-sync``/``async`` modes see the real completion times.
+        """
+        return decision.estimate.pair_time
 
     # ------------------------------------------------------------------
     # Shared helpers
@@ -117,74 +119,31 @@ class BaselineTrainer:
         """Serialized full-model size in bytes."""
         return self.profile.full_model_bytes
 
-    def _solo_decisions(self, participants: Sequence[Agent]) -> list[PairingDecision]:
-        """Every participant trains the full model alone (no offloading)."""
-        decisions: list[PairingDecision] = []
-        for agent in participants:
-            own_time = self.full_model_training_time(agent)
-            estimate = OffloadEstimate(
-                offloaded_layers=0,
-                slow_time=own_time,
-                fast_own_time=0.0,
-                communication_time=0.0,
-                fast_offload_time=0.0,
-                pair_time=own_time,
-            )
-            decisions.append(
-                PairingDecision(
-                    slow_id=agent.agent_id,
-                    fast_id=None,
-                    offloaded_layers=0,
-                    estimate=estimate,
-                )
-            )
-        return decisions
-
-    def _participation_fraction(self, participants: Sequence[Agent]) -> float:
-        total = self.registry.total_samples
-        if total == 0:
-            return 1.0
-        contributed = sum(agent.num_samples for agent in participants)
-        return min(1.0, contributed / total)
-
     # ------------------------------------------------------------------
-    # Round loop
+    # RoundStrategy
     # ------------------------------------------------------------------
-    def run_round(self, round_index: int) -> RoundRecord:
-        """Execute one global round and return its record."""
-        if self.churn is not None:
-            self.churn.maybe_apply(round_index, self.registry, self._churn_rng)
-
-        participants = self.select_participants()
-        total_time, compute_time, communication_time = self.round_timing(participants)
-
-        decisions = self._solo_decisions(participants)
-        participation = self._participation_fraction(participants)
-        learning_rate = self._lr_schedule.learning_rate
-        accuracy = self.accuracy_tracker.after_round(decisions, participation, learning_rate)
-        self._lr_schedule.step(accuracy)
-
-        self.clock.advance(total_time)
-        record = RoundRecord(
+    def plan_round(
+        self, round_index: int, participants: Sequence[Agent]
+    ) -> RoundPlan:
+        """Price the round with the baseline's timing pattern, one solo unit per agent."""
+        total, compute, communication = self.round_timing(participants)
+        decisions = tuple(solo_decisions(participants, self.profile))
+        units = tuple(
+            WorkUnit(
+                index=index,
+                agent_ids=(agent.agent_id,),
+                duration=self.unit_duration(agent, decisions[index]),
+                decisions=(decisions[index],),
+            )
+            for index, agent in enumerate(participants)
+        )
+        return RoundPlan(
             round_index=round_index,
-            duration_seconds=total_time,
-            cumulative_seconds=self.clock.now,
-            accuracy=accuracy,
-            compute_seconds=compute_time,
-            communication_seconds=communication_time,
-            aggregation_seconds=max(0.0, total_time - compute_time),
+            decisions=decisions,
+            units=units,
+            aggregation_seconds=max(0.0, total - compute),
+            duration_seconds=total,
+            compute_seconds=compute,
+            communication_seconds=communication,
             num_pairs=0,
         )
-        self.history.append(record)
-        return record
-
-    def run(self) -> RunHistory:
-        """Run until the target accuracy is reached or ``max_rounds`` expire."""
-        for round_index in range(self.config.max_rounds):
-            record = self.run_round(round_index)
-            if (
-                self.config.target_accuracy is not None
-                and record.accuracy >= self.config.target_accuracy
-            ):
-                break
-        return self.history

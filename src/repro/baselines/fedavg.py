@@ -15,6 +15,7 @@ from typing import Sequence
 
 from repro.agents.agent import Agent
 from repro.baselines.base import BaselineTrainer
+from repro.core.pairing import PairingDecision
 from repro.sim.costs import DEFAULT_LINK_LATENCY_SECONDS
 
 
@@ -37,6 +38,27 @@ class FedAvg(BaselineTrainer):
             DEFAULT_LINK_LATENCY_SECONDS + self.model_bytes() / bandwidth
         )
         return compute + communication, compute, communication
+
+    def unit_duration(self, agent: Agent, decision: PairingDecision) -> float:
+        """An agent's unit completes after its full download+train+upload chain.
+
+        Disconnected agents contribute a zero-cost chain (the server skips
+        them), but their unit still takes the local training time — a zero
+        duration would let idle agents instantly fill a semi-sync quorum and
+        crowd out agents that are actually training.
+        """
+        total = self.agent_round_time(agent)[0]
+        return total if total > 0 else decision.estimate.pair_time
+
+    # FedAvg's communication is priced inside each agent's chain (and thus in
+    # unit_duration); the server's averaging itself is free.  Without these
+    # overrides the default mode pricing would re-add the round-level
+    # communication on top of the chains, double-counting it.
+    def semi_sync_aggregation_seconds(self, plan, kept_units) -> float:
+        return 0.0
+
+    def async_unit_aggregation_seconds(self, plan, unit) -> float:
+        return 0.0
 
     def round_timing(self, participants: Sequence[Agent]) -> tuple[float, float, float]:
         chains = [self.agent_round_time(agent) for agent in participants]

@@ -7,6 +7,8 @@ harnesses:
 .. code-block:: console
 
    comdml compare  --agents 10 --dataset cifar10 --target 0.9
+   comdml compare  --mode semi-sync --quorum 0.75 --churn 0.2
+   comdml compare  --mode async --target 0
    comdml table1
    comdml table2   --datasets cifar10 --methods ComDML FedAvg
    comdml table3   --models resnet56 --agent-counts 20 50
@@ -66,6 +68,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         churn_fraction=args.churn,
         participation_fraction=args.participation,
         offload_granularity=args.granularity,
+        execution_mode=args.mode,
+        quorum_fraction=args.quorum,
         seed=args.seed,
     )
     runner = ExperimentRunner(config)
@@ -179,6 +183,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--churn", type=float, default=0.2, help="fraction of agents whose resources change")
     compare.add_argument("--participation", type=float, default=1.0)
     compare.add_argument("--granularity", type=int, default=6, help="split-candidate spacing in layers")
+    compare.add_argument(
+        "--mode",
+        choices=("sync", "semi-sync", "async"),
+        default="sync",
+        help="runtime execution mode: full barrier, quorum rounds, or event-driven gossip",
+    )
+    compare.add_argument(
+        "--quorum",
+        type=float,
+        default=0.8,
+        help="fraction of work units that closes a semi-sync round",
+    )
     compare.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
     _add_common_output_options(compare)
     compare.set_defaults(handler=_cmd_compare)

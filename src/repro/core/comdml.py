@@ -1,49 +1,46 @@
-"""ComDML round orchestration.
+"""ComDML's contribution to the shared training runtime.
 
-Ties the pieces together exactly as Algorithm 1 prescribes, per round:
+Since the runtime split, this module no longer owns a round loop.  The
+shared machinery of Algorithm 1 — dynamic resource churn, participation
+sampling, the learning-rate schedule, accuracy tracking, the run history,
+and the event-driven execution modes — lives in
+:class:`~repro.runtime.TrainingRuntime`.  :class:`ComDML` contributes only
+what makes the method itself: **agent pairing** via the decentralized greedy
+scheduler and the **pairing-plan timing** (per-pair cost breakdown plus the
+decentralized AllReduce aggregation), packaged as a
+:class:`~repro.runtime.strategy.RoundPlan` whose work units are pairing
+decisions.
 
-1. optional dynamic resource churn (heterogeneous environments);
-2. participation sampling (when a fraction < 1 is configured);
-3. **agent pairing** via the decentralized greedy scheduler;
-4. **local model update** — timing from the pairing plan's cost breakdown,
-   accuracy from the configured tracker (real proxy training or calibrated
-   curve);
-5. **model aggregation** with decentralized AllReduce (halving-doubling by
-   default), whose cost closes the round.
-
-``ComDML.run`` stops when the target accuracy is reached or ``max_rounds``
-expire and returns a :class:`~repro.training.metrics.RunHistory`.
+``ComDML.run`` delegates to the runtime and supports all three execution
+modes (``sync`` / ``semi-sync`` / ``async``) selected through
+``ComDMLConfig.execution_mode``; ``sync`` reproduces the paper's round
+structure exactly.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.agents.dynamics import ResourceChurn
+from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
 from repro.core.config import ComDMLConfig
-from repro.core.pairing import PairingDecision
 from repro.core.profiling import SplitProfile, profile_architecture
 from repro.core.scheduler import DecentralizedPairingScheduler
-from repro.core.timing import compute_round_timing
+from repro.core.timing import bottleneck_bandwidth, compute_round_timing
 from repro.models.spec import ArchitectureSpec
+from repro.network.allreduce import allreduce_time
 from repro.network.compression import QuantizationCompressor
 from repro.network.link import LinkModel
 from repro.network.topology import Topology, full_topology
-from repro.nn.schedule import ReduceOnPlateau
-from repro.sim.clock import SimClock
+from repro.runtime.runtime import RuntimeDelegate, TrainingRuntime
+from repro.runtime.strategy import RoundPlan, StrategyDefaults, WorkUnit
+from repro.sim.costs import transfer_time_seconds
 from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
 from repro.training.curves import LearningCurveModel
-from repro.training.metrics import RoundRecord, RunHistory
-from repro.utils.logging import get_logger
 from repro.utils.seeding import SeedSequenceFactory
 
-logger = get_logger("core.comdml")
 
-
-class ComDML:
+class ComDML(StrategyDefaults, RuntimeDelegate):
     """Communication-efficient workload-balanced decentralized training."""
 
     method_name = "ComDML"
@@ -78,16 +75,12 @@ class ComDML:
             improvement_threshold=self.config.improvement_threshold,
             rng=seeds.generator("participation"),
         )
-        self.churn = (
-            ResourceChurn(
-                fraction=self.config.churn_fraction,
-                interval_rounds=self.config.churn_interval_rounds,
-            )
-            if self.config.churn_fraction > 0
+        self._aggregation_compressor = (
+            QuantizationCompressor(bits=self.config.aggregation_compression_bits)
+            if self.config.aggregation_compression_bits is not None
             else None
         )
-        self._churn_rng = seeds.generator("churn")
-        self.accuracy_tracker = (
+        tracker = (
             accuracy_tracker
             if accuracy_tracker is not None
             else CurveAccuracyTracker(
@@ -98,45 +91,25 @@ class ComDML:
                 )
             )
         )
-        self.clock = SimClock()
-        self.history = RunHistory(method=self.method_name)
-        self._lr_schedule = ReduceOnPlateau(
-            learning_rate=self.config.learning_rate,
-            factor=self.config.lr_plateau_factor,
-            patience=self.config.lr_plateau_patience,
-        )
-        self._aggregation_compressor = (
-            QuantizationCompressor(bits=self.config.aggregation_compression_bits)
-            if self.config.aggregation_compression_bits is not None
-            else None
+        self.runtime = TrainingRuntime(
+            strategy=self,
+            registry=registry,
+            config=self.config,
+            accuracy_tracker=tracker,
+            churn_rng=seeds.generator("churn"),
         )
 
     # ------------------------------------------------------------------
-    def _participation_fraction(self, decisions: list[PairingDecision]) -> float:
-        """Fraction of the population's data that contributed this round."""
-        involved: set[int] = set()
-        for decision in decisions:
-            involved.add(decision.slow_id)
-            if decision.fast_id is not None:
-                involved.add(decision.fast_id)
-        total = self.registry.total_samples
-        if total == 0:
-            return 1.0
-        contributed = sum(
-            self.registry.get(agent_id).num_samples
-            for agent_id in involved
-            if agent_id in self.registry
-        )
-        return min(1.0, contributed / total)
+    # RoundStrategy
+    # ------------------------------------------------------------------
+    def select_participants(self) -> list[Agent]:
+        """Sample this round's participants via the scheduler's RNG stream."""
+        return self.scheduler.select_participants()
 
-    def run_round(self, round_index: int) -> RoundRecord:
-        """Execute one global round and return its record."""
-        if self.churn is not None:
-            changed = self.churn.maybe_apply(round_index, self.registry, self._churn_rng)
-            if changed:
-                logger.debug("round %d: churned profiles of agents %s", round_index, changed)
-
-        participants = self.scheduler.select_participants()
+    def plan_round(
+        self, round_index: int, participants: Sequence[Agent]
+    ) -> RoundPlan:
+        """Pair the participants and price the round from the pairing plan."""
         decisions = self.scheduler.plan_round(participants)
         timing = compute_round_timing(
             decisions,
@@ -146,42 +119,62 @@ class ComDML:
             num_aggregating_agents=len(participants),
             compressor=self._aggregation_compressor,
         )
-
-        participation = self._participation_fraction(decisions)
-        learning_rate = self._lr_schedule.learning_rate
-        accuracy = self.accuracy_tracker.after_round(decisions, participation, learning_rate)
-        self._lr_schedule.step(accuracy)
-
-        self.clock.advance(timing.total_time)
-        record = RoundRecord(
+        units = tuple(
+            WorkUnit(
+                index=index,
+                agent_ids=(decision.slow_id,)
+                if decision.fast_id is None
+                else (decision.slow_id, decision.fast_id),
+                duration=decision.estimate.pair_time,
+                decisions=(decision,),
+            )
+            for index, decision in enumerate(decisions)
+        )
+        return RoundPlan(
             round_index=round_index,
+            decisions=tuple(decisions),
+            units=units,
+            aggregation_seconds=timing.aggregation_time,
             duration_seconds=timing.total_time,
-            cumulative_seconds=self.clock.now,
-            accuracy=accuracy,
             compute_seconds=timing.makespan,
             communication_seconds=timing.total_communication_time,
-            aggregation_seconds=timing.aggregation_time,
             num_pairs=timing.num_pairs,
         )
-        self.history.append(record)
-        return record
 
-    def run(self) -> RunHistory:
-        """Run until the target accuracy is reached or ``max_rounds`` expire."""
-        for round_index in range(self.config.max_rounds):
-            record = self.run_round(round_index)
-            if (
-                self.config.target_accuracy is not None
-                and record.accuracy >= self.config.target_accuracy
-            ):
-                logger.info(
-                    "target accuracy %.3f reached after %d rounds (%.0f simulated s)",
-                    self.config.target_accuracy,
-                    round_index + 1,
-                    self.clock.now,
-                )
-                break
-        return self.history
+    def _registered_agents(self, agent_ids) -> list[Agent]:
+        return [
+            self.registry.get(agent_id)
+            for agent_id in agent_ids
+            if agent_id in self.registry
+        ]
+
+    def semi_sync_aggregation_seconds(
+        self, plan: RoundPlan, kept_units: Sequence[WorkUnit]
+    ) -> float:
+        """Re-price the AllReduce over only the agents that made the quorum."""
+        involved = {
+            agent_id for unit in kept_units for agent_id in unit.agent_ids
+        }
+        agents = self._registered_agents(involved)
+        if not agents:
+            return 0.0
+        return allreduce_time(
+            model_bytes=self.profile.full_model_bytes,
+            num_agents=max(1, len(involved)),
+            bottleneck_bandwidth_bytes_per_second=bottleneck_bandwidth(agents),
+            algorithm=self.config.allreduce_algorithm,
+            compressor=self._aggregation_compressor,
+        )
+
+    def async_unit_aggregation_seconds(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        """Price one pair's gossip exchange: its slowest member pushes a model."""
+        agents = self._registered_agents(unit.agent_ids)
+        if not agents:
+            return 0.0
+        model_bytes = self.profile.full_model_bytes
+        if self._aggregation_compressor is not None:
+            model_bytes = self._aggregation_compressor.compressed_bytes(model_bytes)
+        return transfer_time_seconds(model_bytes, bottleneck_bandwidth(agents))
 
 
 def _default_curve_preset():

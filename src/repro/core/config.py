@@ -2,10 +2,23 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.utils.validation import check_positive, check_probability
+
+#: Valid runtime execution modes (see :mod:`repro.runtime.runtime`).
+EXECUTION_MODES = ("sync", "semi-sync", "async")
+
+
+def normalize_execution_mode(mode: str) -> str:
+    """Canonicalise an execution-mode name (``semi_sync`` → ``semi-sync``)."""
+    normalized = mode.replace("_", "-").lower()
+    if normalized not in EXECUTION_MODES:
+        raise ValueError(
+            f"execution_mode must be one of {EXECUTION_MODES}, got {mode!r}"
+        )
+    return normalized
 
 
 @dataclass
@@ -39,6 +52,20 @@ class ComDMLConfig:
         Minimum relative improvement required to form a pair.
     churn_fraction / churn_interval_rounds:
         Dynamic resource churn (paper: 20 % of agents every 100 rounds).
+    execution_mode:
+        How the :class:`~repro.runtime.TrainingRuntime` closes rounds:
+        ``"sync"`` (full barrier, the paper's Algorithm 1), ``"semi-sync"``
+        (round closes at a quorum of finished pairs; stragglers dropped) or
+        ``"async"`` (per-pair completion events trigger gossip-style
+        aggregation).
+    quorum_fraction:
+        Fraction of a round's work units that must finish before a
+        ``semi-sync`` round closes (ignored by the other modes).
+    trace_max_events:
+        Cap on retained runtime trace events (``None`` = unbounded).  The
+        default bounds memory on very long runs while retaining every event
+        of any realistic experiment; overflow is counted in
+        ``EventTrace.dropped_events``.
     seed:
         Experiment seed.
     """
@@ -59,6 +86,9 @@ class ComDMLConfig:
     improvement_threshold: float = 0.0
     churn_fraction: float = 0.0
     churn_interval_rounds: int = 100
+    execution_mode: str = "sync"
+    quorum_fraction: float = 0.8
+    trace_max_events: Optional[int] = 100_000
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -72,6 +102,14 @@ class ComDMLConfig:
         check_positive(self.offload_granularity, "offload_granularity")
         check_probability(self.churn_fraction, "churn_fraction")
         check_positive(self.churn_interval_rounds, "churn_interval_rounds")
+        self.execution_mode = normalize_execution_mode(self.execution_mode)
+        check_probability(self.quorum_fraction, "quorum_fraction")
+        if self.quorum_fraction <= 0:
+            raise ValueError(
+                f"quorum_fraction must be positive, got {self.quorum_fraction}"
+            )
+        if self.trace_max_events is not None:
+            check_positive(self.trace_max_events, "trace_max_events")
         if self.allreduce_algorithm not in ("ring", "halving_doubling"):
             raise ValueError(
                 "allreduce_algorithm must be 'ring' or 'halving_doubling', "

@@ -8,7 +8,7 @@ scheduling statistics for diagnostics/ablations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -24,12 +24,22 @@ from repro.utils.validation import check_probability
 
 @dataclass
 class SchedulerStats:
-    """Aggregate statistics over the rounds a scheduler has served."""
+    """Aggregate statistics over the rounds a scheduler has served.
+
+    Makespans are folded into a running sum/count (O(1) memory) so
+    million-round runs do not accumulate an ever-growing list.
+    """
 
     rounds: int = 0
     total_pairs: int = 0
     total_solo: int = 0
-    makespans: list[float] = field(default_factory=list)
+    makespan_count: int = 0
+    makespan_sum: float = 0.0
+
+    def record_makespan(self, makespan: float) -> None:
+        """Fold one round's makespan into the running mean."""
+        self.makespan_count += 1
+        self.makespan_sum += makespan
 
     @property
     def average_pairs_per_round(self) -> float:
@@ -39,7 +49,7 @@ class SchedulerStats:
     @property
     def average_makespan(self) -> float:
         """Mean estimated local-phase makespan per round."""
-        return float(np.mean(self.makespans)) if self.makespans else 0.0
+        return self.makespan_sum / self.makespan_count if self.makespan_count else 0.0
 
 
 class DecentralizedPairingScheduler:
@@ -98,5 +108,5 @@ class DecentralizedPairingScheduler:
         self.stats.rounds += 1
         self.stats.total_pairs += sum(1 for d in decisions if d.is_offloading)
         self.stats.total_solo += sum(1 for d in decisions if not d.is_offloading)
-        self.stats.makespans.append(pairing_makespan(decisions))
+        self.stats.record_makespan(pairing_makespan(decisions))
         return decisions

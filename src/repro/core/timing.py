@@ -73,7 +73,7 @@ class RoundTiming:
         return sum(1 for timing in self.pair_timings if timing.fast_id is not None)
 
 
-def _bottleneck_bandwidth(agents: Sequence[Agent]) -> float:
+def bottleneck_bandwidth(agents: Sequence[Agent]) -> float:
     """Slowest connected agent's link speed (bytes/s) among the participants."""
     connected = [
         agent.profile.bandwidth_bytes_per_second
@@ -135,7 +135,7 @@ def compute_round_timing(
     aggregation = allreduce_time(
         model_bytes=profile.full_model_bytes,
         num_agents=num_agents,
-        bottleneck_bandwidth_bytes_per_second=_bottleneck_bandwidth(participants)
+        bottleneck_bandwidth_bytes_per_second=bottleneck_bandwidth(participants)
         if participants
         else mbps_to_bytes_per_second(10.0),
         algorithm=allreduce_algorithm,

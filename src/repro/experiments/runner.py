@@ -1,8 +1,12 @@
 """Generic experiment runner.
 
-Builds a training method (ComDML or a baseline) for a scenario, runs it, and
-returns the :class:`~repro.training.metrics.RunHistory`.  The method registry
-maps the names the paper's tables use to the implementing classes and their
+Builds a training method (ComDML or a baseline) for a scenario, runs it on
+its :class:`~repro.runtime.TrainingRuntime` (in whatever execution mode the
+scenario configures — ``sync``, ``semi-sync`` or ``async``), and returns the
+:class:`~repro.training.metrics.RunHistory`; :meth:`ExperimentRunner.run_method_with_trace`
+additionally returns the runtime's per-agent
+:class:`~repro.runtime.trace.EventTrace`.  The method registry maps the
+names the paper's tables use to the implementing classes and their
 learning-curve efficiency keys.
 """
 
@@ -81,6 +85,16 @@ class ExperimentRunner:
         """Run one method to completion and return its history."""
         trainer = self.build_method(method, accuracy_tracker)
         return trainer.run()
+
+    def run_method_with_trace(
+        self,
+        method: str,
+        accuracy_tracker: Optional[AccuracyTracker] = None,
+    ):
+        """Run one method and return ``(history, event_trace)``."""
+        trainer = self.build_method(method, accuracy_tracker)
+        history = trainer.run()
+        return history, trainer.runtime.trace
 
     def compare(self, methods: Optional[list[str]] = None) -> dict[str, RunHistory]:
         """Run several methods on identical copies of the scenario."""

@@ -12,10 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-import numpy as np
-
 from repro.agents.registry import AgentRegistry
-from repro.core.config import ComDMLConfig
+from repro.core.config import ComDMLConfig, normalize_execution_mode
 from repro.core.profiling import SplitProfile, profile_architecture
 from repro.data.partition import partition_sizes
 from repro.models.resnet import cifar_resnet_spec
@@ -71,6 +69,8 @@ class ScenarioConfig:
     batch_size: int = 100
     size_imbalance: float = 0.0
     samples_per_agent: Optional[int] = None
+    execution_mode: str = "sync"
+    quorum_fraction: float = 0.8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -90,6 +90,9 @@ class ScenarioConfig:
             )
         check_probability(self.link_fraction, "link_fraction")
         check_probability(self.participation_fraction, "participation_fraction")
+        object.__setattr__(
+            self, "execution_mode", normalize_execution_mode(self.execution_mode)
+        )
 
     def with_(self, **changes) -> "ScenarioConfig":
         """Return a modified copy of the config."""
@@ -181,6 +184,8 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         offload_granularity=config.offload_granularity,
         churn_fraction=config.churn_fraction,
         churn_interval_rounds=config.churn_interval_rounds,
+        execution_mode=config.execution_mode,
+        quorum_fraction=config.quorum_fraction,
         lr_plateau_factor=0.2 if config.num_agents <= 10 else 0.5,
         seed=config.seed,
     )

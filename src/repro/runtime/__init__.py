@@ -1,0 +1,32 @@
+"""Event-driven training runtime shared by all methods.
+
+``TrainingRuntime`` owns the round machinery every method shares and drives
+execution as events on the simulation engine; each method plugs in a
+``RoundStrategy``.  See :mod:`repro.runtime.runtime` for the execution
+modes (``sync`` / ``semi-sync`` / ``async``).
+"""
+
+from repro.core.config import EXECUTION_MODES
+from repro.runtime.runtime import TrainingRuntime
+from repro.runtime.strategy import (
+    RoundPlan,
+    RoundStrategy,
+    StrategyDefaults,
+    WorkUnit,
+    participation_fraction,
+    solo_decisions,
+)
+from repro.runtime.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "EXECUTION_MODES",
+    "TrainingRuntime",
+    "RoundPlan",
+    "RoundStrategy",
+    "StrategyDefaults",
+    "WorkUnit",
+    "participation_fraction",
+    "solo_decisions",
+    "EventTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,424 @@
+"""Event-driven training runtime shared by ComDML and every baseline.
+
+The runtime owns the round machinery that Algorithm 1 prescribes and that
+every method shares — dynamic resource churn, participation sampling, the
+learning-rate schedule, accuracy tracking, the
+:class:`~repro.training.metrics.RunHistory`, and the per-agent
+:class:`~repro.runtime.trace.EventTrace` — and drives execution as events on
+a :class:`~repro.sim.engine.SimulationEngine`.  A method contributes only a
+:class:`~repro.runtime.strategy.RoundStrategy` that decomposes and prices
+each round into :class:`~repro.runtime.strategy.WorkUnit`.
+
+Three execution modes are supported (``ComDMLConfig.execution_mode``):
+
+``sync``
+    The classic full barrier: the round closes when the slowest unit and
+    the aggregation finish.  Bit-for-bit identical histories to the
+    pre-runtime per-method loops (verified by regression tests).
+``semi-sync``
+    The round closes when a quorum (``ComDMLConfig.quorum_fraction``) of
+    units has finished; stragglers are dropped from the aggregation and
+    recorded in the trace.
+``async``
+    No barrier: each unit's completion event triggers its own gossip-style
+    aggregation on the event queue; the round record summarises the epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.agents.dynamics import ResourceChurn
+from repro.agents.registry import AgentRegistry
+from repro.core.config import ComDMLConfig
+from repro.nn.schedule import ReduceOnPlateau
+from repro.runtime.strategy import (
+    RoundPlan,
+    RoundStrategy,
+    WorkUnit,
+    participation_fraction,
+)
+from repro.runtime.trace import EventTrace
+from repro.sim.engine import SimulationEngine
+from repro.training.accuracy import AccuracyTracker
+from repro.training.metrics import RoundRecord, RunHistory
+from repro.utils.logging import get_logger
+
+logger = get_logger("runtime")
+
+
+class RuntimeDelegate:
+    """Convenience surface for classes that wrap a :class:`TrainingRuntime`.
+
+    ComDML and the baseline trainers are both a :class:`RoundStrategy` and
+    the user-facing handle of their run; this mixin forwards the run-state
+    accessors to ``self.runtime`` (which the subclass's constructor must
+    set) so the delegation exists in exactly one place.
+    """
+
+    runtime: "TrainingRuntime"
+
+    @property
+    def history(self) -> RunHistory:
+        """The runtime's accumulated round records."""
+        return self.runtime.history
+
+    @property
+    def clock(self):
+        """The runtime engine's virtual clock."""
+        return self.runtime.clock
+
+    @property
+    def trace(self) -> EventTrace:
+        """The runtime's per-agent event trace."""
+        return self.runtime.trace
+
+    @property
+    def accuracy_tracker(self) -> AccuracyTracker:
+        """The learning-plane tracker driven by the runtime."""
+        return self.runtime.accuracy_tracker
+
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one global round and return its record."""
+        return self.runtime.run_round(round_index)
+
+    def run(self) -> RunHistory:
+        """Run until the target accuracy is reached or ``max_rounds`` expire."""
+        return self.runtime.run()
+
+
+class TrainingRuntime:
+    """Runs a :class:`RoundStrategy` on the discrete-event engine."""
+
+    def __init__(
+        self,
+        strategy: RoundStrategy,
+        registry: AgentRegistry,
+        config: ComDMLConfig,
+        accuracy_tracker: AccuracyTracker,
+        churn_rng: Optional[np.random.Generator] = None,
+        engine: Optional[SimulationEngine] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        self.strategy = strategy
+        self.registry = registry
+        self.config = config
+        self.accuracy_tracker = accuracy_tracker
+        self.engine = engine if engine is not None else SimulationEngine()
+        self.trace = (
+            trace if trace is not None else EventTrace(config.trace_max_events)
+        )
+        self.history = RunHistory(method=strategy.method_name)
+        self.churn = (
+            ResourceChurn(
+                fraction=config.churn_fraction,
+                interval_rounds=config.churn_interval_rounds,
+            )
+            if config.churn_fraction > 0
+            else None
+        )
+        self._churn_rng = (
+            churn_rng if churn_rng is not None else np.random.default_rng(config.seed)
+        )
+        self._lr_schedule = ReduceOnPlateau(
+            learning_rate=config.learning_rate,
+            factor=config.lr_plateau_factor,
+            patience=config.lr_plateau_patience,
+        )
+        self._last_accuracy = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        """The engine's virtual clock (shared with every scheduled event)."""
+        return self.engine.clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.engine.now
+
+    @property
+    def learning_rate(self) -> float:
+        """Current learning rate of the shared plateau schedule."""
+        return self._lr_schedule.learning_rate
+
+    # ------------------------------------------------------------------
+    def _plan(self, round_index: int) -> RoundPlan:
+        """Shared round prologue: churn, participation sampling, planning."""
+        if self.churn is not None:
+            changed = self.churn.maybe_apply(
+                round_index, self.registry, self._churn_rng
+            )
+            if changed:
+                logger.debug(
+                    "round %d: churned profiles of agents %s", round_index, changed
+                )
+                self.trace.record(
+                    self.engine.now, round_index, "churn", tuple(changed)
+                )
+        participants = self.strategy.select_participants()
+        return self.strategy.plan_round(round_index, participants)
+
+    def _finish_round(
+        self,
+        plan: RoundPlan,
+        accuracy: float,
+        duration: float,
+        compute_seconds: float,
+        aggregation_seconds: float,
+        num_pairs: int,
+        communication_seconds: Optional[float] = None,
+    ) -> RoundRecord:
+        """Append the round record at the engine's current (end) time."""
+        record = RoundRecord(
+            round_index=plan.round_index,
+            duration_seconds=duration,
+            cumulative_seconds=self.engine.now,
+            accuracy=accuracy,
+            compute_seconds=compute_seconds,
+            communication_seconds=communication_seconds
+            if communication_seconds is not None
+            else plan.communication_seconds,
+            aggregation_seconds=aggregation_seconds,
+            num_pairs=num_pairs,
+        )
+        self.history.append(record)
+        self.trace.record(
+            self.engine.now,
+            plan.round_index,
+            "round_end",
+            detail={"accuracy": accuracy, "duration": duration},
+        )
+        self._last_accuracy = accuracy
+        return record
+
+    def _advance_learning_plane(self, plan: RoundPlan, decisions) -> float:
+        """One accuracy-tracker step over the given decisions."""
+        participation = participation_fraction(self.registry, decisions)
+        accuracy = self.accuracy_tracker.after_round(
+            decisions, participation, self._lr_schedule.learning_rate
+        )
+        self._lr_schedule.step(accuracy)
+        return accuracy
+
+    # ------------------------------------------------------------------
+    # Execution modes
+    # ------------------------------------------------------------------
+    def _run_round_sync(self, round_index: int) -> RoundRecord:
+        start = self.engine.now
+        plan = self._plan(round_index)
+        self.trace.record(start, round_index, "round_start")
+
+        accuracy = self._advance_learning_plane(plan, plan.decisions)
+
+        end = start + plan.duration_seconds
+        # Clamp to the barrier so the trace stays chronological even when a
+        # unit's standalone duration exceeds the round (e.g. a disconnected
+        # FedAvg agent the server skips); the raw duration stays in `detail`.
+        for unit in sorted(plan.units, key=lambda u: (u.duration, u.index)):
+            self.trace.record(
+                min(start + unit.duration, end),
+                round_index,
+                "unit_complete",
+                unit.agent_ids,
+                detail={"duration": unit.duration},
+            )
+        if plan.aggregation_seconds > 0:
+            # Stamped at its completion (= the barrier) so it never precedes
+            # unit completions whose chains overlap the aggregation window.
+            self.trace.record(end, round_index, "aggregation")
+        self.engine.schedule_at(end, kind="round_end", payload=round_index)
+        self.engine.run_until(end)
+        return self._finish_round(
+            plan,
+            accuracy,
+            duration=plan.duration_seconds,
+            compute_seconds=plan.compute_seconds,
+            aggregation_seconds=plan.aggregation_seconds,
+            num_pairs=plan.num_pairs,
+        )
+
+    def _run_round_semi_sync(self, round_index: int) -> RoundRecord:
+        start = self.engine.now
+        plan = self._plan(round_index)
+        self.trace.record(start, round_index, "round_start")
+
+        units = sorted(plan.units, key=lambda unit: (unit.duration, unit.index))
+        quorum = (
+            max(1, math.ceil(self.config.quorum_fraction * len(units)))
+            if units
+            else 0
+        )
+        kept, dropped = units[:quorum], units[quorum:]
+        local = kept[-1].duration if kept else 0.0
+        quorum_time = start + local
+
+        for unit in kept:
+            self.engine.schedule_at(
+                start + unit.duration,
+                kind="unit_complete",
+                payload=unit,
+                callback=lambda event, u=unit: self.trace.record(
+                    event.timestamp,
+                    round_index,
+                    "unit_complete",
+                    u.agent_ids,
+                    detail={"duration": u.duration},
+                ),
+            )
+        aggregation = self.strategy.semi_sync_aggregation_seconds(plan, kept)
+        end = quorum_time + aggregation
+
+        def _on_quorum(event) -> None:
+            self.trace.record(
+                event.timestamp,
+                round_index,
+                "quorum_reached",
+                detail={"kept": len(kept), "dropped": len(dropped)},
+            )
+            # Recording the drops here (not before run_until) keeps the
+            # trace chronological: completions precede the quorum closure.
+            for unit in dropped:
+                self.trace.record(
+                    event.timestamp,
+                    round_index,
+                    "straggler_dropped",
+                    unit.agent_ids,
+                    detail={"projected_completion": start + unit.duration},
+                )
+
+        self.engine.schedule_at(
+            quorum_time, kind="quorum_reached", priority=1, callback=_on_quorum
+        )
+        self.engine.schedule_at(end, kind="round_end", priority=2, payload=round_index)
+        self.engine.run_until(end)
+
+        kept_decisions = tuple(
+            decision for unit in kept for decision in unit.decisions
+        )
+        accuracy = self._advance_learning_plane(plan, kept_decisions)
+        num_pairs = sum(1 for d in kept_decisions if d.fast_id is not None)
+        # Communication accounting covers only the quorum when the plan's
+        # decisions carry per-decision traffic (ComDML's offload streams):
+        # sum the kept ones — even a truthful zero for an all-solo quorum.
+        # Baselines price communication at round level only, so their plan
+        # figure is used as-is; it is an upper bound when the quorum dropped
+        # the round's communication-heaviest agent.
+        plan_has_decision_comm = any(
+            decision.estimate.communication_time > 0 for decision in plan.decisions
+        )
+        kept_communication = (
+            sum(decision.estimate.communication_time for decision in kept_decisions)
+            if plan_has_decision_comm
+            else plan.communication_seconds
+        )
+        return self._finish_round(
+            plan,
+            accuracy,
+            duration=end - start,
+            compute_seconds=local,
+            aggregation_seconds=aggregation,
+            num_pairs=num_pairs,
+            communication_seconds=kept_communication,
+        )
+
+    def _run_round_async(self, round_index: int) -> RoundRecord:
+        start = self.engine.now
+        plan = self._plan(round_index)
+        self.trace.record(start, round_index, "round_start")
+
+        learning_rate = self._lr_schedule.learning_rate
+        state = {"accuracy": self._last_accuracy}
+
+        def _aggregate(event) -> None:
+            unit: WorkUnit = event.payload
+            participation = participation_fraction(self.registry, unit.decisions)
+            state["accuracy"] = self.accuracy_tracker.after_round(
+                unit.decisions, participation, learning_rate
+            )
+            self.trace.record(
+                event.timestamp,
+                round_index,
+                "aggregation",
+                unit.agent_ids,
+                detail={"accuracy": state["accuracy"]},
+            )
+
+        # Price each unit's gossip exchange once: the round-end bound and the
+        # scheduled aggregation must agree, or a state-dependent price could
+        # leak an event past run_until into the next round.
+        gossip_costs = {
+            unit.index: self.strategy.async_unit_aggregation_seconds(plan, unit)
+            for unit in plan.units
+        }
+
+        def _complete(event) -> None:
+            unit: WorkUnit = event.payload
+            self.trace.record(
+                event.timestamp,
+                round_index,
+                "unit_complete",
+                unit.agent_ids,
+                detail={"duration": unit.duration},
+            )
+            self.engine.schedule_after(
+                gossip_costs[unit.index],
+                kind="aggregation",
+                payload=unit,
+                callback=_aggregate,
+            )
+
+        end = start
+        for unit in plan.units:
+            completion = start + unit.duration
+            end = max(end, completion + gossip_costs[unit.index])
+            self.engine.schedule_at(
+                completion, kind="unit_complete", payload=unit, callback=_complete
+            )
+        self.engine.schedule_at(end, kind="round_end", priority=1, payload=round_index)
+        self.engine.run_until(end)
+
+        accuracy = state["accuracy"]
+        self._lr_schedule.step(accuracy)
+        compute = max((unit.duration for unit in plan.units), default=0.0)
+        return self._finish_round(
+            plan,
+            accuracy,
+            duration=end - start,
+            compute_seconds=compute,
+            aggregation_seconds=max(0.0, (end - start) - compute),
+            num_pairs=plan.num_pairs,
+        )
+
+    # ------------------------------------------------------------------
+    def run_round(self, round_index: int) -> RoundRecord:
+        """Execute one global round in the configured mode."""
+        mode = self.config.execution_mode
+        if mode == "sync":
+            return self._run_round_sync(round_index)
+        if mode == "semi-sync":
+            return self._run_round_semi_sync(round_index)
+        if mode == "async":
+            return self._run_round_async(round_index)
+        raise ValueError(f"unknown execution mode {mode!r}")
+
+    def run(self) -> RunHistory:
+        """Run until the target accuracy is reached or ``max_rounds`` expire."""
+        for round_index in range(self.config.max_rounds):
+            record = self.run_round(round_index)
+            if (
+                self.config.target_accuracy is not None
+                and record.accuracy >= self.config.target_accuracy
+            ):
+                logger.info(
+                    "target accuracy %.3f reached after %d rounds (%.0f simulated s)",
+                    self.config.target_accuracy,
+                    round_index + 1,
+                    self.engine.now,
+                )
+                break
+        return self.history

@@ -1,0 +1,173 @@
+"""The per-method contract of the :class:`~repro.runtime.TrainingRuntime`.
+
+A training method contributes only what makes it unique — how a round's
+work is decomposed, priced, and aggregated — expressed as a
+:class:`RoundPlan` of :class:`WorkUnit`.  Everything methods share (churn,
+participation sampling, the LR schedule, accuracy tracking, history, the
+event loop) lives in the runtime.  ComDML's strategy derives its plan from
+the pairing scheduler; each baseline derives its plan from its
+``round_timing`` pattern.
+
+This module also hosts the round helpers that were previously duplicated
+between ``core/comdml.py`` and ``baselines/base.py``:
+:func:`participation_fraction` and :func:`solo_decisions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.agents.agent import Agent
+from repro.agents.registry import AgentRegistry
+from repro.core.pairing import PairingDecision
+from repro.core.profiling import SplitProfile
+from repro.core.workload import OffloadEstimate, individual_training_time
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently completing unit of local work within a round.
+
+    For ComDML a unit is one pairing decision (a pair or a solo agent); for
+    the baselines a unit is one participant training the full model.  Units
+    are what the ``semi-sync`` quorum counts and what the ``async`` mode
+    aggregates one at a time.
+    """
+
+    index: int
+    agent_ids: tuple[int, ...]
+    duration: float
+    decisions: tuple[PairingDecision, ...]
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """A fully priced round, before the runtime executes it.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based round this plan belongs to.
+    decisions:
+        Every pairing decision of the round (the learning-plane input).
+    units:
+        The round's independently completing work units.
+    aggregation_seconds:
+        Round-closing aggregation cost under a full barrier.
+    duration_seconds:
+        Full synchronous round duration (local + aggregation).
+    compute_seconds / communication_seconds:
+        Values recorded in the round record's breakdown fields.
+    num_pairs:
+        Number of offloading pairs formed (0 for baselines).
+    """
+
+    round_index: int
+    decisions: tuple[PairingDecision, ...]
+    units: tuple[WorkUnit, ...]
+    aggregation_seconds: float
+    duration_seconds: float
+    compute_seconds: float
+    communication_seconds: float
+    num_pairs: int
+
+
+@runtime_checkable
+class RoundStrategy(Protocol):
+    """What a training method contributes to the shared runtime."""
+
+    #: Human-readable method name used in histories and reports.
+    method_name: str
+
+    def select_participants(self) -> list[Agent]:
+        """Sample this round's participants (consumes the method's RNG)."""
+        ...
+
+    def plan_round(
+        self, round_index: int, participants: Sequence[Agent]
+    ) -> RoundPlan:
+        """Decompose and price one round of work for the participants."""
+        ...
+
+    def semi_sync_aggregation_seconds(
+        self, plan: RoundPlan, kept_units: Sequence[WorkUnit]
+    ) -> float:
+        """Aggregation cost when only the quorum's units are aggregated."""
+        ...
+
+    def async_unit_aggregation_seconds(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        """Cost of one unit's gossip-style aggregation in ``async`` mode."""
+        ...
+
+
+class StrategyDefaults:
+    """Default mode-specific pricing shared by the concrete strategies.
+
+    ``semi-sync`` conservatively keeps the full-barrier aggregation price;
+    ``async`` splits it evenly across the round's units (each unit pays its
+    share when it gossips its update).  Methods with a real per-subset cost
+    model (e.g. ComDML's AllReduce over the finishers) override these.
+    """
+
+    def semi_sync_aggregation_seconds(
+        self, plan: RoundPlan, kept_units: Sequence[WorkUnit]
+    ) -> float:
+        return plan.aggregation_seconds
+
+    def async_unit_aggregation_seconds(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        return plan.aggregation_seconds / max(1, len(plan.units))
+
+
+def participation_fraction(
+    registry: AgentRegistry, decisions: Sequence[PairingDecision]
+) -> float:
+    """Fraction of the population's data that contributed to a round.
+
+    Counts every agent involved in a decision (solo agents and both members
+    of each pair) once, weighted by its local dataset size.
+    """
+    involved: set[int] = set()
+    for decision in decisions:
+        involved.add(decision.slow_id)
+        if decision.fast_id is not None:
+            involved.add(decision.fast_id)
+    total = registry.total_samples
+    if total == 0:
+        return 1.0
+    contributed = sum(
+        registry.get(agent_id).num_samples
+        for agent_id in involved
+        if agent_id in registry
+    )
+    return min(1.0, contributed / total)
+
+
+def solo_decisions(
+    participants: Sequence[Agent],
+    profile: SplitProfile,
+    batch_size: Optional[int] = None,
+) -> list[PairingDecision]:
+    """Every participant trains the full model alone (no offloading)."""
+    decisions: list[PairingDecision] = []
+    for agent in participants:
+        own_time = individual_training_time(
+            agent, profile, batch_size if batch_size is not None else agent.batch_size
+        )
+        estimate = OffloadEstimate(
+            offloaded_layers=0,
+            slow_time=own_time,
+            fast_own_time=0.0,
+            communication_time=0.0,
+            fast_offload_time=0.0,
+            pair_time=own_time,
+        )
+        decisions.append(
+            PairingDecision(
+                slow_id=agent.agent_id,
+                fast_id=None,
+                offloaded_layers=0,
+                estimate=estimate,
+            )
+        )
+    return decisions

@@ -1,0 +1,121 @@
+"""Per-agent event traces emitted by the :class:`~repro.runtime.TrainingRuntime`.
+
+Every runtime execution — regardless of mode — records a chronological
+:class:`EventTrace` of :class:`TraceEvent` entries: round boundaries, resource
+churn, per-unit (pair or solo agent) completions, quorum closures, dropped
+stragglers, and aggregations.  Experiments and benchmarks assert against the
+trace instead of re-deriving behaviour from round records, and the trace is
+the debugging surface for the ``semi-sync``/``async`` modes where round
+records alone hide the per-agent interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence in a training run.
+
+    Attributes
+    ----------
+    timestamp:
+        Simulated time (seconds) at which the event occurred.
+    round_index:
+        Zero-based round the event belongs to.
+    kind:
+        Event type: ``"round_start"``, ``"churn"``, ``"unit_complete"``,
+        ``"quorum_reached"``, ``"straggler_dropped"``, ``"aggregation"`` or
+        ``"round_end"``.
+    agent_ids:
+        Agents involved in the event (empty for round-level events).
+    detail:
+        Optional free-form payload (e.g. the unit duration or accuracy).
+    """
+
+    timestamp: float
+    round_index: int
+    kind: str
+    agent_ids: tuple[int, ...] = ()
+    detail: Optional[dict[str, Any]] = None
+
+
+class EventTrace:
+    """Bounded, append-only chronological record of :class:`TraceEvent`.
+
+    Parameters
+    ----------
+    max_events:
+        Optional cap on retained events.  When the cap is reached, further
+        events are counted in :attr:`dropped_events` but not stored, so
+        million-round runs cannot exhaust memory through tracing.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def record(
+        self,
+        timestamp: float,
+        round_index: int,
+        kind: str,
+        agent_ids: tuple[int, ...] = (),
+        detail: Optional[dict[str, Any]] = None,
+    ) -> Optional[TraceEvent]:
+        """Append an event; returns it, or ``None`` if the cap dropped it."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return None
+        event = TraceEvent(
+            timestamp=timestamp,
+            round_index=round_index,
+            kind=kind,
+            agent_ids=tuple(agent_ids),
+            detail=detail,
+        )
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of the given kind, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def for_agent(self, agent_id: int) -> list[TraceEvent]:
+        """All events that involve the given agent, in order."""
+        return [event for event in self.events if agent_id in event.agent_ids]
+
+    def for_round(self, round_index: int) -> list[TraceEvent]:
+        """All events belonging to the given round, in order."""
+        return [event for event in self.events if event.round_index == round_index]
+
+    def kind_counts(self) -> dict[str, int]:
+        """Histogram of event kinds (useful in assertions and reports)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Plain-dict form of the trace (JSON-serialisable)."""
+        return [
+            {
+                "timestamp": event.timestamp,
+                "round_index": event.round_index,
+                "kind": event.kind,
+                "agent_ids": list(event.agent_ids),
+                "detail": event.detail,
+            }
+            for event in self.events
+        ]

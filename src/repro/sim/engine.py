@@ -1,11 +1,13 @@
 """Discrete-event simulation engine.
 
 The engine couples a :class:`~repro.sim.clock.SimClock` with an
-:class:`~repro.sim.events.EventQueue`.  Most of the reproduction's timing is
-round-synchronous (the round time is an analytic max over agents), but the
-engine is used wherever asynchronous behaviour matters: dynamic resource
-churn that triggers at a given simulated time, staggered agent arrivals, and
-the ablation experiments on aggregation schedules.
+:class:`~repro.sim.events.EventQueue`.  It is the execution substrate of
+the :class:`~repro.runtime.TrainingRuntime`: every training run — ComDML
+and all baselines alike — advances its clock by scheduling round and
+work-unit events here.  ``sync`` mode schedules one round-closing event per
+round; ``semi-sync`` and ``async`` modes schedule per-pair completion,
+quorum, and gossip-aggregation events, which is what makes stragglers,
+mid-round churn, and staggered arrivals expressible at all.
 """
 
 from __future__ import annotations

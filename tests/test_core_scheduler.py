@@ -40,9 +40,20 @@ class TestScheduler:
         for _ in range(3):
             scheduler.plan_round()
         assert scheduler.stats.rounds == 3
-        assert len(scheduler.stats.makespans) == 3
+        assert scheduler.stats.makespan_count == 3
         assert scheduler.stats.average_makespan > 0
         assert scheduler.stats.average_pairs_per_round >= 0
+
+    def test_stats_memory_is_constant(self, small_registry, small_link_model, resnet56_profile):
+        """Makespans are folded into a running mean, not an unbounded list."""
+        scheduler = make_scheduler(small_registry, small_link_model, resnet56_profile)
+        for _ in range(5):
+            scheduler.plan_round()
+        stats_fields = vars(scheduler.stats)
+        assert not any(isinstance(value, list) for value in stats_fields.values())
+        assert scheduler.stats.makespan_sum == pytest.approx(
+            scheduler.stats.average_makespan * 5
+        )
 
     def test_participation_sampling(self, small_registry, small_link_model, resnet56_profile):
         scheduler = make_scheduler(

@@ -1,0 +1,36 @@
+"""Fast test exercising the examples/async_stragglers.py demo."""
+
+import importlib.util
+from pathlib import Path
+
+EXAMPLE_PATH = Path(__file__).parent.parent / "examples" / "async_stragglers.py"
+
+
+def load_example():
+    spec = importlib.util.spec_from_file_location("async_stragglers", EXAMPLE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_example_runs_all_modes_quickly():
+    example = load_example()
+    results = example.run_modes(max_rounds=4, seed=1)
+    assert set(results) == {"sync", "semi-sync", "async"}
+    for mode, (history, trace) in results.items():
+        assert len(history) == 4, mode
+        assert trace.kind_counts()["round_end"] == 4, mode
+
+    # Semi-sync under an aggressive quorum drops stragglers and, per round,
+    # never spends longer in the local phase than the full barrier.
+    sync_history, _ = results["sync"]
+    semi_history, semi_trace = results["semi-sync"]
+    assert semi_trace.of_kind("quorum_reached")
+    for sync_record, semi_record in zip(sync_history.records, semi_history.records):
+        assert semi_record.compute_seconds <= sync_record.compute_seconds + 1e-9
+
+    # Async gossips one aggregation per completed unit.
+    _, async_trace = results["async"]
+    assert len(async_trace.of_kind("aggregation")) == len(
+        async_trace.of_kind("unit_complete")
+    )

@@ -248,3 +248,78 @@ def test_greedy_pairing_invariants(population):
         individual_training_time(agent, PROFILE, 100) for agent in agents
     )
     assert pairing_makespan(decisions) <= unbalanced + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Pairing-plan invariants through the scheduler and the runtime
+# ----------------------------------------------------------------------
+@given(
+    population=st.lists(AGENT_STRATEGY, min_size=2, max_size=8),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=20, deadline=None)
+def test_scheduler_plan_covers_participants_exactly_once(population, seed):
+    """Every participant appears in exactly one PairingDecision of a plan."""
+    from repro.agents.registry import AgentRegistry
+    from repro.core.scheduler import DecentralizedPairingScheduler
+
+    registry = AgentRegistry(
+        [
+            Agent(i, ResourceProfile(cpu, bw), num_samples=samples, batch_size=100)
+            for i, (cpu, bw, samples) in enumerate(population)
+        ]
+    )
+    scheduler = DecentralizedPairingScheduler(
+        registry=registry,
+        link_model=LinkModel(full_topology(registry.ids)),
+        profile=PROFILE,
+        rng=np.random.default_rng(seed),
+    )
+    decisions = scheduler.plan_round()
+
+    used: list[int] = []
+    for decision in decisions:
+        used.append(decision.slow_id)
+        if decision.fast_id is not None:
+            used.append(decision.fast_id)
+    assert sorted(used) == sorted(registry.ids)
+
+    all_solo = max(
+        individual_training_time(agent, PROFILE, agent.batch_size)
+        for agent in registry.agents
+    )
+    assert pairing_makespan(decisions) <= all_solo + 1e-6
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    num_agents=st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=10, deadline=None)
+def test_sync_runtime_history_deterministic_under_fixed_seed(seed, num_agents):
+    """Two sync-mode runs from the same seed produce identical histories."""
+    from repro.core.comdml import ComDML
+    from repro.core.config import ComDMLConfig
+    from repro.agents.registry import AgentRegistry
+
+    def run_once():
+        registry = AgentRegistry.build(
+            num_agents=num_agents,
+            rng=np.random.default_rng(seed),
+            samples_per_agent=400,
+            batch_size=100,
+        )
+        comdml = ComDML(
+            registry=registry,
+            spec=RESNET56,
+            config=ComDMLConfig(
+                max_rounds=3,
+                offload_granularity=9,
+                participation_fraction=0.8,
+                seed=seed,
+            ),
+            profile=PROFILE,
+        )
+        return comdml.run()
+
+    assert run_once().records == run_once().records

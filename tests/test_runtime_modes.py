@@ -1,0 +1,281 @@
+"""Tests for the semi-sync and async runtime execution modes."""
+
+import pytest
+
+from repro.baselines import AllReduceDML, FedAvg
+from repro.cli import main
+from repro.core.comdml import ComDML
+from repro.core.config import ComDMLConfig
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import ScenarioConfig
+from repro.models.resnet import resnet56_spec
+
+
+def make_comdml(registry, **config_kwargs):
+    defaults = dict(max_rounds=5, offload_granularity=9, seed=3)
+    defaults.update(config_kwargs)
+    return ComDML(
+        registry=registry,
+        spec=resnet56_spec(),
+        config=ComDMLConfig(**defaults),
+    )
+
+
+class TestSemiSync:
+    def test_round_never_slower_than_sync(self, small_registry, rng):
+        from repro.agents.registry import AgentRegistry
+
+        def fresh():
+            import numpy as np
+
+            return AgentRegistry.build(
+                num_agents=6,
+                rng=np.random.default_rng(12345),
+                samples_per_agent=600,
+                batch_size=100,
+            )
+
+        sync = make_comdml(fresh(), execution_mode="sync").run_round(0)
+        semi = make_comdml(
+            fresh(), execution_mode="semi-sync", quorum_fraction=0.5
+        ).run_round(0)
+        assert semi.compute_seconds <= sync.compute_seconds + 1e-9
+
+    def test_stragglers_dropped_and_traced(self, small_registry):
+        comdml = make_comdml(
+            small_registry, execution_mode="semi-sync", quorum_fraction=0.5, max_rounds=2
+        )
+        comdml.run()
+        dropped = comdml.trace.of_kind("straggler_dropped")
+        quorums = comdml.trace.of_kind("quorum_reached")
+        assert quorums and all(e.detail["kept"] >= 1 for e in quorums)
+        # With quorum 0.5 over >=2 units, at least one straggler per round
+        # whenever a round forms more than one unit.
+        if any(e.detail["dropped"] > 0 for e in quorums):
+            assert dropped
+        for event in dropped:
+            assert event.agent_ids
+            assert event.detail["projected_completion"] >= event.timestamp
+
+    def test_dropped_stragglers_shrink_participation(self, small_registry):
+        trainer = AllReduceDML(
+            registry=small_registry,
+            spec=resnet56_spec(),
+            config=ComDMLConfig(
+                max_rounds=1,
+                offload_granularity=9,
+                execution_mode="semi-sync",
+                quorum_fraction=0.5,
+            ),
+        )
+        record = trainer.run_round(0)
+        quorum = trainer.trace.of_kind("quorum_reached")[0]
+        assert quorum.detail["kept"] == 3
+        assert quorum.detail["dropped"] == 3
+        assert record.num_pairs == 0
+
+    def test_fedavg_full_quorum_not_slower_than_sync(self):
+        """FedAvg's chain-priced units must not double-count communication."""
+        import numpy as np
+
+        from repro.agents.registry import AgentRegistry
+
+        def total(mode):
+            registry = AgentRegistry.build(
+                num_agents=6,
+                rng=np.random.default_rng(1),
+                samples_per_agent=500,
+                batch_size=100,
+            )
+            trainer = FedAvg(
+                registry=registry,
+                spec=resnet56_spec(),
+                config=ComDMLConfig(
+                    max_rounds=2,
+                    offload_granularity=9,
+                    execution_mode=mode,
+                    quorum_fraction=1.0,
+                ),
+            )
+            return trainer.run().total_time
+
+        sync_total = total("sync")
+        assert total("semi-sync") <= sync_total + 1e-9
+        assert total("async") <= sync_total + 1e-9
+
+    def test_quorum_one_keeps_everything(self, small_registry):
+        comdml = make_comdml(
+            small_registry, execution_mode="semi-sync", quorum_fraction=1.0, max_rounds=1
+        )
+        comdml.run()
+        assert not comdml.trace.of_kind("straggler_dropped")
+
+    def test_deterministic_under_fixed_seed(self, rng):
+        import numpy as np
+
+        from repro.agents.registry import AgentRegistry
+
+        def run_once():
+            registry = AgentRegistry.build(
+                num_agents=6,
+                rng=np.random.default_rng(7),
+                samples_per_agent=500,
+                batch_size=100,
+            )
+            comdml = make_comdml(
+                registry,
+                execution_mode="semi-sync",
+                quorum_fraction=0.6,
+                churn_fraction=0.5,
+                churn_interval_rounds=2,
+                max_rounds=4,
+            )
+            return comdml.run()
+
+        assert run_once().records == run_once().records
+
+
+class TestSemiSyncEdgeCases:
+    def test_trace_stays_chronological(self, small_registry):
+        comdml = make_comdml(
+            small_registry, execution_mode="semi-sync", quorum_fraction=0.5, max_rounds=3
+        )
+        comdml.run()
+        timestamps = [event.timestamp for event in comdml.trace]
+        assert timestamps == sorted(timestamps)
+
+    def test_disconnected_agents_do_not_fill_quorum(self):
+        """Idle (bandwidth-0) FedAvg agents must not crowd out training agents."""
+        import numpy as np
+
+        from repro.agents.registry import AgentRegistry
+        from repro.agents.resources import ResourceProfile
+
+        profiles = [
+            ResourceProfile(4.0, 0.0),   # disconnected: server skips it
+            ResourceProfile(4.0, 0.0),   # disconnected: server skips it
+            ResourceProfile(2.0, 50.0),
+            ResourceProfile(1.0, 50.0),
+        ]
+        registry = AgentRegistry.build(
+            num_agents=4,
+            rng=np.random.default_rng(0),
+            samples_per_agent=500,
+            batch_size=100,
+            profiles=profiles,
+        )
+        trainer = FedAvg(
+            registry=registry,
+            spec=resnet56_spec(),
+            config=ComDMLConfig(
+                max_rounds=1,
+                offload_granularity=9,
+                execution_mode="semi-sync",
+                quorum_fraction=0.5,
+            ),
+        )
+        trainer.run()
+        # The fast disconnected agents still rank by their training time, so
+        # the quorum is not trivially two zero-duration idle units.
+        for event in trainer.trace.of_kind("unit_complete"):
+            assert event.detail["duration"] > 0
+
+
+class TestAsync:
+    def test_per_unit_aggregation_events(self, small_registry):
+        comdml = make_comdml(small_registry, execution_mode="async", max_rounds=1)
+        comdml.run()
+        units = comdml.trace.of_kind("unit_complete")
+        aggregations = comdml.trace.of_kind("aggregation")
+        assert len(aggregations) == len(units) >= 1
+        # Gossip aggregation fires at or after its unit's completion.
+        for unit, agg in zip(units, aggregations):
+            assert agg.timestamp >= unit.timestamp
+
+    def test_accuracy_advances_per_unit(self, small_registry):
+        comdml = make_comdml(small_registry, execution_mode="async", max_rounds=1)
+        comdml.run()
+        accuracies = [
+            e.detail["accuracy"] for e in comdml.trace.of_kind("aggregation")
+        ]
+        assert accuracies == sorted(accuracies)
+        assert comdml.history.final_accuracy == pytest.approx(accuracies[-1])
+
+    def test_round_end_after_last_aggregation(self, small_registry):
+        trainer = FedAvg(
+            registry=small_registry,
+            spec=resnet56_spec(),
+            config=ComDMLConfig(
+                max_rounds=1, offload_granularity=9, execution_mode="async"
+            ),
+        )
+        trainer.run()
+        round_end = trainer.trace.of_kind("round_end")[0].timestamp
+        for event in trainer.trace.of_kind("aggregation"):
+            assert event.timestamp <= round_end + 1e-9
+
+    def test_deterministic_under_fixed_seed(self):
+        import numpy as np
+
+        from repro.agents.registry import AgentRegistry
+
+        def run_once():
+            registry = AgentRegistry.build(
+                num_agents=5,
+                rng=np.random.default_rng(11),
+                samples_per_agent=400,
+                batch_size=100,
+            )
+            return make_comdml(
+                registry, execution_mode="async", max_rounds=3
+            ).run()
+
+        assert run_once().records == run_once().records
+
+    def test_history_still_monotone(self, small_registry):
+        comdml = make_comdml(small_registry, execution_mode="async", max_rounds=4)
+        history = comdml.run()
+        times = history.times()
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestModesEndToEnd:
+    @pytest.mark.parametrize("mode", ["semi-sync", "async"])
+    def test_experiment_runner_supports_mode(self, mode):
+        config = ScenarioConfig(
+            num_agents=5,
+            max_rounds=4,
+            offload_granularity=9,
+            execution_mode=mode,
+            quorum_fraction=0.6,
+            seed=5,
+        )
+        history, trace = ExperimentRunner(config).run_method_with_trace("ComDML")
+        assert len(history) == 4
+        assert trace.kind_counts()["round_end"] == 4
+
+    @pytest.mark.parametrize("mode", ["semi-sync", "async"])
+    def test_cli_runs_mode(self, mode, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--agents",
+                "4",
+                "--target",
+                "0",
+                "--max-rounds",
+                "3",
+                "--mode",
+                mode,
+                "--quorum",
+                "0.6",
+                "--methods",
+                "ComDML",
+                "AllReduce",
+                "--granularity",
+                "9",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "ComDML" in captured and "AllReduce" in captured
