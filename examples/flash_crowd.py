@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Flash crowd: staggered arrivals + mid-round churn under every execution mode.
+
+A small population starts training; shortly into the first round a churn
+event re-assigns every original agent's resources *while their work is in
+flight* (the affected units are re-costed, not re-started), and a wave of
+fast helpers then joins one by one, becoming eligible for the next pairing
+plan as they arrive.  Late in the run one original agent departs.
+
+The same :class:`~repro.runtime.dynamics.DynamicsSchedule` shape is applied
+to ComDML under all three runtime execution modes (``sync``, ``semi-sync``,
+``async``) — each mode gets its own schedule instance because schedules
+carry concrete :class:`~repro.agents.agent.Agent` objects whose profiles
+the run mutates.
+
+Run with:  python examples/flash_crowd.py
+"""
+
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
+from repro.experiments.reporting import (
+    format_agent_timeline,
+    format_dynamics_summary,
+    format_table,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.experiments.scenarios import ScenarioConfig
+from repro.runtime.dynamics import DynamicsSchedule
+
+MODES = ("sync", "semi-sync", "async")
+
+#: The arriving helpers: capable CPUs on decent links (a "flash crowd").
+CROWD_PROFILES = (
+    ResourceProfile(cpu_share=4.0, bandwidth_mbps=100.0),
+    ResourceProfile(cpu_share=2.0, bandwidth_mbps=100.0),
+    ResourceProfile(cpu_share=4.0, bandwidth_mbps=50.0),
+    ResourceProfile(cpu_share=2.0, bandwidth_mbps=50.0),
+)
+
+
+def base_config(mode: str, max_rounds: int = 8, seed: int = 0) -> ScenarioConfig:
+    """The shared six-agent scenario, parameterised only by execution mode."""
+    return ScenarioConfig(
+        num_agents=6,
+        dataset="cifar10",
+        model="resnet56",
+        max_rounds=max_rounds,
+        offload_granularity=9,
+        execution_mode=mode,
+        quorum_fraction=0.6,
+        seed=seed,
+    )
+
+
+def probe_first_round(seed: int = 0) -> tuple[float, float]:
+    """Learn the first round's shape from a dynamics-free sync run.
+
+    Returns ``(first_unit_completion, round_duration)`` of round 0 — the
+    anchor points the schedule below is expressed in.  Round 0's plan is
+    identical across modes (same seed, same fresh registry), so a churn
+    event placed before the first unit completion is guaranteed to land
+    while work is in flight in *every* mode.
+    """
+    runner = ExperimentRunner(base_config("sync", max_rounds=1, seed=seed))
+    _, trace = runner.run_method_with_trace("ComDML")
+    completions = [e.timestamp for e in trace.of_kind("unit_complete")]
+    round_end = trace.of_kind("round_end")[0].timestamp
+    return min(completions), round_end
+
+
+def make_schedule(
+    first_completion: float, round_duration: float, num_base_agents: int = 6
+) -> DynamicsSchedule:
+    """Build one run's dynamics: in-flight churn, an arrival wave, a departure.
+
+    A fresh schedule (with fresh :class:`Agent` objects) must be built for
+    every run — training mutates the agents it carries.
+    """
+    schedule = DynamicsSchedule()
+    # Mid-round churn: hits every original agent at half-way to the first
+    # unit completion, so all of round 0's units are still in flight.
+    schedule.churn(0.5 * first_completion, agent_ids=range(num_base_agents))
+    # Staggered flash crowd: one helper joins every 0.6 round-lengths.
+    crowd = [
+        Agent(
+            agent_id=num_base_agents + index,
+            profile=profile,
+            num_samples=500,
+            batch_size=100,
+        )
+        for index, profile in enumerate(CROWD_PROFILES)
+    ]
+    schedule.arrival_wave(
+        start=0.8 * round_duration, interval=0.6 * round_duration, agents=crowd
+    )
+    # A second perturbation once the crowd is in, and one original leaves.
+    schedule.churn(3.2 * round_duration, fraction=0.3)
+    schedule.departure(4.0 * round_duration, agent_id=num_base_agents - 1)
+    return schedule
+
+
+def run_modes(max_rounds: int = 8, seed: int = 0):
+    """Run ComDML under the flash-crowd schedule in every execution mode."""
+    first_completion, round_duration = probe_first_round(seed)
+    results = {}
+    for mode in MODES:
+        runner = ExperimentRunner(base_config(mode, max_rounds, seed))
+        schedule = make_schedule(first_completion, round_duration)
+        results[mode] = runner.run_method_with_trace("ComDML", dynamics=schedule)
+    return results
+
+
+def main() -> None:
+    results = run_modes()
+
+    rows = []
+    for mode, (history, trace) in results.items():
+        counts = trace.kind_counts()
+        rows.append(
+            {
+                "mode": mode,
+                "rounds": len(history),
+                "total time (s)": f"{history.total_time:.0f}",
+                "final accuracy": f"{history.final_accuracy:.3f}",
+                "arrivals": counts.get("arrival", 0),
+                "departures": counts.get("departure", 0),
+                "churn": counts.get("churn", 0),
+                "repriced in flight": counts.get("unit_repriced", 0),
+                "dropped": counts.get("straggler_dropped", 0),
+            }
+        )
+    print("ComDML under a flash crowd — one schedule, three execution modes")
+    print(format_table(rows))
+
+    _, semi_trace = results["semi-sync"]
+    print("\nsemi-sync dynamics, round by round:")
+    print(format_dynamics_summary(semi_trace))
+
+    first_arrival = semi_trace.of_kind("arrival")[0].agent_ids[0]
+    print(f"\nfirst helper to join (agent {first_arrival}):")
+    print(format_agent_timeline(semi_trace, first_arrival, max_rows=10))
+
+
+if __name__ == "__main__":
+    main()

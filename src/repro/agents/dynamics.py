@@ -4,6 +4,14 @@ The paper's Table II setup "randomly changed the profile of 20 % of the
 agents after 100 rounds" to mimic real-world variation.  ``ResourceChurn``
 generalises this: at configurable round intervals, a configurable fraction
 of agents is re-assigned a fresh random profile from the paper's grid.
+
+Round-interval churn (``ComDMLConfig.churn_fraction`` /
+``churn_interval_rounds``) fires at round boundaries through
+:meth:`ResourceChurn.maybe_apply`.  Timestamp-based churn — a
+:class:`~repro.runtime.dynamics.DynamicsSchedule` churn event landing while
+work is in flight — reuses the same re-assignment machinery via
+:meth:`ResourceChurn.apply` (fraction-based) or :func:`churn_agent_profiles`
+(explicit agent ids).
 """
 
 from __future__ import annotations
@@ -19,6 +27,33 @@ from repro.agents.resources import (
     ResourceProfile,
 )
 from repro.utils.validation import check_positive, check_probability
+
+
+def churn_agent_profiles(
+    registry: AgentRegistry,
+    agent_ids: "list[int] | tuple[int, ...]",
+    rng: np.random.Generator,
+    cpu_profiles: tuple[float, ...] = CPU_PROFILES,
+    bandwidth_profiles: tuple[float, ...] = CONNECTED_BANDWIDTH_PROFILES_MBPS,
+) -> list[int]:
+    """Re-assign fresh random profiles to the given agents.
+
+    Unknown ids are skipped (the agent may have departed before the churn
+    event fired).  Returns the ids whose profile actually changed, in the
+    order given.
+    """
+    changed: list[int] = []
+    for agent_id in agent_ids:
+        if agent_id not in registry:
+            continue
+        agent = registry.get(agent_id)
+        new_profile = ResourceProfile(
+            cpu_share=float(rng.choice(cpu_profiles)),
+            bandwidth_mbps=float(rng.choice(bandwidth_profiles)),
+        )
+        agent.update_profile(new_profile)
+        changed.append(agent_id)
+    return changed
 
 
 @dataclass
@@ -60,16 +95,13 @@ class ResourceChurn:
         if count == 0:
             return []
         chosen = rng.choice(len(agents), size=count, replace=False)
-        changed: list[int] = []
-        for index in chosen:
-            agent = agents[int(index)]
-            new_profile = ResourceProfile(
-                cpu_share=float(rng.choice(self.cpu_profiles)),
-                bandwidth_mbps=float(rng.choice(self.bandwidth_profiles)),
-            )
-            agent.update_profile(new_profile)
-            changed.append(agent.agent_id)
-        return changed
+        return churn_agent_profiles(
+            registry,
+            [agents[int(index)].agent_id for index in chosen],
+            rng,
+            cpu_profiles=self.cpu_profiles,
+            bandwidth_profiles=self.bandwidth_profiles,
+        )
 
     def maybe_apply(
         self,

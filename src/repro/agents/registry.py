@@ -2,7 +2,10 @@
 
 Holds all agents of an experiment, supports id lookup, participation
 sampling (the paper's 20 % per-round sampling in the scalability study),
-and convenience constructors.
+and convenience constructors.  The population is *not* fixed for the
+lifetime of a run: a :class:`~repro.runtime.dynamics.DynamicsSchedule` may
+:meth:`add` late-arriving agents or :meth:`remove` departing ones mid-run,
+and the runtime re-reads :attr:`agents` at every round boundary.
 """
 
 from __future__ import annotations
@@ -80,6 +83,13 @@ class AgentRegistry:
         """Look up an agent by id."""
         try:
             return self._agents[agent_id]
+        except KeyError:
+            raise KeyError(f"unknown agent id {agent_id}") from None
+
+    def remove(self, agent_id: int) -> Agent:
+        """Remove and return an agent (mid-run departure)."""
+        try:
+            return self._agents.pop(agent_id)
         except KeyError:
             raise KeyError(f"unknown agent id {agent_id}") from None
 

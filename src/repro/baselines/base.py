@@ -25,6 +25,7 @@ from repro.core.workload import individual_training_time
 from repro.models.spec import ArchitectureSpec
 from repro.network.link import LinkModel
 from repro.network.topology import Topology, full_topology
+from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.runtime import RuntimeDelegate, TrainingRuntime
 from repro.runtime.strategy import RoundPlan, StrategyDefaults, WorkUnit, solo_decisions
 from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
@@ -48,6 +49,7 @@ class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
         topology: Optional[Topology] = None,
         accuracy_tracker: Optional[AccuracyTracker] = None,
         profile: Optional[SplitProfile] = None,
+        dynamics: Optional[DynamicsSchedule] = None,
     ) -> None:
         self.registry = registry
         self.spec = spec
@@ -81,6 +83,7 @@ class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
             config=self.config,
             accuracy_tracker=tracker,
             churn_rng=seeds.generator(f"{self.method_name}.churn"),
+            dynamics=dynamics,
         )
 
     # ------------------------------------------------------------------
@@ -99,6 +102,31 @@ class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
         ``semi-sync``/``async`` modes see the real completion times.
         """
         return decision.estimate.pair_time
+
+    # ------------------------------------------------------------------
+    # Mid-round dynamics hooks
+    # ------------------------------------------------------------------
+    def reprice_unit(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        """Fresh price of one participant's unit under its present profile.
+
+        Rebuilds the solo decision from the agent's *current* resources and
+        runs it back through :meth:`unit_duration`, so methods that chain
+        per-agent communication (FedAvg) see churned bandwidths too.
+        """
+        agent_id = unit.agent_ids[0]
+        if agent_id not in self.registry:
+            return unit.duration
+        agent = self.registry.get(agent_id)
+        decision = solo_decisions([agent], self.profile)[0]
+        return self.unit_duration(agent, decision)
+
+    def on_agent_arrival(self, agent: Agent, neighbors=None) -> None:
+        """Wire a mid-run arrival into the communication topology."""
+        self.topology.add_agent(agent.agent_id, neighbors)
+
+    def on_agent_departure(self, agent: Agent) -> None:
+        """Drop a departed agent's topology links."""
+        self.topology.remove_agent(agent.agent_id)
 
     # ------------------------------------------------------------------
     # Shared helpers

@@ -8,6 +8,7 @@ harnesses:
 
    comdml compare  --agents 10 --dataset cifar10 --target 0.9
    comdml compare  --mode semi-sync --quorum 0.75 --churn 0.2
+   comdml compare  --mode semi-sync --quorum-policy deadline --deadline-factor 1.2
    comdml compare  --mode async --target 0
    comdml table1
    comdml table2   --datasets cifar10 --methods ComDML FedAvg
@@ -26,7 +27,11 @@ from typing import Optional, Sequence
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig3 import format_fig3, run_fig3
 from repro.experiments.privacy import format_privacy_results, run_privacy_comparison
-from repro.experiments.reporting import format_table, speedup_over_baselines
+from repro.experiments.reporting import (
+    dynamics_annotation,
+    format_table,
+    speedup_over_baselines,
+)
 from repro.experiments.runner import PAPER_COMPARISON_METHODS, ExperimentRunner
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.table1 import format_table1, run_table1
@@ -66,16 +71,21 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         target_accuracy=args.target,
         max_rounds=args.max_rounds,
         churn_fraction=args.churn,
+        churn_interval_rounds=args.churn_interval,
         participation_fraction=args.participation,
         offload_granularity=args.granularity,
         execution_mode=args.mode,
         quorum_fraction=args.quorum,
+        quorum_policy=args.quorum_policy,
+        quorum_deadline_factor=args.deadline_factor,
         seed=args.seed,
     )
     runner = ExperimentRunner(config)
-    results = runner.compare(args.methods)
     rows = []
-    for method, history in results.items():
+    results = {}
+    for method in args.methods:
+        history, trace = runner.run_method_with_trace(method)
+        results[method] = history
         rows.append(
             {
                 "method": method,
@@ -85,6 +95,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 else None,
                 "total_time_s": round(history.total_time, 1),
                 "final_accuracy": round(history.final_accuracy, 4),
+                "events": dynamics_annotation(trace),
             }
         )
     print(format_table(rows))
@@ -181,6 +192,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--target", type=float, default=0.9, help="target accuracy (0 disables)")
     compare.add_argument("--max-rounds", type=int, default=600)
     compare.add_argument("--churn", type=float, default=0.2, help="fraction of agents whose resources change")
+    compare.add_argument(
+        "--churn-interval",
+        type=int,
+        default=100,
+        help="rounds between churn points (the paper uses 100)",
+    )
     compare.add_argument("--participation", type=float, default=1.0)
     compare.add_argument("--granularity", type=int, default=6, help="split-candidate spacing in layers")
     compare.add_argument(
@@ -194,6 +211,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.8,
         help="fraction of work units that closes a semi-sync round",
+    )
+    compare.add_argument(
+        "--quorum-policy",
+        choices=("fixed", "deadline", "adaptive"),
+        default="fixed",
+        help="semi-sync quorum policy: fixed fraction, makespan deadline, or adaptive",
+    )
+    compare.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=1.5,
+        help="deadline policy closes rounds at this multiple of the running makespan mean",
     )
     compare.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
     _add_common_output_options(compare)

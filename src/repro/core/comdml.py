@@ -27,11 +27,13 @@ from repro.core.config import ComDMLConfig
 from repro.core.profiling import SplitProfile, profile_architecture
 from repro.core.scheduler import DecentralizedPairingScheduler
 from repro.core.timing import bottleneck_bandwidth, compute_round_timing
+from repro.core.workload import estimate_offload_time, individual_training_time
 from repro.models.spec import ArchitectureSpec
 from repro.network.allreduce import allreduce_time
 from repro.network.compression import QuantizationCompressor
 from repro.network.link import LinkModel
 from repro.network.topology import Topology, full_topology
+from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.runtime import RuntimeDelegate, TrainingRuntime
 from repro.runtime.strategy import RoundPlan, StrategyDefaults, WorkUnit
 from repro.sim.costs import transfer_time_seconds
@@ -53,6 +55,7 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
         topology: Optional[Topology] = None,
         accuracy_tracker: Optional[AccuracyTracker] = None,
         profile: Optional[SplitProfile] = None,
+        dynamics: Optional[DynamicsSchedule] = None,
     ) -> None:
         self.registry = registry
         self.spec = spec
@@ -97,6 +100,7 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             config=self.config,
             accuracy_tracker=tracker,
             churn_rng=seeds.generator("churn"),
+            dynamics=dynamics,
         )
 
     # ------------------------------------------------------------------
@@ -175,6 +179,45 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
         if self._aggregation_compressor is not None:
             model_bytes = self._aggregation_compressor.compressed_bytes(model_bytes)
         return transfer_time_seconds(model_bytes, bottleneck_bandwidth(agents))
+
+    # ------------------------------------------------------------------
+    # Mid-round dynamics hooks
+    # ------------------------------------------------------------------
+    def reprice_unit(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        """Fresh price of a pairing decision under present agent profiles.
+
+        Solo units re-price at the slow agent's current individual training
+        time.  Pairs re-run the paper's ``AgentTrainingTime`` estimate for
+        the *same* split under the churned profiles; if churn severed the
+        pair's link (a member went to 0 Mbps), the offload is effectively
+        lost and the slow agent is priced as finishing alone.
+        """
+        decision = unit.decisions[0]
+        if decision.slow_id not in self.registry:
+            return unit.duration
+        slow = self.registry.get(decision.slow_id)
+        solo_time = individual_training_time(slow, self.profile, slow.batch_size)
+        if decision.fast_id is None or decision.fast_id not in self.registry:
+            return solo_time
+        fast = self.registry.get(decision.fast_id)
+        bandwidth = self.link_model.bandwidth(slow, fast)
+        if bandwidth <= 0:
+            return solo_time
+        return estimate_offload_time(
+            slow_agent=slow,
+            fast_agent=fast,
+            offloaded_layers=decision.offloaded_layers,
+            profile=self.profile,
+            bandwidth_bytes_per_second=bandwidth,
+        ).pair_time
+
+    def on_agent_arrival(self, agent, neighbors=None) -> None:
+        """Wire a mid-run arrival into the communication topology."""
+        self.topology.add_agent(agent.agent_id, neighbors)
+
+    def on_agent_departure(self, agent) -> None:
+        """Drop a departed agent's topology links."""
+        self.topology.remove_agent(agent.agent_id)
 
 
 def _default_curve_preset():

@@ -10,6 +10,9 @@ from repro.utils.validation import check_positive, check_probability
 #: Valid runtime execution modes (see :mod:`repro.runtime.runtime`).
 EXECUTION_MODES = ("sync", "semi-sync", "async")
 
+#: Valid semi-sync quorum policies (see :mod:`repro.runtime.quorum`).
+QUORUM_POLICIES = ("fixed", "deadline", "adaptive")
+
 
 def normalize_execution_mode(mode: str) -> str:
     """Canonicalise an execution-mode name (``semi_sync`` → ``semi-sync``)."""
@@ -17,6 +20,16 @@ def normalize_execution_mode(mode: str) -> str:
     if normalized not in EXECUTION_MODES:
         raise ValueError(
             f"execution_mode must be one of {EXECUTION_MODES}, got {mode!r}"
+        )
+    return normalized
+
+
+def normalize_quorum_policy(policy: str) -> str:
+    """Canonicalise a quorum-policy name (case-insensitive)."""
+    normalized = policy.lower()
+    if normalized not in QUORUM_POLICIES:
+        raise ValueError(
+            f"quorum_policy must be one of {QUORUM_POLICIES}, got {policy!r}"
         )
     return normalized
 
@@ -60,7 +73,20 @@ class ComDMLConfig:
         aggregation).
     quorum_fraction:
         Fraction of a round's work units that must finish before a
-        ``semi-sync`` round closes (ignored by the other modes).
+        ``semi-sync`` round closes (ignored by the other modes).  Under the
+        ``"deadline"`` policy this is the fallback fraction for rounds with
+        no makespan history yet; under ``"adaptive"`` it is the floor the
+        quorum tightens towards.
+    quorum_policy:
+        How a ``semi-sync`` round decides its quorum
+        (see :mod:`repro.runtime.quorum`): ``"fixed"`` keeps
+        ``quorum_fraction`` of the units, ``"deadline"`` closes at
+        ``quorum_deadline_factor ×`` the running makespan mean observed so
+        far, and ``"adaptive"`` tightens from a full barrier towards
+        ``quorum_fraction`` as observed makespans stabilise.
+    quorum_deadline_factor:
+        Multiple of the running makespan mean at which a ``"deadline"``
+        quorum closes the round.
     trace_max_events:
         Cap on retained runtime trace events (``None`` = unbounded).  The
         default bounds memory on very long runs while retaining every event
@@ -88,6 +114,8 @@ class ComDMLConfig:
     churn_interval_rounds: int = 100
     execution_mode: str = "sync"
     quorum_fraction: float = 0.8
+    quorum_policy: str = "fixed"
+    quorum_deadline_factor: float = 1.5
     trace_max_events: Optional[int] = 100_000
     seed: int = 0
 
@@ -108,6 +136,8 @@ class ComDMLConfig:
             raise ValueError(
                 f"quorum_fraction must be positive, got {self.quorum_fraction}"
             )
+        self.quorum_policy = normalize_quorum_policy(self.quorum_policy)
+        check_positive(self.quorum_deadline_factor, "quorum_deadline_factor")
         if self.trace_max_events is not None:
             check_positive(self.trace_max_events, "trace_max_events")
         if self.allreduce_algorithm not in ("ring", "halving_doubling"):

@@ -26,8 +26,12 @@ from repro.utils.validation import check_probability
 class SchedulerStats:
     """Aggregate statistics over the rounds a scheduler has served.
 
-    Makespans are folded into a running sum/count (O(1) memory) so
-    million-round runs do not accumulate an ever-growing list.
+    Makespans are folded into running sums (O(1) memory) so million-round
+    runs do not accumulate an ever-growing list.  Besides the mean, the
+    running sum of squares supports the dispersion measures
+    (:attr:`makespan_std`, :attr:`makespan_cv`) the adaptive semi-sync
+    quorum policy uses to detect that observed makespans have stabilised
+    (see :mod:`repro.runtime.quorum`).
     """
 
     rounds: int = 0
@@ -35,11 +39,13 @@ class SchedulerStats:
     total_solo: int = 0
     makespan_count: int = 0
     makespan_sum: float = 0.0
+    makespan_sq_sum: float = 0.0
 
     def record_makespan(self, makespan: float) -> None:
-        """Fold one round's makespan into the running mean."""
+        """Fold one round's makespan into the running mean/variance."""
         self.makespan_count += 1
         self.makespan_sum += makespan
+        self.makespan_sq_sum += makespan * makespan
 
     @property
     def average_pairs_per_round(self) -> float:
@@ -50,6 +56,27 @@ class SchedulerStats:
     def average_makespan(self) -> float:
         """Mean estimated local-phase makespan per round."""
         return self.makespan_sum / self.makespan_count if self.makespan_count else 0.0
+
+    @property
+    def makespan_variance(self) -> float:
+        """Population variance of the recorded makespans (0 with no history)."""
+        if self.makespan_count == 0:
+            return 0.0
+        mean = self.average_makespan
+        return max(0.0, self.makespan_sq_sum / self.makespan_count - mean * mean)
+
+    @property
+    def makespan_std(self) -> float:
+        """Population standard deviation of the recorded makespans."""
+        return self.makespan_variance**0.5
+
+    @property
+    def makespan_cv(self) -> float:
+        """Coefficient of variation (std / mean); 0 with no or degenerate history."""
+        mean = self.average_makespan
+        if self.makespan_count == 0 or mean <= 0:
+            return 0.0
+        return self.makespan_std / mean
 
 
 class DecentralizedPairingScheduler:

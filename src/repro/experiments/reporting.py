@@ -1,10 +1,27 @@
-"""Result formatting helpers shared by the benchmark harnesses and examples."""
+"""Result formatting helpers shared by the benchmark harnesses and examples.
+
+Besides the aligned plain-text tables (:func:`format_table`) and the
+speedup arithmetic the CLI prints, this module renders the runtime's
+:class:`~repro.runtime.trace.EventTrace` for human consumption:
+per-agent timelines (:func:`per_agent_timelines`,
+:func:`format_agent_timeline`), a per-round dynamics summary
+(:func:`format_dynamics_summary`), and the compact arrival/churn/departure
+annotation string (:func:`dynamics_annotation`) shown as the ``events``
+column of ``comdml compare``.
+"""
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+import json
+from typing import Any, Mapping, Optional, Sequence
 
+from repro.runtime.dynamics import DYNAMICS_KINDS
+from repro.runtime.trace import EventTrace, TraceEvent
 from repro.training.metrics import RunHistory
+
+#: Trace kinds counted as scenario dynamics in annotations/summaries —
+#: exactly the event kinds a DynamicsSchedule can produce.
+DYNAMICS_TRACE_KINDS = DYNAMICS_KINDS
 
 
 def format_table(
@@ -69,3 +86,107 @@ def reduction_percentage(reference_time: float, baseline_time: float) -> float:
     if baseline_time <= 0:
         return 0.0
     return 100.0 * (1.0 - reference_time / baseline_time)
+
+
+# ----------------------------------------------------------------------
+# EventTrace rendering
+# ----------------------------------------------------------------------
+
+def _event_row(event: TraceEvent) -> dict[str, Any]:
+    return {
+        "t (s)": round(event.timestamp, 1),
+        "round": event.round_index,
+        "event": event.kind,
+        "agents": ",".join(str(agent_id) for agent_id in event.agent_ids),
+    }
+
+
+def per_agent_timelines(trace: EventTrace) -> dict[int, list[dict[str, Any]]]:
+    """JSON-serialisable per-agent timelines of a runtime trace.
+
+    One chronological event list per agent the trace mentions; round-level
+    events (``round_start``, ``quorum_reached``, …) carry no agent ids and
+    are therefore not part of any per-agent timeline.
+    """
+    timelines: dict[int, list[dict[str, Any]]] = {
+        agent_id: [] for agent_id in trace.agent_ids()
+    }
+    for event, payload in zip(trace, trace.to_dicts()):
+        for agent_id in event.agent_ids:
+            timelines[agent_id].append(payload)
+    return timelines
+
+
+def export_trace_json(trace: EventTrace, path: str) -> None:
+    """Write the full trace plus per-agent timelines to a JSON file."""
+    payload = {
+        "events": trace.to_dicts(),
+        "per_agent": per_agent_timelines(trace),
+        "kind_counts": trace.kind_counts(),
+        "dropped_events": trace.dropped_events,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def format_agent_timeline(
+    trace: EventTrace, agent_id: int, max_rows: int = 30
+) -> str:
+    """One agent's chronological trace as an aligned plain-text table."""
+    events = trace.for_agent(agent_id)
+    rows = [_event_row(event) for event in events[:max_rows]]
+    if not rows:
+        return f"(no events for agent {agent_id})"
+    table = format_table(rows, float_format="{:.1f}")
+    if len(events) > max_rows:
+        table += f"\n... and {len(events) - max_rows} more"
+    return f"agent {agent_id} timeline\n{table}"
+
+
+def dynamics_annotation(trace: EventTrace) -> str:
+    """Compact arrival/churn/departure summary, e.g. ``"2 arr · 1 dep · 3 churn"``.
+
+    Returns ``"-"`` when the trace holds no dynamics events, so the string
+    can be used directly as a table cell.
+    """
+    counts = trace.kind_counts()
+    parts = []
+    for kind, label in (
+        ("arrival", "arr"),
+        ("departure", "dep"),
+        ("churn", "churn"),
+    ):
+        if counts.get(kind, 0):
+            parts.append(f"{counts[kind]} {label}")
+    return " · ".join(parts) if parts else "-"
+
+
+def format_dynamics_summary(trace: EventTrace) -> str:
+    """Per-round table of dynamics events and their casualties.
+
+    One row per round that saw an arrival, departure, churn, re-cost,
+    abandoned unit or dropped straggler — the observability surface for
+    :class:`~repro.runtime.dynamics.DynamicsSchedule` runs.
+    """
+    per_round: dict[int, dict[str, int]] = {}
+    tracked = DYNAMICS_TRACE_KINDS + ("unit_repriced", "unit_abandoned", "straggler_dropped")
+    for event in trace:
+        if event.kind not in tracked:
+            continue
+        counts = per_round.setdefault(event.round_index, {k: 0 for k in tracked})
+        counts[event.kind] += 1
+    if not per_round:
+        return "(no dynamics events)"
+    rows = [
+        {
+            "round": round_index,
+            "arrivals": counts["arrival"],
+            "departures": counts["departure"],
+            "churn": counts["churn"],
+            "repriced": counts["unit_repriced"],
+            "abandoned": counts["unit_abandoned"],
+            "dropped": counts["straggler_dropped"],
+        }
+        for round_index, counts in sorted(per_round.items())
+    ]
+    return format_table(rows)

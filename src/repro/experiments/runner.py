@@ -21,6 +21,7 @@ from repro.baselines.fedprox import FedProx
 from repro.baselines.gossip import GossipLearning
 from repro.core.comdml import ComDML
 from repro.experiments.scenarios import Scenario, ScenarioConfig, build_scenario
+from repro.runtime.dynamics import DynamicsSchedule
 from repro.training.accuracy import AccuracyTracker
 from repro.training.metrics import RunHistory
 
@@ -56,8 +57,18 @@ class ExperimentRunner:
         self,
         method: str,
         accuracy_tracker: Optional[AccuracyTracker] = None,
+        dynamics: Optional[DynamicsSchedule] = None,
     ):
-        """Instantiate a training method for this scenario."""
+        """Instantiate a training method for this scenario.
+
+        A :class:`~repro.runtime.dynamics.DynamicsSchedule` may be passed to
+        enable mid-round dynamics; since arrivals/departures mutate the
+        topology, the method then receives its own copy so later methods on
+        the same scenario start from the pristine graph.  Schedules carry
+        concrete :class:`~repro.agents.agent.Agent` objects whose profiles
+        the run mutates, so hand every method its *own* schedule (build a
+        fresh one per call).
+        """
         if method not in METHOD_REGISTRY:
             raise KeyError(
                 f"unknown method {method!r}; expected one of {sorted(METHOD_REGISTRY)}"
@@ -68,31 +79,39 @@ class ExperimentRunner:
             if accuracy_tracker is not None
             else self.scenario.curve_tracker(curve_key)
         )
+        topology = (
+            self.scenario.topology.copy()
+            if dynamics is not None
+            else self.scenario.topology
+        )
         return cls(
             registry=self.scenario.fresh_registry(),
             spec=self.scenario.spec,
             config=self.scenario.comdml_config,
-            topology=self.scenario.topology,
+            topology=topology,
             accuracy_tracker=tracker,
             profile=self.scenario.profile,
+            dynamics=dynamics,
         )
 
     def run_method(
         self,
         method: str,
         accuracy_tracker: Optional[AccuracyTracker] = None,
+        dynamics: Optional[DynamicsSchedule] = None,
     ) -> RunHistory:
         """Run one method to completion and return its history."""
-        trainer = self.build_method(method, accuracy_tracker)
+        trainer = self.build_method(method, accuracy_tracker, dynamics)
         return trainer.run()
 
     def run_method_with_trace(
         self,
         method: str,
         accuracy_tracker: Optional[AccuracyTracker] = None,
+        dynamics: Optional[DynamicsSchedule] = None,
     ):
         """Run one method and return ``(history, event_trace)``."""
-        trainer = self.build_method(method, accuracy_tracker)
+        trainer = self.build_method(method, accuracy_tracker, dynamics)
         history = trainer.run()
         return history, trainer.runtime.trace
 

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.agents.registry import AgentRegistry
-from repro.core.config import ComDMLConfig, normalize_execution_mode
+from repro.core.config import (
+    ComDMLConfig,
+    normalize_execution_mode,
+    normalize_quorum_policy,
+)
 from repro.core.profiling import SplitProfile, profile_architecture
 from repro.data.partition import partition_sizes
 from repro.models.resnet import cifar_resnet_spec
@@ -71,6 +75,8 @@ class ScenarioConfig:
     samples_per_agent: Optional[int] = None
     execution_mode: str = "sync"
     quorum_fraction: float = 0.8
+    quorum_policy: str = "fixed"
+    quorum_deadline_factor: float = 1.5
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -92,6 +98,9 @@ class ScenarioConfig:
         check_probability(self.participation_fraction, "participation_fraction")
         object.__setattr__(
             self, "execution_mode", normalize_execution_mode(self.execution_mode)
+        )
+        object.__setattr__(
+            self, "quorum_policy", normalize_quorum_policy(self.quorum_policy)
         )
 
     def with_(self, **changes) -> "ScenarioConfig":
@@ -186,6 +195,8 @@ def build_scenario(config: ScenarioConfig) -> Scenario:
         churn_interval_rounds=config.churn_interval_rounds,
         execution_mode=config.execution_mode,
         quorum_fraction=config.quorum_fraction,
+        quorum_policy=config.quorum_policy,
+        quorum_deadline_factor=config.quorum_deadline_factor,
         lr_plateau_factor=0.2 if config.num_agents <= 10 else 0.5,
         seed=config.seed,
     )

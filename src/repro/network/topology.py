@@ -77,6 +77,37 @@ class Topology:
         """Topology restricted to the given agents (e.g. round participants)."""
         return Topology(self._graph.subgraph(list(agent_ids)).copy())
 
+    def copy(self) -> "Topology":
+        """Independent deep copy (runs that mutate the topology get their own)."""
+        return Topology(self._graph.copy())
+
+    def add_agent(
+        self, agent_id: int, neighbors: Optional[Iterable[int]] = None
+    ) -> None:
+        """Wire a newly arrived agent into the topology.
+
+        Parameters
+        ----------
+        agent_id:
+            Id of the arriving agent (adding an existing id only adds edges).
+        neighbors:
+            Ids to connect the agent to; ``None`` connects it to every
+            existing node (the full-graph arrival used by flash-crowd
+            scenarios).  Unknown neighbour ids are ignored.
+        """
+        existing = set(self._graph.nodes)
+        self._graph.add_node(agent_id)
+        if neighbors is None:
+            targets = existing - {agent_id}
+        else:
+            targets = {n for n in neighbors if n in existing and n != agent_id}
+        self._graph.add_edges_from((agent_id, target) for target in targets)
+
+    def remove_agent(self, agent_id: int) -> None:
+        """Drop a departed agent and all its links (no-op if absent)."""
+        if agent_id in self._graph:
+            self._graph.remove_node(agent_id)
+
     def __repr__(self) -> str:
         return (
             f"Topology(nodes={self.num_nodes}, edges={self.num_edges}, "

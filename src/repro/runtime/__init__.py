@@ -3,10 +3,23 @@
 ``TrainingRuntime`` owns the round machinery every method shares and drives
 execution as events on the simulation engine; each method plugs in a
 ``RoundStrategy``.  See :mod:`repro.runtime.runtime` for the execution
-modes (``sync`` / ``semi-sync`` / ``async``).
+modes (``sync`` / ``semi-sync`` / ``async``),
+:mod:`repro.runtime.dynamics` for mid-round scenario dynamics (staggered
+arrivals, in-flight churn, departures), and :mod:`repro.runtime.quorum`
+for the pluggable semi-sync quorum policies.
 """
 
-from repro.core.config import EXECUTION_MODES
+from repro.core.config import EXECUTION_MODES, QUORUM_POLICIES
+from repro.runtime.dynamics import DynamicsEvent, DynamicsSchedule
+from repro.runtime.quorum import (
+    AdaptiveQuorum,
+    DeadlineQuorum,
+    FixedFractionQuorum,
+    QuorumDecision,
+    QuorumPolicy,
+    make_quorum_policy,
+    resolve_quorum,
+)
 from repro.runtime.runtime import TrainingRuntime
 from repro.runtime.strategy import (
     RoundPlan,
@@ -20,7 +33,17 @@ from repro.runtime.trace import EventTrace, TraceEvent
 
 __all__ = [
     "EXECUTION_MODES",
+    "QUORUM_POLICIES",
     "TrainingRuntime",
+    "DynamicsEvent",
+    "DynamicsSchedule",
+    "QuorumDecision",
+    "QuorumPolicy",
+    "FixedFractionQuorum",
+    "DeadlineQuorum",
+    "AdaptiveQuorum",
+    "make_quorum_policy",
+    "resolve_quorum",
     "RoundPlan",
     "RoundStrategy",
     "StrategyDefaults",

@@ -1,0 +1,247 @@
+"""Mid-round scenario dynamics: staggered arrivals, in-flight churn, departures.
+
+The paper's Table II setup changes agent profiles *during* training and its
+motivation names stragglers that join late.  Round-boundary churn
+(``ComDMLConfig.churn_fraction``) only approximates that: every
+perturbation lands between rounds.  A :class:`DynamicsSchedule` instead
+pins perturbations to *simulated timestamps* and registers them as events
+on the :class:`~repro.sim.engine.SimulationEngine`, so they fire wherever
+the clock happens to be — including in the middle of a round while work is
+in flight.
+
+Three event kinds are supported (see :class:`DynamicsEvent`):
+
+``arrival``
+    A new :class:`~repro.agents.agent.Agent` joins the
+    :class:`~repro.agents.registry.AgentRegistry` at the given time and is
+    wired into the method's topology via the strategy's
+    ``on_agent_arrival`` hook.  It becomes eligible for the *next* pairing
+    plan (mid-round arrivals never join a round already in flight).
+``departure``
+    The agent leaves the registry.  Any of its in-flight work units are
+    abandoned; ``semi-sync`` and ``async`` rounds close without them.
+``churn``
+    A :class:`~repro.agents.dynamics.ResourceChurn`-style profile
+    re-assignment fires at the timestamp.  In-flight work units of affected
+    agents are *re-costed*: the completed fraction of the unit is kept and
+    the remainder is re-priced under the new profiles through the
+    strategy's ``reprice_unit`` hook, moving the unit's completion event.
+
+The schedule itself is declarative and engine-agnostic; the
+:class:`~repro.runtime.TrainingRuntime` applies the events (and falls back
+to its bit-for-bit legacy execution paths when the schedule is empty, so a
+run with ``DynamicsSchedule()`` is identical to one with ``None``).  Build
+the schedule *before* constructing the trainer — events are registered on
+the engine when the runtime is created.
+
+>>> schedule = DynamicsSchedule()
+>>> schedule.churn(500.0, fraction=0.2)
+>>> schedule.departure(1200.0, agent_id=3)
+>>> len(schedule)
+2
+>>> [event.kind for event in schedule]
+['churn', 'departure']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.agents.agent import Agent
+from repro.utils.validation import check_non_negative, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.events import Event
+
+#: Valid dynamics event kinds.
+DYNAMICS_KINDS = ("arrival", "departure", "churn")
+
+
+@dataclass(frozen=True)
+class DynamicsEvent:
+    """One timed scenario perturbation.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (seconds) at which the event fires.
+    kind:
+        ``"arrival"``, ``"departure"`` or ``"churn"``.
+    agent:
+        The arriving agent (``arrival`` only).
+    agent_id:
+        The departing agent's id (``departure`` only).
+    fraction:
+        Fraction of the current population to churn (``churn`` with random
+        targets; mutually exclusive with ``agent_ids``).
+    agent_ids:
+        Explicit churn targets (``churn`` only).
+    neighbors:
+        Topology neighbours for an arriving agent; ``None`` connects it to
+        every existing node.
+    """
+
+    time: float
+    kind: str
+    agent: Optional[Agent] = None
+    agent_id: Optional[int] = None
+    fraction: Optional[float] = None
+    agent_ids: Optional[tuple[int, ...]] = None
+    neighbors: Optional[tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.time, "time")
+        if self.kind not in DYNAMICS_KINDS:
+            raise ValueError(
+                f"kind must be one of {DYNAMICS_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "arrival" and self.agent is None:
+            raise ValueError("arrival events need an agent")
+        if self.kind == "departure" and self.agent_id is None:
+            raise ValueError("departure events need an agent_id")
+        if self.kind == "churn":
+            if (self.fraction is None) == (self.agent_ids is None):
+                raise ValueError(
+                    "churn events need exactly one of fraction or agent_ids"
+                )
+            if self.fraction is not None:
+                check_probability(self.fraction, "fraction")
+                if self.fraction <= 0:
+                    raise ValueError(
+                        f"churn fraction must be positive, got {self.fraction}"
+                    )
+            if self.agent_ids is not None and not self.agent_ids:
+                raise ValueError("churn agent_ids must not be empty")
+
+
+class DynamicsSchedule:
+    """Ordered collection of :class:`DynamicsEvent` for one training run.
+
+    The builder methods (:meth:`arrival`, :meth:`departure`, :meth:`churn`,
+    :meth:`arrival_wave`) validate and append events; :meth:`register`
+    schedules them on a :class:`~repro.sim.engine.SimulationEngine`.
+    Iteration yields events sorted by time (stable for equal timestamps).
+    """
+
+    def __init__(self, events: Iterable[DynamicsEvent] = ()) -> None:
+        self._events: list[DynamicsEvent] = list(events)
+        self._registered = False
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def add(self, event: DynamicsEvent) -> None:
+        """Append a pre-built event."""
+        self._events.append(event)
+
+    def arrival(
+        self,
+        time: float,
+        agent: Agent,
+        neighbors: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Schedule ``agent`` to join the population at ``time``."""
+        self.add(
+            DynamicsEvent(
+                time=time,
+                kind="arrival",
+                agent=agent,
+                neighbors=tuple(neighbors) if neighbors is not None else None,
+            )
+        )
+
+    def arrival_wave(
+        self,
+        start: float,
+        interval: float,
+        agents: Sequence[Agent],
+    ) -> None:
+        """Schedule a staggered wave: one arrival every ``interval`` seconds.
+
+        The flash-crowd building block: ``agents[i]`` arrives at
+        ``start + i × interval``.
+        """
+        check_non_negative(start, "start")
+        check_non_negative(interval, "interval")
+        for index, agent in enumerate(agents):
+            self.arrival(start + index * interval, agent)
+
+    def departure(self, time: float, agent_id: int) -> None:
+        """Schedule agent ``agent_id`` to leave the population at ``time``."""
+        self.add(DynamicsEvent(time=time, kind="departure", agent_id=agent_id))
+
+    def churn(
+        self,
+        time: float,
+        fraction: Optional[float] = None,
+        agent_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Schedule a profile re-assignment at ``time``.
+
+        Exactly one of ``fraction`` (random targets drawn at fire time) or
+        ``agent_ids`` (explicit targets) must be given.
+        """
+        self.add(
+            DynamicsEvent(
+                time=time,
+                kind="churn",
+                fraction=fraction,
+                agent_ids=tuple(agent_ids) if agent_ids is not None else None,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __iter__(self) -> Iterator[DynamicsEvent]:
+        return iter(self.events)
+
+    @property
+    def events(self) -> tuple[DynamicsEvent, ...]:
+        """All events sorted by time (insertion order breaks ties)."""
+        return tuple(sorted(self._events, key=lambda event: event.time))
+
+    # ------------------------------------------------------------------
+    # Engine registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        engine: "SimulationEngine",
+        apply: Callable[["Event"], None],
+    ) -> int:
+        """Schedule every event on ``engine`` with ``apply`` as its callback.
+
+        Events dated before the engine's current time are clamped to *now*
+        (they fire as soon as the clock next moves).  Returns the number of
+        events registered.  The :class:`DynamicsEvent` rides along as the
+        engine event's payload.
+
+        A schedule can be registered exactly once: its arrival events carry
+        concrete :class:`~repro.agents.agent.Agent` objects that the run
+        mutates (profiles churn, model state trains), so replaying the same
+        schedule against a second run would silently leak first-run state
+        into the comparison.  Build a fresh schedule per run instead.
+        """
+        if self._registered:
+            raise RuntimeError(
+                "this DynamicsSchedule was already registered on an engine; "
+                "its Agent objects carry run-mutated state — build a fresh "
+                "schedule per run"
+            )
+        self._registered = True
+        for event in self.events:
+            engine.schedule_at(
+                max(event.time, engine.now),
+                kind=f"dynamics_{event.kind}",
+                payload=event,
+                callback=apply,
+            )
+        return len(self._events)

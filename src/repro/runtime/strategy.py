@@ -8,6 +8,13 @@ event loop) lives in the runtime.  ComDML's strategy derives its plan from
 the pairing scheduler; each baseline derives its plan from its
 ``round_timing`` pattern.
 
+Besides planning, a strategy exposes three *dynamics hooks* the runtime
+invokes when a :class:`~repro.runtime.dynamics.DynamicsSchedule` perturbs
+the population mid-run: ``reprice_unit`` (fresh price of an in-flight unit
+after churn), ``on_agent_arrival`` and ``on_agent_departure`` (topology
+wiring).  :class:`StrategyDefaults` provides inert fallbacks, so a
+strategy can opt into dynamics incrementally.
+
 This module also hosts the round helpers that were previously duplicated
 between ``core/comdml.py`` and ``baselines/base.py``:
 :func:`participation_fraction` and :func:`solo_decisions`.
@@ -100,14 +107,40 @@ class RoundStrategy(Protocol):
         """Cost of one unit's gossip-style aggregation in ``async`` mode."""
         ...
 
+    def reprice_unit(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        """Current full-round price of a unit under present agent profiles.
+
+        Called when a :class:`~repro.runtime.dynamics.DynamicsSchedule`
+        churn event lands while the unit is in flight: the runtime keeps the
+        completed fraction of the unit and re-costs the remainder at this
+        fresh price.
+        """
+        ...
+
+    def on_agent_arrival(
+        self, agent: Agent, neighbors: Optional[Sequence[int]] = None
+    ) -> None:
+        """React to a mid-run arrival (e.g. wire the agent into the topology)."""
+        ...
+
+    def on_agent_departure(self, agent: Agent) -> None:
+        """React to a mid-run departure (e.g. drop the agent's topology links)."""
+        ...
+
 
 class StrategyDefaults:
-    """Default mode-specific pricing shared by the concrete strategies.
+    """Default mode-specific pricing and dynamics hooks shared by strategies.
 
     ``semi-sync`` conservatively keeps the full-barrier aggregation price;
     ``async`` splits it evenly across the round's units (each unit pays its
     share when it gossips its update).  Methods with a real per-subset cost
     model (e.g. ComDML's AllReduce over the finishers) override these.
+
+    The dynamics hooks default to inert behaviour — ``reprice_unit`` keeps
+    the plan-time price, and the arrival/departure callbacks do nothing —
+    so a strategy that ignores mid-round dynamics still runs correctly
+    under a :class:`~repro.runtime.dynamics.DynamicsSchedule` (churn simply
+    has no mid-round timing effect on it).
     """
 
     def semi_sync_aggregation_seconds(
@@ -117,6 +150,17 @@ class StrategyDefaults:
 
     def async_unit_aggregation_seconds(self, plan: RoundPlan, unit: WorkUnit) -> float:
         return plan.aggregation_seconds / max(1, len(plan.units))
+
+    def reprice_unit(self, plan: RoundPlan, unit: WorkUnit) -> float:
+        return unit.duration
+
+    def on_agent_arrival(
+        self, agent: Agent, neighbors: Optional[Sequence[int]] = None
+    ) -> None:
+        return None
+
+    def on_agent_departure(self, agent: Agent) -> None:
+        return None
 
 
 def participation_fraction(

@@ -3,10 +3,15 @@
 Every runtime execution — regardless of mode — records a chronological
 :class:`EventTrace` of :class:`TraceEvent` entries: round boundaries, resource
 churn, per-unit (pair or solo agent) completions, quorum closures, dropped
-stragglers, and aggregations.  Experiments and benchmarks assert against the
-trace instead of re-deriving behaviour from round records, and the trace is
-the debugging surface for the ``semi-sync``/``async`` modes where round
-records alone hide the per-agent interleaving.
+stragglers, aggregations, and — under a
+:class:`~repro.runtime.dynamics.DynamicsSchedule` — agent arrivals,
+departures, in-flight re-costs, and abandoned units.  Experiments and
+benchmarks assert against the trace instead of re-deriving behaviour from
+round records, and the trace is the debugging surface for the
+``semi-sync``/``async`` modes where round records alone hide the per-agent
+interleaving.  :mod:`repro.experiments.reporting` renders traces as
+per-agent plain-text timelines and summarises dynamics events as
+annotations next to the comparison tables.
 """
 
 from __future__ import annotations
@@ -27,8 +32,10 @@ class TraceEvent:
         Zero-based round the event belongs to.
     kind:
         Event type: ``"round_start"``, ``"churn"``, ``"unit_complete"``,
-        ``"quorum_reached"``, ``"straggler_dropped"``, ``"aggregation"`` or
-        ``"round_end"``.
+        ``"quorum_reached"``, ``"quorum_deadline"``,
+        ``"straggler_dropped"``, ``"aggregation"``, ``"round_end"``, or —
+        from a dynamics schedule — ``"arrival"``, ``"departure"``,
+        ``"unit_repriced"`` and ``"unit_abandoned"``.
     agent_ids:
         Agents involved in the event (empty for round-level events).
     detail:
@@ -99,6 +106,13 @@ class EventTrace:
     def for_round(self, round_index: int) -> list[TraceEvent]:
         """All events belonging to the given round, in order."""
         return [event for event in self.events if event.round_index == round_index]
+
+    def agent_ids(self) -> list[int]:
+        """Sorted union of every agent id the trace mentions."""
+        ids: set[int] = set()
+        for event in self.events:
+            ids.update(event.agent_ids)
+        return sorted(ids)
 
     def kind_counts(self) -> dict[str, int]:
         """Histogram of event kinds (useful in assertions and reports)."""

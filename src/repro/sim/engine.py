@@ -4,10 +4,20 @@ The engine couples a :class:`~repro.sim.clock.SimClock` with an
 :class:`~repro.sim.events.EventQueue`.  It is the execution substrate of
 the :class:`~repro.runtime.TrainingRuntime`: every training run — ComDML
 and all baselines alike — advances its clock by scheduling round and
-work-unit events here.  ``sync`` mode schedules one round-closing event per
-round; ``semi-sync`` and ``async`` modes schedule per-pair completion,
-quorum, and gossip-aggregation events, which is what makes stragglers,
-mid-round churn, and staggered arrivals expressible at all.
+work-unit events here.  ``sync`` mode
+(``ComDMLConfig.execution_mode = "sync"``) schedules one round-closing
+event per round; ``semi-sync`` and ``async`` modes schedule per-pair
+completion, quorum, and gossip-aggregation events; and a
+:class:`~repro.runtime.dynamics.DynamicsSchedule` registers timestamped
+arrival/departure/churn events directly on the engine at construction
+time, which is what lets them land *mid-round* while work is in flight.
+
+Two driving styles coexist: :meth:`SimulationEngine.run_until` processes
+everything up to a known horizon (the closed-form round paths), while
+:meth:`SimulationEngine.step` advances one event at a time until a caller's
+closure condition fires (the dynamics-aware paths, where a round's end is
+not known upfront because churn can re-cost in-flight work).  Both rely on
+the queue's total event order for bit-for-bit deterministic runs.
 """
 
 from __future__ import annotations

@@ -4,6 +4,18 @@ Events are ordered by ``(timestamp, priority, sequence)``.  The sequence
 number is a monotonically increasing tiebreaker assigned by the queue so
 that events scheduled at the same instant fire in insertion order — this
 keeps runs deterministic regardless of payload contents.
+
+The runtime leans on that total order in two ways worth knowing about:
+
+* *Priorities* separate same-instant round machinery — unit completions
+  fire before a ``quorum_deadline`` (priority 1) before a ``round_end``
+  (priority 2), so a unit finishing exactly at the deadline still makes
+  the quorum.
+* *Stale events are never cancelled.*  When mid-round churn re-costs an
+  in-flight unit or a departure abandons one
+  (see :mod:`repro.runtime.dynamics`), the superseded completion event
+  stays queued under its old version stamp and is recognised and ignored
+  when it eventually fires — the queue needs no removal operation.
 """
 
 from __future__ import annotations

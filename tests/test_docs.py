@@ -1,0 +1,38 @@
+"""The docs stay healthy: links resolve and runnable examples execute."""
+
+import importlib.util
+from pathlib import Path
+
+TOOL_PATH = Path(__file__).parent.parent / "tools" / "check_docs.py"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("check_docs", TOOL_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_exist():
+    tool = load_tool()
+    names = {path.name for path in tool.doc_files()}
+    assert "README.md" in names
+    assert "architecture.md" in names
+    assert "scenarios.md" in names
+
+
+def test_links_resolve_and_doctests_pass(capsys):
+    tool = load_tool()
+    assert tool.main() == 0
+    assert "docs OK" in capsys.readouterr().out
+
+
+def test_docs_contain_runnable_fences():
+    """At least one fenced example per doc area is actually executed."""
+    tool = load_tool()
+    total = 0
+    for path in tool.doc_files():
+        count, errors = tool.run_doctests(path)
+        assert not errors
+        total += count
+    assert total >= 3

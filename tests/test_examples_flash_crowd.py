@@ -1,0 +1,74 @@
+"""Fast test exercising the examples/flash_crowd.py demo.
+
+Acceptance anchor for the dynamics subsystem: the example must run under
+all three execution modes, and at least one mid-round churn event must
+land while work is in flight (visible as ``unit_repriced`` trace events).
+"""
+
+import importlib.util
+from pathlib import Path
+
+EXAMPLE_PATH = Path(__file__).parent.parent / "examples" / "flash_crowd.py"
+
+
+def load_example():
+    spec = importlib.util.spec_from_file_location("flash_crowd", EXAMPLE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_flash_crowd_runs_all_modes_with_in_flight_churn():
+    example = load_example()
+    results = example.run_modes(max_rounds=4, seed=0)
+    assert set(results) == {"sync", "semi-sync", "async"}
+
+    for mode, (history, trace) in results.items():
+        assert len(history) == 4, mode
+        counts = trace.kind_counts()
+        assert counts["round_end"] == 4, mode
+        # The staggered wave joined and the departure happened.
+        assert counts.get("arrival", 0) >= 1, mode
+        # The first churn event is timed before the earliest unit completion
+        # of round 0, so it must land while work is in flight and re-cost
+        # the affected units — in every execution mode.
+        scheduled_churn = [
+            e
+            for e in trace.of_kind("churn")
+            if e.detail and e.detail.get("source") == "schedule"
+        ]
+        assert scheduled_churn, mode
+        assert counts.get("unit_repriced", 0) >= 1, (
+            f"no in-flight re-cost in mode {mode}"
+        )
+        # Re-costing happened strictly inside a round: after its round_start,
+        # before its round_end.
+        round_bounds = {
+            e.round_index: e.timestamp for e in trace.of_kind("round_start")
+        }
+        round_ends = {
+            e.round_index: e.timestamp for e in trace.of_kind("round_end")
+        }
+        for event in trace.of_kind("unit_repriced"):
+            assert round_bounds[event.round_index] < event.timestamp
+            assert event.timestamp < round_ends[event.round_index]
+        # The trace stays chronological through all the perturbations.
+        timestamps = [event.timestamp for event in trace]
+        assert timestamps == sorted(timestamps), mode
+
+    # Arrivals make the flash-crowd helpers pairable: at least one later
+    # unit involves an agent id that did not exist at the start.
+    _, sync_trace = results["sync"]
+    assert any(
+        any(agent_id >= 6 for agent_id in e.agent_ids)
+        for e in sync_trace.of_kind("unit_complete")
+    )
+
+
+def test_flash_crowd_main_prints_summary(capsys):
+    example = load_example()
+    example.main()
+    out = capsys.readouterr().out
+    assert "flash crowd" in out
+    assert "repriced in flight" in out
+    assert "timeline" in out

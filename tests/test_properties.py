@@ -291,6 +291,155 @@ def test_scheduler_plan_covers_participants_exactly_once(population, seed):
     assert pairing_makespan(decisions) <= all_solo + 1e-6
 
 
+# ----------------------------------------------------------------------
+# Quorum-policy invariants
+# ----------------------------------------------------------------------
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=12
+    ),
+    target=st.integers(min_value=0, max_value=20),
+    deadline=st.one_of(st.none(), st.floats(min_value=0.01, max_value=1e4)),
+)
+@settings(max_examples=60, deadline=None)
+def test_resolve_quorum_invariants(durations, target, deadline):
+    """Any decision over any round keeps 1..n units and closes consistently."""
+    from repro.runtime.quorum import QuorumDecision, resolve_quorum
+
+    durations = sorted(durations)
+    kept, close = resolve_quorum(
+        QuorumDecision(target_count=target, deadline_seconds=deadline), durations
+    )
+    assert 1 <= kept <= len(durations)
+    # Every kept unit finished by the closing time.
+    assert durations[kept - 1] <= close + 1e-9
+    # The round never waits past both the slowest unit and the deadline.
+    latest = max(durations[-1], deadline) if deadline is not None else durations[-1]
+    assert close <= latest + 1e-9
+
+
+@given(
+    fraction=st.floats(min_value=0.05, max_value=1.0),
+    makespans=st.lists(
+        st.floats(min_value=0.0, max_value=1e4), min_size=0, max_size=8
+    ),
+    durations=st.lists(
+        st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=10
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_quorum_policies_always_yield_executable_decisions(
+    fraction, makespans, durations
+):
+    """Every policy copes with any history — including zero makespans."""
+    from repro.core.scheduler import SchedulerStats
+    from repro.runtime.quorum import (
+        AdaptiveQuorum,
+        DeadlineQuorum,
+        FixedFractionQuorum,
+        resolve_quorum,
+    )
+
+    stats = SchedulerStats()
+    for makespan in makespans:
+        stats.record_makespan(makespan)
+    durations = sorted(durations)
+    policies = [
+        FixedFractionQuorum(fraction),
+        DeadlineQuorum(1.5, fallback=FixedFractionQuorum(fraction)),
+        AdaptiveQuorum(floor_fraction=fraction),
+    ]
+    for policy in policies:
+        decision = policy.decide(durations, stats)
+        assert decision.target_count >= 1
+        kept, close = resolve_quorum(decision, durations)
+        assert 1 <= kept <= len(durations)
+        assert close >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Arrival/departure invariants through the dynamic runtime
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    num_arrivals=st.integers(min_value=0, max_value=2),
+    depart_index=st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+    mode=st.sampled_from(["sync", "semi-sync", "async"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_dynamic_population_bookkeeping_invariants(
+    seed, num_arrivals, depart_index, mode
+):
+    """Arrivals/departures keep the registry, trace and plans consistent.
+
+    Whatever the schedule, after the run: the registry holds exactly the
+    surviving ids, the trace is chronological, every round completed, and
+    no departed agent completed work after its departure.
+    """
+    from repro.agents.agent import Agent
+    from repro.agents.registry import AgentRegistry
+    from repro.agents.resources import ResourceProfile
+    from repro.core.comdml import ComDML
+    from repro.core.config import ComDMLConfig
+    from repro.runtime.dynamics import DynamicsSchedule
+
+    base = 4
+    registry = AgentRegistry.build(
+        num_agents=base,
+        rng=np.random.default_rng(seed),
+        samples_per_agent=400,
+        batch_size=100,
+    )
+    schedule = DynamicsSchedule()
+    for index in range(num_arrivals):
+        schedule.arrival(
+            50.0 + 40.0 * index,
+            Agent(
+                agent_id=base + index,
+                profile=ResourceProfile(2.0, 50.0),
+                num_samples=300,
+                batch_size=100,
+            ),
+        )
+    if depart_index is not None:
+        schedule.departure(120.0, agent_id=depart_index)
+    comdml = ComDML(
+        registry=registry,
+        spec=RESNET56,
+        config=ComDMLConfig(
+            max_rounds=2,
+            offload_granularity=9,
+            execution_mode=mode,
+            seed=seed,
+        ),
+        profile=PROFILE,
+        dynamics=schedule if len(schedule) else None,
+    )
+    history = comdml.run()
+    assert len(history) == 2
+
+    total_time = history.total_time
+    expected = set(range(base))
+    for event in schedule:
+        if event.kind == "arrival" and event.time <= total_time:
+            expected.add(event.agent.agent_id)
+        if event.kind == "departure" and event.time <= total_time:
+            expected.discard(event.agent_id)
+    assert set(comdml.registry.ids) == expected
+
+    timestamps = [event.timestamp for event in comdml.trace]
+    assert timestamps == sorted(timestamps)
+
+    departures = {
+        event.agent_ids[0]: event.timestamp
+        for event in comdml.trace.of_kind("departure")
+    }
+    for event in comdml.trace.of_kind("unit_complete"):
+        for agent_id in event.agent_ids:
+            if agent_id in departures:
+                assert event.timestamp <= departures[agent_id] + 1e-9
+
+
 @given(
     seed=st.integers(min_value=0, max_value=50),
     num_agents=st.integers(min_value=2, max_value=6),

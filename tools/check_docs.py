@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Docs health check: link-check the markdown docs and run their doctests.
+
+Two checks over ``README.md`` and ``docs/*.md``:
+
+1. **Links** — every relative markdown link target must exist on disk
+   (external ``http(s)``/``mailto`` links are format-checked only; no
+   network access is required).
+2. **Runnable examples** — fenced code blocks whose info string is
+   ``python doctest`` are executed with :mod:`doctest` against the real
+   package (``src/`` is put on ``sys.path``), so the documented snippets
+   cannot silently rot.
+
+Exits non-zero on any failure.  Run locally with::
+
+    python tools/check_docs.py
+
+CI runs this as the ``docs`` job; ``tests/test_docs.py`` runs it inside the
+regular pytest suite as well.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+#: Markdown inline links: [text](target)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced blocks explicitly marked runnable.
+DOCTEST_FENCE_RE = re.compile(r"```python doctest\n(.*?)```", re.DOTALL)
+#: External link schemes we accept without resolving.
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    files.extend(sorted((ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_links(path: Path) -> list[str]:
+    """Broken relative links in one markdown file."""
+    errors: list[str] = []
+    for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:  # pure in-page anchor
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(
+                f"{path.relative_to(ROOT)}: broken link -> {target}"
+            )
+    return errors
+
+
+def run_doctests(path: Path) -> tuple[int, list[str]]:
+    """Run every ``python doctest`` fence of one file; returns (count, errors)."""
+    errors: list[str] = []
+    parser = doctest.DocTestParser()
+    fences = DOCTEST_FENCE_RE.findall(path.read_text(encoding="utf-8"))
+    for index, source in enumerate(fences):
+        name = f"{path.relative_to(ROOT)}[doctest fence {index}]"
+        test = parser.get_doctest(source, {}, name, str(path), 0)
+        runner = doctest.DocTestRunner(verbose=False)
+        result = runner.run(test)
+        if result.failed:
+            errors.append(f"{name}: {result.failed} example(s) failed")
+    return len(fences), errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    total_fences = 0
+    files = doc_files()
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    for path in files:
+        errors.extend(check_links(path))
+        count, doctest_errors = run_doctests(path)
+        total_fences += count
+        errors.extend(doctest_errors)
+    print(
+        f"checked {len(files)} file(s), ran {total_fences} doctest fence(s)"
+    )
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
