@@ -1,54 +1,44 @@
 """Ablation: ring vs recursive halving-doubling AllReduce.
 
 The paper selects halving-doubling because its number of communication
-steps grows logarithmically with the number of agents.  This ablation sweeps
-the agent count and reports both algorithms' completion time for the
-ResNet-56 model size over a 10 Mbps bottleneck link, plus the effect of the
-optional quantized-gradient compressor.
+steps grows logarithmically with the number of agents.  This ablation
+sweeps the agent count — declared as a
+:class:`~repro.experiments.campaign.CampaignSpec` (one cell per population
+size) — and reports both algorithms' completion time for the ResNet-56
+model size over a 10 Mbps bottleneck link, plus the effect of the optional
+quantized-gradient compressor.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.models.resnet import resnet56_spec
-from repro.network.allreduce import halving_doubling_allreduce, ring_allreduce
-from repro.network.compression import QuantizationCompressor
-from repro.utils.units import mbps_to_bytes_per_second
-
-MODEL_BYTES = resnet56_spec().model_bytes
-BANDWIDTH = mbps_to_bytes_per_second(10.0)
-AGENT_COUNTS = (4, 8, 16, 32, 64, 128)
+from repro.experiments.ablations import ALLREDUCE_AGENT_COUNTS, allreduce_spec
+from repro.experiments.campaign import execute_campaign
 
 
 def test_allreduce_algorithm_sweep(benchmark):
     """Ring vs halving-doubling completion time across agent counts."""
+    spec = allreduce_spec()
 
     def run():
-        rows = []
-        for count in AGENT_COUNTS:
-            ring = ring_allreduce(MODEL_BYTES, count, BANDWIDTH)
-            hd = halving_doubling_allreduce(MODEL_BYTES, count, BANDWIDTH)
-            compressed = halving_doubling_allreduce(
-                MODEL_BYTES, count, BANDWIDTH, compressor=QuantizationCompressor(bits=8)
-            )
-            rows.append((count, ring, hd, compressed))
-        return rows
+        return execute_campaign(spec).payloads()
 
     rows = run_once(benchmark, run)
     print("\n=== Ablation: AllReduce algorithms (ResNet-56, 10 Mbps bottleneck) ===")
     print("agents   ring steps  ring (s)   h/d steps   h/d (s)   h/d+8-bit (s)")
-    for count, ring, hd, compressed in rows:
+    for row in rows:
         print(
-            f"{count:6d}   {ring.steps:10d} {ring.time_seconds:9.2f}   "
-            f"{hd.steps:9d} {hd.time_seconds:9.2f}   {compressed.time_seconds:13.2f}"
+            f"{row['num_agents']:6d}   {row['ring_steps']:10d} {row['ring_seconds']:9.2f}   "
+            f"{row['hd_steps']:9d} {row['hd_seconds']:9.2f}   {row['compressed_seconds']:13.2f}"
         )
         # Identical per-agent volume; the halving-doubling algorithm pays far
         # fewer latency terms, and compression strictly reduces its time.
-        assert abs(ring.per_agent_bytes - hd.per_agent_bytes) < 1e-6
-        assert compressed.time_seconds < hd.time_seconds
+        assert abs(row["ring_per_agent_bytes"] - row["hd_per_agent_bytes"]) < 1e-6
+        assert row["compressed_seconds"] < row["hd_seconds"]
 
+    assert [row["num_agents"] for row in rows] == list(ALLREDUCE_AGENT_COUNTS)
     large = rows[-1]
     benchmark.extra_info["ring_vs_hd_time_ratio_at_128"] = round(
-        large[1].time_seconds / large[2].time_seconds, 3
+        large["ring_seconds"] / large["hd_seconds"], 3
     )
-    assert large[2].steps < large[1].steps
+    assert large["hd_steps"] < large["ring_steps"]

@@ -3,54 +3,37 @@
 DESIGN.md calls out the split-candidate granularity as a design choice: the
 paper profiles M split models per architecture, and the scheduler evaluates
 all of them for every candidate helper.  Finer granularity can only improve
-the chosen pairing (more split options) but increases scheduling cost.  This
-ablation quantifies both effects on a 10-agent heterogeneous population.
+the chosen pairing (more split options) but increases scheduling cost.  The
+grid is declared as a :class:`~repro.experiments.campaign.CampaignSpec`
+(one cell per granularity) and executed on the shared campaign engine.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import run_once
-from repro.agents.registry import AgentRegistry
-from repro.core.pairing import greedy_pairing, pairing_makespan
-from repro.core.profiling import profile_architecture
-from repro.models.resnet import resnet56_spec
-from repro.network.link import LinkModel
-from repro.network.topology import full_topology
-
-GRANULARITIES = (27, 13, 9, 6, 3, 1)
+from repro.experiments.ablations import GRANULARITIES, granularity_spec
+from repro.experiments.campaign import execute_campaign
 
 
 def test_split_granularity_ablation(benchmark):
     """Makespan and candidate count as the split granularity is refined."""
-    spec = resnet56_spec()
-    registry = AgentRegistry.build(
-        num_agents=10,
-        rng=np.random.default_rng(7),
-        samples_per_agent=1_000,
-        batch_size=100,
-    )
-    link_model = LinkModel(full_topology(registry.ids))
+    spec = granularity_spec()
 
     def run():
-        rows = []
-        for granularity in GRANULARITIES:
-            profile = profile_architecture(spec, granularity=granularity)
-            decisions = greedy_pairing(registry.agents, link_model, profile)
-            rows.append(
-                (granularity, profile.num_options, pairing_makespan(decisions))
-            )
-        return rows
+        return execute_campaign(spec).payloads()
 
     rows = run_once(benchmark, run)
     print("\n=== Ablation: split-candidate granularity (10 agents, ResNet-56) ===")
     print("granularity   candidates M   round makespan (s)")
-    for granularity, options, makespan in rows:
-        print(f"{granularity:11d}   {options:12d}   {makespan:18.1f}")
+    for row in rows:
+        print(
+            f"{row['granularity']:11d}   {row['candidates']:12d}   "
+            f"{row['makespan_seconds']:18.1f}"
+        )
 
-    coarse_makespan = rows[0][2]
-    fine_makespan = rows[-1][2]
+    assert [row["granularity"] for row in rows] == list(GRANULARITIES)
+    coarse_makespan = rows[0]["makespan_seconds"]
+    fine_makespan = rows[-1]["makespan_seconds"]
     benchmark.extra_info["coarse_vs_fine_makespan_ratio"] = round(
         coarse_makespan / fine_makespan, 3
     )

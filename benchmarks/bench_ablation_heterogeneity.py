@@ -4,69 +4,35 @@ The paper motivates workload balancing with heterogeneous agents; this
 ablation sweeps the spread of CPU profiles (from homogeneous to the paper's
 full 4–0.2 range) and reports ComDML's round-makespan reduction over the
 no-balancing AllReduce baseline.  Gains should vanish for homogeneous
-populations and grow with heterogeneity.
+populations and grow with heterogeneity.  The sweep is a
+:class:`~repro.experiments.campaign.CampaignSpec` (one cell per CPU spread)
+executed on the shared campaign engine.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from benchmarks.conftest import run_once
-from repro.agents.registry import AgentRegistry
-from repro.agents.resources import ResourceProfile
-from repro.core.pairing import greedy_pairing, pairing_makespan
-from repro.core.profiling import profile_architecture
-from repro.core.workload import individual_training_time
-from repro.models.resnet import resnet56_spec
-from repro.network.link import LinkModel
-from repro.network.topology import full_topology
-
-PROFILE = profile_architecture(resnet56_spec(), granularity=6)
-
-CPU_SPREADS = {
-    "homogeneous (1.0 only)": [1.0],
-    "mild (2.0 / 1.0)": [2.0, 1.0],
-    "moderate (4.0 / 1.0 / 0.5)": [4.0, 1.0, 0.5],
-    "paper (4 / 2 / 1 / 0.5 / 0.2)": [4.0, 2.0, 1.0, 0.5, 0.2],
-}
-
-
-def _population(cpu_pool, num_agents=10, seed=0):
-    rng = np.random.default_rng(seed)
-    profiles = [
-        ResourceProfile(cpu_share=float(cpu_pool[i % len(cpu_pool)]), bandwidth_mbps=50.0)
-        for i in range(num_agents)
-    ]
-    return AgentRegistry.build(
-        num_agents=num_agents, rng=rng, samples_per_agent=1_000, profiles=profiles
-    )
+from repro.experiments.ablations import heterogeneity_spec
+from repro.experiments.campaign import execute_campaign
 
 
 def test_heterogeneity_ablation(benchmark):
     """ComDML's makespan reduction as a function of CPU heterogeneity."""
+    spec = heterogeneity_spec()
 
     def run():
-        rows = []
-        for name, cpu_pool in CPU_SPREADS.items():
-            registry = _population(cpu_pool)
-            link_model = LinkModel(full_topology(registry.ids))
-            decisions = greedy_pairing(registry.agents, link_model, PROFILE)
-            balanced = pairing_makespan(decisions)
-            unbalanced = max(
-                individual_training_time(agent, PROFILE, 100)
-                for agent in registry.agents
-            )
-            reduction = 1.0 - balanced / unbalanced
-            rows.append((name, unbalanced, balanced, reduction))
-        return rows
+        return execute_campaign(spec).payloads()
 
     rows = run_once(benchmark, run)
     print("\n=== Ablation: gain vs resource heterogeneity (10 agents) ===")
     print("population                          no-balancing (s)   ComDML (s)   reduction")
-    for name, unbalanced, balanced, reduction in rows:
-        print(f"{name:34s}   {unbalanced:15.1f}   {balanced:10.1f}   {reduction:9.1%}")
+    for row in rows:
+        print(
+            f"{row['spread']:34s}   {row['unbalanced_seconds']:15.1f}   "
+            f"{row['balanced_seconds']:10.1f}   {row['reduction']:9.1%}"
+        )
 
-    reductions = [row[3] for row in rows]
+    reductions = [row["reduction"] for row in rows]
     benchmark.extra_info["reductions"] = [round(r, 3) for r in reductions]
     # Homogeneous populations gain (almost) nothing; the paper's profile mix
     # gains the most.

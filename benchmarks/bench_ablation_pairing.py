@@ -3,8 +3,9 @@
 The paper's pairing scheduler is a greedy heuristic for the integer program
 of Eq. (5).  This ablation measures how close the greedy makespan gets to
 the exhaustive optimum on small populations (where the exact solver is
-feasible), and benchmarks the scheduling cost of the greedy pairing itself
-at the paper's population sizes.
+feasible) — declared as a :class:`~repro.experiments.campaign.CampaignSpec`
+(one cell per population seed) — and benchmarks the scheduling cost of the
+greedy pairing itself at the paper's population sizes.
 """
 
 from __future__ import annotations
@@ -14,11 +15,12 @@ import pytest
 
 from benchmarks.conftest import run_once
 from repro.agents.registry import AgentRegistry
-from repro.core.pairing import greedy_pairing, pairing_makespan
+from repro.core.pairing import greedy_pairing
 from repro.core.profiling import profile_architecture
-from repro.core.workload import exact_min_makespan
+from repro.experiments.ablations import pairing_spec
+from repro.experiments.campaign import execute_campaign
 from repro.models.resnet import resnet56_spec
-from repro.network.link import LinkModel, pairwise_bandwidth
+from repro.network.link import LinkModel
 from repro.network.topology import full_topology
 
 PROFILE = profile_architecture(resnet56_spec(), granularity=9)
@@ -35,26 +37,20 @@ def _population(num_agents: int, seed: int) -> AgentRegistry:
 
 def test_greedy_vs_exact_makespan(benchmark):
     """Greedy pairing must stay close to the exhaustive optimum (8 agents)."""
+    spec = pairing_spec(seeds=tuple(range(5)), num_agents=8)
 
-    def run() -> dict:
-        results = {}
-        for seed in range(5):
-            registry = _population(8, seed)
-            link_model = LinkModel(full_topology(registry.ids))
-            decisions = greedy_pairing(registry.agents, link_model, PROFILE)
-            greedy = pairing_makespan(decisions)
-            exact, _ = exact_min_makespan(registry.agents, PROFILE, pairwise_bandwidth)
-            results[seed] = (greedy, exact)
-        return results
+    def run():
+        return execute_campaign(spec).payloads()
 
-    results = run_once(benchmark, run)
+    rows = run_once(benchmark, run)
     print("\n=== Ablation: greedy pairing vs exact integer program (8 agents) ===")
     print("seed    greedy (s)    exact (s)    ratio")
-    ratios = []
-    for seed, (greedy, exact) in results.items():
-        ratio = greedy / exact if exact > 0 else 1.0
-        ratios.append(ratio)
-        print(f"{seed:4d}   {greedy:10.1f}   {exact:10.1f}   {ratio:6.3f}")
+    for row in rows:
+        print(
+            f"{row['seed']:4d}   {row['greedy_seconds']:10.1f}   "
+            f"{row['exact_seconds']:10.1f}   {row['ratio']:6.3f}"
+        )
+    ratios = [row["ratio"] for row in rows]
     benchmark.extra_info["worst_ratio"] = round(max(ratios), 3)
     # The greedy scheduler should be within 25 % of the exact optimum.
     assert max(ratios) < 1.25

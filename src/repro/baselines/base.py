@@ -120,9 +120,18 @@ class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
         decision = solo_decisions([agent], self.profile)[0]
         return self.unit_duration(agent, decision)
 
-    def on_agent_arrival(self, agent: Agent, neighbors=None) -> None:
+    def on_agent_arrival(self, agent: Agent, neighbors=None, attachment=None) -> None:
         """Wire a mid-run arrival into the communication topology."""
-        self.topology.add_agent(agent.agent_id, neighbors)
+        if attachment is None:
+            self.topology.add_agent(agent.agent_id, neighbors)
+        else:
+            self.topology.attach_agent(
+                agent.agent_id,
+                policy=attachment.policy,
+                k=attachment.k,
+                rng=attachment.rng_for(agent.agent_id),
+                neighbors=neighbors,
+            )
 
     def on_agent_departure(self, agent: Agent) -> None:
         """Drop a departed agent's topology links."""

@@ -1,20 +1,23 @@
 """Command-line interface for running the paper's experiments.
 
 Installed as the ``comdml`` console script (also runnable as
-``python -m repro.cli``).  Subcommands map one-to-one onto the experiment
-harnesses:
+``python -m repro.cli``).  Every experiment subcommand is a thin alias that
+builds a :class:`~repro.experiments.campaign.CampaignSpec` and executes it
+on the shared :class:`~repro.experiments.campaign.CampaignExecutor`, so all
+of them accept ``--jobs`` (parallel worker processes) and ``--cache-dir``
+(on-disk result cache, making re-runs and resumes free):
 
 .. code-block:: console
 
    comdml compare  --agents 10 --dataset cifar10 --target 0.9
-   comdml compare  --mode semi-sync --quorum 0.75 --churn 0.2
-   comdml compare  --mode semi-sync --quorum-policy deadline --deadline-factor 1.2
-   comdml compare  --mode async --target 0
-   comdml table1
-   comdml table2   --datasets cifar10 --methods ComDML FedAvg
-   comdml table3   --models resnet56 --agent-counts 20 50
-   comdml fig3     --datasets cifar10
-   comdml privacy  --rounds 12
+   comdml compare  --mode semi-sync --quorum-policy deadline --schedule sched.json
+   comdml table2   --datasets cifar10 --methods ComDML FedAvg --jobs 4
+   comdml table3   --models resnet56 --agent-counts 20 50 --cache-dir .comdml-cache
+   comdml campaign run table2 --jobs 4
+   comdml campaign run my_sweep.json --cache-dir .comdml-cache
+   comdml campaign show my_sweep.json
+   comdml campaign clean
+   comdml schedule poisson --horizon 20000 --arrival-rate 0.001 --out sched.json
 """
 
 from __future__ import annotations
@@ -22,22 +25,39 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.experiments.fig1 import run_fig1
-from repro.experiments.fig3 import format_fig3, run_fig3
-from repro.experiments.privacy import format_privacy_results, run_privacy_comparison
-from repro.experiments.reporting import (
-    dynamics_annotation,
-    format_table,
-    speedup_over_baselines,
+from repro.experiments import comparison, fig1, fig3, privacy, table1, table2, table3
+from repro.experiments.campaign import (
+    CAMPAIGN_PRESETS,
+    CampaignCache,
+    CampaignExecutor,
+    CampaignSpec,
+    DEFAULT_CACHE_DIR,
+    atomic_write_json,
+    execute_campaign,
+    resolve_preset,
 )
-from repro.experiments.runner import PAPER_COMPARISON_METHODS, ExperimentRunner
-from repro.experiments.scenarios import ScenarioConfig
-from repro.experiments.table1 import format_table1, run_table1
-from repro.experiments.table2 import format_table2, run_table2
-from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.reporting import (
+    campaign_summary,
+    cell_label,
+    format_campaign_summary,
+    format_table,
+)
+from repro.experiments.runner import PAPER_COMPARISON_METHODS
+from repro.runtime.dynamics import ATTACHMENT_POLICIES, DynamicsSchedule
 from repro.utils.logging import configure_logging
+
+#: Columns of the ``compare`` table, in display order.
+_COMPARE_COLUMNS = (
+    "method",
+    "rounds",
+    "time_to_target_s",
+    "total_time_s",
+    "final_accuracy",
+    "events",
+)
 
 
 def _add_common_output_options(parser: argparse.ArgumentParser) -> None:
@@ -50,20 +70,42 @@ def _add_common_output_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
 
 
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for campaign cells (1 = run inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache finished cells under this directory (re-runs become free)",
+    )
+
+
 def _maybe_write_json(path: Optional[str], payload) -> None:
+    """Write ``payload`` as JSON, creating parent directories and replacing
+    the target atomically so an interrupted run can never leave a truncated
+    results file behind."""
     if path is None:
         return
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, default=lambda obj: obj.__dict__)
+    atomic_write_json(Path(path), payload, default=lambda obj: obj.__dict__)
     print(f"\nwrote {path}")
 
 
 # ----------------------------------------------------------------------
-# Subcommands
+# Experiment subcommands (campaign aliases)
 # ----------------------------------------------------------------------
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    config = ScenarioConfig(
+    schedule = None
+    if args.schedule is not None:
+        with open(args.schedule, "r", encoding="utf-8") as handle:
+            schedule = json.load(handle)
+    spec = comparison.campaign_spec(
+        methods=tuple(args.methods),
+        schedule=schedule,
         num_agents=args.agents,
         dataset=args.dataset,
         model=args.model,
@@ -80,36 +122,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         quorum_deadline_factor=args.deadline_factor,
         seed=args.seed,
     )
-    runner = ExperimentRunner(config)
-    rows = []
-    results = {}
-    for method in args.methods:
-        history, trace = runner.run_method_with_trace(method)
-        results[method] = history
-        rows.append(
-            {
-                "method": method,
-                "rounds": len(history),
-                "time_to_target_s": history.time_to_accuracy(args.target)
-                if args.target
-                else None,
-                "total_time_s": round(history.total_time, 1),
-                "final_accuracy": round(history.final_accuracy, 4),
-                "events": dynamics_annotation(trace),
-            }
-        )
-    print(format_table(rows))
-    if args.target and "ComDML" in results:
+    result = execute_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    rows = result.payloads()
+    print(format_table(rows, columns=_COMPARE_COLUMNS))
+    if args.target and any(row["method"] == "ComDML" for row in rows):
         print()
-        for method, speedup in speedup_over_baselines(results, args.target).items():
+        speedups = comparison.speedups_from_payloads(rows, args.target)
+        for method, speedup in speedups.items():
             print(f"ComDML is {speedup:.2f}x faster than {method}")
-    _maybe_write_json(args.json_path, rows)
+    # Export only the displayed columns: the payload's bookkeeping extras
+    # (exact total time, history digest) would break pre-refactor JSON parity.
+    _maybe_write_json(
+        args.json_path,
+        [{column: row[column] for column in _COMPARE_COLUMNS} for row in rows],
+    )
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    results = run_table1(samples_per_agent=args.samples, seed=args.seed)
-    print(format_table1(results))
+    results = table1.run_table1(
+        samples_per_agent=args.samples,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    print(table1.format_table1(results))
     _maybe_write_json(
         args.json_path,
         {name: [row.__dict__ for row in rows] for name, rows in results.items()},
@@ -118,56 +155,153 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    cells = run_table2(
+    cells = table2.run_table2(
         datasets=args.datasets,
         methods=args.methods,
         num_agents=args.agents,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    print(format_table2(cells))
+    print(table2.format_table2(cells))
     _maybe_write_json(args.json_path, [cell.__dict__ for cell in cells])
     return 0
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
-    cells = run_table3(
+    cells = table3.run_table3(
         models=args.models,
         agent_counts=args.agent_counts,
         methods=args.methods,
         seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    print(format_table3(cells))
+    print(table3.format_table3(cells))
     _maybe_write_json(args.json_path, [cell.__dict__ for cell in cells])
     return 0
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
-    timeline = run_fig1(
+    spec = fig1.campaign_spec(
         slow_cpu=args.slow_cpu,
         fast_cpu=args.fast_cpu,
         bandwidth_mbps=args.bandwidth,
     )
-    print(f"round without balancing : {timeline.round_time_without_balancing:10.1f} s")
-    print(f"round with balancing    : {timeline.round_time_with_balancing:10.1f} s")
-    print(f"offloaded layers        : {timeline.offloaded_layers:10d}")
-    print(f"reduction               : {timeline.round_time_reduction_fraction:10.1%}")
+    result = execute_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    [timeline] = fig1.timelines_from_campaign(result)
+    print(fig1.format_fig1(timeline))
     _maybe_write_json(args.json_path, timeline.__dict__)
     return 0
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    bars = run_fig3(datasets=args.datasets, methods=args.methods, seed=args.seed)
-    print(format_fig3(bars))
+    bars = fig3.run_fig3(
+        datasets=args.datasets,
+        methods=args.methods,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    print(fig3.format_fig3(bars))
     _maybe_write_json(args.json_path, [bar.__dict__ for bar in bars])
     return 0
 
 
 def _cmd_privacy(args: argparse.Namespace) -> int:
-    results = run_privacy_comparison(
-        num_agents=args.agents, rounds=args.rounds, seed=args.seed
+    results = privacy.run_privacy_comparison(
+        num_agents=args.agents,
+        rounds=args.rounds,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
     )
-    print(format_privacy_results(results))
+    print(privacy.format_privacy_results(results))
     _maybe_write_json(args.json_path, [result.__dict__ for result in results])
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Generic campaign subcommand family
+# ----------------------------------------------------------------------
+
+def _resolve_spec(spec_arg: str):
+    """Resolve a spec argument: preset name or path to a spec JSON file.
+
+    Returns ``(spec, preset or None)``.
+    """
+    if spec_arg in CAMPAIGN_PRESETS:
+        preset = resolve_preset(spec_arg)
+        return preset.build_spec(), preset
+    path = Path(spec_arg)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {spec_arg!r} is neither a campaign preset "
+            f"({', '.join(sorted(CAMPAIGN_PRESETS))}) nor a spec file"
+        )
+    return CampaignSpec.load(path), None
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec, preset = _resolve_spec(args.spec)
+    if args.save_spec:
+        spec.save(args.save_spec)
+        print(f"wrote {args.save_spec}")
+    executor = CampaignExecutor(spec, cache_dir=args.cache_dir, jobs=args.jobs)
+    result = executor.run(force=args.force)
+    if preset is not None:
+        print(preset.format_result(result))
+        print()
+    print(format_campaign_summary(result, verbose=preset is None))
+    if args.summary_json:
+        _maybe_write_json(args.summary_json, campaign_summary(result))
+    _maybe_write_json(args.json_path, result.payloads())
+    return 0
+
+
+def _cmd_campaign_show(args: argparse.Namespace) -> int:
+    spec, _ = _resolve_spec(args.spec)
+    executor = CampaignExecutor(spec, cache_dir=args.cache_dir, jobs=1)
+    plan = executor.plan()
+    cached = sum(1 for _, _, _, entry in plan if entry is not None)
+    print(f"campaign {spec.name} (runner {spec.runner}): {len(plan)} cells, "
+          f"{cached} cached in {args.cache_dir}")
+    axes = [axis for axis, _ in spec.axes]
+    for index, params, key, entry in plan:
+        status = "cached" if entry is not None else "pending"
+        print(f"  [{index:3d}] {status:8s} {key[:12]}  {cell_label(params, axes)}")
+    return 0
+
+
+def _cmd_campaign_clean(args: argparse.Namespace) -> int:
+    removed = CampaignCache(args.cache_dir).clear()
+    print(f"removed {removed} cached cell(s) from {args.cache_dir}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Schedule generation
+# ----------------------------------------------------------------------
+
+def _cmd_schedule_poisson(args: argparse.Namespace) -> int:
+    schedule = DynamicsSchedule.poisson(
+        horizon=args.horizon,
+        arrival_rate=args.arrival_rate,
+        departure_rate=args.departure_rate,
+        seed=args.seed,
+        departure_candidates=tuple(args.candidates),
+        id_start=args.id_start,
+        samples_per_agent=args.samples,
+        attachment=args.attachment,
+    )
+    kinds = [event.kind for event in schedule]
+    print(
+        f"generated {len(schedule)} events over {args.horizon:.0f}s "
+        f"({kinds.count('arrival')} arrivals, {kinds.count('departure')} departures)"
+    )
+    if args.out:
+        schedule.save(args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -224,47 +358,127 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.5,
         help="deadline policy closes rounds at this multiple of the running makespan mean",
     )
+    compare.add_argument(
+        "--schedule",
+        default=None,
+        help="JSON DynamicsSchedule applied to every method's run (see 'comdml schedule')",
+    )
     compare.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
     _add_common_output_options(compare)
+    _add_campaign_options(compare)
     compare.set_defaults(handler=_cmd_compare)
 
-    table1 = subparsers.add_parser("table1", help="reproduce Table I")
-    table1.add_argument("--samples", type=int, default=25_000, help="samples per agent")
-    _add_common_output_options(table1)
-    table1.set_defaults(handler=_cmd_table1)
+    table1_parser = subparsers.add_parser("table1", help="reproduce Table I")
+    table1_parser.add_argument("--samples", type=int, default=25_000, help="samples per agent")
+    _add_common_output_options(table1_parser)
+    _add_campaign_options(table1_parser)
+    table1_parser.set_defaults(handler=_cmd_table1)
 
-    table2 = subparsers.add_parser("table2", help="reproduce Table II")
-    table2.add_argument("--datasets", nargs="+", default=["cifar10", "cifar100", "cinic10"])
-    table2.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
-    table2.add_argument("--agents", type=int, default=10)
-    _add_common_output_options(table2)
-    table2.set_defaults(handler=_cmd_table2)
+    table2_parser = subparsers.add_parser("table2", help="reproduce Table II")
+    table2_parser.add_argument("--datasets", nargs="+", default=["cifar10", "cifar100", "cinic10"])
+    table2_parser.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    table2_parser.add_argument("--agents", type=int, default=10)
+    _add_common_output_options(table2_parser)
+    _add_campaign_options(table2_parser)
+    table2_parser.set_defaults(handler=_cmd_table2)
 
-    table3 = subparsers.add_parser("table3", help="reproduce Table III")
-    table3.add_argument("--models", nargs="+", default=["resnet56", "resnet110"])
-    table3.add_argument("--agent-counts", nargs="+", type=int, default=[20, 50, 100])
-    table3.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
-    _add_common_output_options(table3)
-    table3.set_defaults(handler=_cmd_table3)
+    table3_parser = subparsers.add_parser("table3", help="reproduce Table III")
+    table3_parser.add_argument("--models", nargs="+", default=["resnet56", "resnet110"])
+    table3_parser.add_argument("--agent-counts", nargs="+", type=int, default=[20, 50, 100])
+    table3_parser.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    _add_common_output_options(table3_parser)
+    _add_campaign_options(table3_parser)
+    table3_parser.set_defaults(handler=_cmd_table3)
 
-    fig1 = subparsers.add_parser("fig1", help="reproduce the Figure 1 timeline")
-    fig1.add_argument("--slow-cpu", type=float, default=0.5)
-    fig1.add_argument("--fast-cpu", type=float, default=2.0)
-    fig1.add_argument("--bandwidth", type=float, default=50.0)
-    _add_common_output_options(fig1)
-    fig1.set_defaults(handler=_cmd_fig1)
+    fig1_parser = subparsers.add_parser("fig1", help="reproduce the Figure 1 timeline")
+    fig1_parser.add_argument("--slow-cpu", type=float, default=0.5)
+    fig1_parser.add_argument("--fast-cpu", type=float, default=2.0)
+    fig1_parser.add_argument("--bandwidth", type=float, default=50.0)
+    _add_common_output_options(fig1_parser)
+    _add_campaign_options(fig1_parser)
+    fig1_parser.set_defaults(handler=_cmd_fig1)
 
-    fig3 = subparsers.add_parser("fig3", help="reproduce Figure 3 (20%% connectivity)")
-    fig3.add_argument("--datasets", nargs="+", default=["cifar10", "cifar100", "cinic10"])
-    fig3.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
-    _add_common_output_options(fig3)
-    fig3.set_defaults(handler=_cmd_fig3)
+    fig3_parser = subparsers.add_parser("fig3", help="reproduce Figure 3 (20%% connectivity)")
+    fig3_parser.add_argument("--datasets", nargs="+", default=["cifar10", "cifar100", "cinic10"])
+    fig3_parser.add_argument("--methods", nargs="+", default=list(PAPER_COMPARISON_METHODS))
+    _add_common_output_options(fig3_parser)
+    _add_campaign_options(fig3_parser)
+    fig3_parser.set_defaults(handler=_cmd_fig3)
 
-    privacy = subparsers.add_parser("privacy", help="reproduce the privacy-integration comparison")
-    privacy.add_argument("--agents", type=int, default=8)
-    privacy.add_argument("--rounds", type=int, default=12)
-    _add_common_output_options(privacy)
-    privacy.set_defaults(handler=_cmd_privacy)
+    privacy_parser = subparsers.add_parser("privacy", help="reproduce the privacy-integration comparison")
+    privacy_parser.add_argument("--agents", type=int, default=8)
+    privacy_parser.add_argument("--rounds", type=int, default=12)
+    _add_common_output_options(privacy_parser)
+    _add_campaign_options(privacy_parser)
+    privacy_parser.set_defaults(handler=_cmd_privacy)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run/inspect/clean declarative experiment campaigns"
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    run_parser = campaign_sub.add_parser(
+        "run", help="execute a campaign (preset name or spec JSON file)"
+    )
+    run_parser.add_argument(
+        "spec",
+        help=f"campaign preset ({', '.join(sorted(CAMPAIGN_PRESETS))}) or spec JSON path",
+    )
+    run_parser.add_argument("--jobs", type=int, default=1)
+    run_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    run_parser.add_argument(
+        "--force", action="store_true", help="recompute cells even when cached"
+    )
+    run_parser.add_argument(
+        "--save-spec", default=None, help="also write the expanded spec JSON here"
+    )
+    run_parser.add_argument(
+        "--summary-json", default=None, help="write the campaign summary JSON here"
+    )
+    run_parser.add_argument(
+        "--json", dest="json_path", default=None, help="write cell payloads here"
+    )
+    run_parser.set_defaults(handler=_cmd_campaign_run)
+
+    show_parser = campaign_sub.add_parser(
+        "show", help="expand a campaign and report each cell's cache status"
+    )
+    show_parser.add_argument("spec", help="campaign preset or spec JSON path")
+    show_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    show_parser.set_defaults(handler=_cmd_campaign_show)
+
+    clean_parser = campaign_sub.add_parser("clean", help="delete the campaign cell cache")
+    clean_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    clean_parser.set_defaults(handler=_cmd_campaign_clean)
+
+    schedule = subparsers.add_parser(
+        "schedule", help="generate dynamics schedules (save/load as JSON)"
+    )
+    schedule_sub = schedule.add_subparsers(dest="schedule_command", required=True)
+    poisson_parser = schedule_sub.add_parser(
+        "poisson", help="seeded Poisson arrival/departure schedule"
+    )
+    poisson_parser.add_argument("--horizon", type=float, required=True, help="simulated seconds")
+    poisson_parser.add_argument("--arrival-rate", type=float, default=0.0, help="arrivals per second")
+    poisson_parser.add_argument("--departure-rate", type=float, default=0.0, help="departures per second")
+    poisson_parser.add_argument("--seed", type=int, default=0)
+    poisson_parser.add_argument(
+        "--candidates",
+        nargs="*",
+        type=int,
+        default=[],
+        help="initial agent ids eligible for departure",
+    )
+    poisson_parser.add_argument("--id-start", type=int, default=1000, help="first arrival id")
+    poisson_parser.add_argument("--samples", type=int, default=500, help="samples per arriving agent")
+    poisson_parser.add_argument(
+        "--attachment",
+        choices=ATTACHMENT_POLICIES,
+        default="full",
+        help="how arrivals are wired into the topology",
+    )
+    poisson_parser.add_argument("--out", default=None, help="write the schedule JSON here")
+    poisson_parser.set_defaults(handler=_cmd_schedule_poisson)
 
     return parser
 

@@ -211,9 +211,18 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             bandwidth_bytes_per_second=bandwidth,
         ).pair_time
 
-    def on_agent_arrival(self, agent, neighbors=None) -> None:
+    def on_agent_arrival(self, agent, neighbors=None, attachment=None) -> None:
         """Wire a mid-run arrival into the communication topology."""
-        self.topology.add_agent(agent.agent_id, neighbors)
+        if attachment is None:
+            self.topology.add_agent(agent.agent_id, neighbors)
+        else:
+            self.topology.attach_agent(
+                agent.agent_id,
+                policy=attachment.policy,
+                k=attachment.k,
+                rng=attachment.rng_for(agent.agent_id),
+                neighbors=neighbors,
+            )
 
     def on_agent_departure(self, agent) -> None:
         """Drop a departed agent's topology links."""

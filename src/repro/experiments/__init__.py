@@ -1,8 +1,27 @@
-"""Experiment reproductions: one module per table/figure of the paper."""
+"""Experiment reproductions: one module per table/figure of the paper.
 
+All harnesses execute on the shared campaign engine
+(:mod:`repro.experiments.campaign`): a declarative
+:class:`~repro.experiments.campaign.CampaignSpec` per grid, run by the
+parallel, cached, resumable
+:class:`~repro.experiments.campaign.CampaignExecutor`.
+"""
+
+from repro.experiments.campaign import (
+    CampaignCache,
+    CampaignExecutor,
+    CampaignResult,
+    CampaignSpec,
+    execute_campaign,
+)
 from repro.experiments.scenarios import ScenarioConfig, Scenario, build_scenario
 from repro.experiments.runner import ExperimentRunner, METHOD_REGISTRY
-from repro.experiments.reporting import format_table, speedup_over_baselines
+from repro.experiments.reporting import (
+    campaign_summary,
+    format_campaign_summary,
+    format_table,
+    speedup_over_baselines,
+)
 from repro.experiments.table1 import run_table1, TABLE1_OFFLOAD_OPTIONS
 from repro.experiments.table2 import run_table2, TABLE2_TARGETS
 from repro.experiments.table3 import run_table3
@@ -11,6 +30,13 @@ from repro.experiments.fig3 import run_fig3
 from repro.experiments.privacy import run_privacy_comparison
 
 __all__ = [
+    "CampaignCache",
+    "CampaignExecutor",
+    "CampaignResult",
+    "CampaignSpec",
+    "execute_campaign",
+    "campaign_summary",
+    "format_campaign_summary",
     "ScenarioConfig",
     "Scenario",
     "build_scenario",

@@ -1,0 +1,241 @@
+"""Ablation grids as campaign cells.
+
+The four design ablations (split-candidate granularity, resource
+heterogeneity, greedy-vs-exact pairing, AllReduce algorithm choice) used to
+live as hand-rolled loops inside ``benchmarks/bench_ablation_*.py``.  Each
+is now a registered campaign cell runner plus a spec builder, so the
+benchmarks are thin drivers over the shared
+:class:`~repro.experiments.campaign.CampaignExecutor` — and any future
+sweep (finer granularities, larger populations, more seeds) is a spec
+edit, not a new loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.agents.registry import AgentRegistry
+from repro.agents.resources import ResourceProfile
+from repro.core.pairing import greedy_pairing, pairing_makespan
+from repro.core.profiling import profile_architecture
+from repro.core.workload import exact_min_makespan, individual_training_time
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+)
+from repro.models.resnet import resnet56_spec
+from repro.network.allreduce import halving_doubling_allreduce, ring_allreduce
+from repro.network.compression import QuantizationCompressor
+from repro.network.link import LinkModel, pairwise_bandwidth
+from repro.network.topology import full_topology
+from repro.utils.units import mbps_to_bytes_per_second
+
+#: Split-candidate granularities swept by the granularity ablation.
+GRANULARITIES = (27, 13, 9, 6, 3, 1)
+
+#: CPU spreads swept by the heterogeneity ablation (name -> CPU pool).
+CPU_SPREADS: dict[str, tuple[float, ...]] = {
+    "homogeneous (1.0 only)": (1.0,),
+    "mild (2.0 / 1.0)": (2.0, 1.0),
+    "moderate (4.0 / 1.0 / 0.5)": (4.0, 1.0, 0.5),
+    "paper (4 / 2 / 1 / 0.5 / 0.2)": (4.0, 2.0, 1.0, 0.5, 0.2),
+}
+
+#: Agent counts swept by the AllReduce algorithm ablation.
+ALLREDUCE_AGENT_COUNTS = (4, 8, 16, 32, 64, 128)
+
+
+def _registry(num_agents: int, seed: int, batch_size: int = 100) -> AgentRegistry:
+    return AgentRegistry.build(
+        num_agents=num_agents,
+        rng=np.random.default_rng(seed),
+        samples_per_agent=1_000,
+        batch_size=batch_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Granularity: number of candidate split models M
+# ----------------------------------------------------------------------
+
+def granularity_cell(granularity: int, num_agents: int = 10, seed: int = 7) -> dict[str, Any]:
+    """Makespan and candidate count at one split granularity."""
+    profile = profile_architecture(resnet56_spec(), granularity=granularity)
+    registry = _registry(num_agents, seed)
+    link_model = LinkModel(full_topology(registry.ids))
+    decisions = greedy_pairing(registry.agents, link_model, profile)
+    return {
+        "granularity": granularity,
+        "candidates": profile.num_options,
+        "makespan_seconds": pairing_makespan(decisions),
+    }
+
+
+def granularity_spec(
+    granularities: Sequence[int] = GRANULARITIES,
+    num_agents: int = 10,
+    seed: int = 7,
+) -> CampaignSpec:
+    """Declare the split-granularity ablation grid."""
+    return CampaignSpec.create(
+        name="ablation-granularity",
+        runner="ablation-granularity",
+        axes={"granularity": tuple(granularities)},
+        base={"num_agents": num_agents, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Heterogeneity: gain vs CPU spread
+# ----------------------------------------------------------------------
+
+def heterogeneity_cell(
+    spread: str, num_agents: int = 10, granularity: int = 6, seed: int = 0
+) -> dict[str, Any]:
+    """ComDML's makespan reduction over no balancing for one CPU spread."""
+    try:
+        cpu_pool = CPU_SPREADS[spread]
+    except KeyError:
+        raise KeyError(
+            f"unknown CPU spread {spread!r}; expected one of {sorted(CPU_SPREADS)}"
+        ) from None
+    profile = profile_architecture(resnet56_spec(), granularity=granularity)
+    rng = np.random.default_rng(seed)
+    profiles = [
+        ResourceProfile(
+            cpu_share=float(cpu_pool[i % len(cpu_pool)]), bandwidth_mbps=50.0
+        )
+        for i in range(num_agents)
+    ]
+    registry = AgentRegistry.build(
+        num_agents=num_agents, rng=rng, samples_per_agent=1_000, profiles=profiles
+    )
+    link_model = LinkModel(full_topology(registry.ids))
+    decisions = greedy_pairing(registry.agents, link_model, profile)
+    balanced = pairing_makespan(decisions)
+    unbalanced = max(
+        individual_training_time(agent, profile, 100) for agent in registry.agents
+    )
+    return {
+        "spread": spread,
+        "unbalanced_seconds": unbalanced,
+        "balanced_seconds": balanced,
+        "reduction": 1.0 - balanced / unbalanced,
+    }
+
+
+def heterogeneity_spec(
+    spreads: Sequence[str] = tuple(CPU_SPREADS),
+    num_agents: int = 10,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Declare the heterogeneity ablation grid."""
+    return CampaignSpec.create(
+        name="ablation-heterogeneity",
+        runner="ablation-heterogeneity",
+        axes={"spread": tuple(spreads)},
+        base={"num_agents": num_agents, "seed": seed},
+    )
+
+
+# ----------------------------------------------------------------------
+# Pairing: greedy heuristic vs exact integer program
+# ----------------------------------------------------------------------
+
+def pairing_cell(seed: int, num_agents: int = 8, granularity: int = 9) -> dict[str, Any]:
+    """Greedy vs exact makespan for one population draw."""
+    profile = profile_architecture(resnet56_spec(), granularity=granularity)
+    registry = _registry(num_agents, seed)
+    link_model = LinkModel(full_topology(registry.ids))
+    decisions = greedy_pairing(registry.agents, link_model, profile)
+    greedy = pairing_makespan(decisions)
+    exact, _ = exact_min_makespan(registry.agents, profile, pairwise_bandwidth)
+    return {
+        "seed": seed,
+        "greedy_seconds": greedy,
+        "exact_seconds": exact,
+        "ratio": greedy / exact if exact > 0 else 1.0,
+    }
+
+
+def pairing_spec(
+    seeds: Sequence[int] = tuple(range(5)),
+    num_agents: int = 8,
+) -> CampaignSpec:
+    """Declare the greedy-vs-exact pairing ablation grid."""
+    return CampaignSpec.create(
+        name="ablation-pairing",
+        runner="ablation-pairing",
+        axes={"seed": tuple(seeds)},
+        base={"num_agents": num_agents},
+    )
+
+
+# ----------------------------------------------------------------------
+# AllReduce: ring vs recursive halving-doubling
+# ----------------------------------------------------------------------
+
+def allreduce_cell(
+    num_agents: int,
+    bandwidth_mbps: float = 10.0,
+    compression_bits: int = 8,
+) -> dict[str, Any]:
+    """Both AllReduce algorithms (plus compression) at one population size."""
+    model_bytes = resnet56_spec().model_bytes
+    bandwidth = mbps_to_bytes_per_second(bandwidth_mbps)
+    ring = ring_allreduce(model_bytes, num_agents, bandwidth)
+    hd = halving_doubling_allreduce(model_bytes, num_agents, bandwidth)
+    compressed = halving_doubling_allreduce(
+        model_bytes,
+        num_agents,
+        bandwidth,
+        compressor=QuantizationCompressor(bits=compression_bits),
+    )
+    return {
+        "num_agents": num_agents,
+        "ring_steps": ring.steps,
+        "ring_seconds": ring.time_seconds,
+        "ring_per_agent_bytes": ring.per_agent_bytes,
+        "hd_steps": hd.steps,
+        "hd_seconds": hd.time_seconds,
+        "hd_per_agent_bytes": hd.per_agent_bytes,
+        "compressed_seconds": compressed.time_seconds,
+    }
+
+
+def allreduce_spec(
+    agent_counts: Sequence[int] = ALLREDUCE_AGENT_COUNTS,
+    bandwidth_mbps: float = 10.0,
+) -> CampaignSpec:
+    """Declare the AllReduce algorithm ablation grid."""
+    return CampaignSpec.create(
+        name="ablation-allreduce",
+        runner="ablation-allreduce",
+        axes={"num_agents": tuple(agent_counts)},
+        base={"bandwidth_mbps": bandwidth_mbps},
+    )
+
+
+# ----------------------------------------------------------------------
+# Presets (CLI-runnable)
+# ----------------------------------------------------------------------
+
+def _format_rows(result: CampaignResult) -> str:
+    from repro.experiments.reporting import format_table
+
+    return format_table(result.payloads(), float_format="{:.3f}")
+
+
+GRANULARITY_PRESET = CampaignPreset(
+    build_spec=granularity_spec, format_result=_format_rows
+)
+HETEROGENEITY_PRESET = CampaignPreset(
+    build_spec=heterogeneity_spec, format_result=_format_rows
+)
+PAIRING_PRESET = CampaignPreset(build_spec=pairing_spec, format_result=_format_rows)
+ALLREDUCE_PRESET = CampaignPreset(
+    build_spec=allreduce_spec, format_result=_format_rows
+)

@@ -10,11 +10,17 @@ round.  This harness produces the numeric timeline behind that picture.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.agents.agent import Agent
 from repro.agents.resources import ResourceProfile
 from repro.core.profiling import profile_architecture
 from repro.core.workload import best_offload, estimate_offload_time, individual_training_time
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+)
 from repro.models.resnet import resnet56_spec
 from repro.utils.units import mbps_to_bytes_per_second
 
@@ -97,3 +103,70 @@ def run_fig1(
         round_time_with_balancing=estimate.pair_time,
         idle_with_balancing=estimate.idle_time,
     )
+
+
+# ----------------------------------------------------------------------
+# Campaign integration: spec builder, cell runner, post-processor
+# ----------------------------------------------------------------------
+
+def campaign_spec(
+    slow_cpu: float = 0.5,
+    fast_cpu: float = 2.0,
+    bandwidth_mbps: float = 50.0,
+) -> CampaignSpec:
+    """Declare the Figure 1 campaign (a single-cell grid).
+
+    Sweeping the axes instead (e.g. ``slow_cpu`` over several values) turns
+    the same runner into a heterogeneity sensitivity study.
+    """
+    return CampaignSpec.create(
+        name="fig1",
+        runner="fig1-timeline",
+        axes={"slow_cpu": (slow_cpu,)},
+        base={"fast_cpu": fast_cpu, "bandwidth_mbps": bandwidth_mbps},
+    )
+
+
+def run_campaign_cell(
+    slow_cpu: float = 0.5,
+    fast_cpu: float = 2.0,
+    bandwidth_mbps: float = 50.0,
+    samples_per_agent: int = 5_000,
+    batch_size: int = 100,
+    offload_granularity: int = 3,
+) -> dict[str, Any]:
+    """One balancing timeline as a JSON payload."""
+    timeline = run_fig1(
+        slow_cpu=slow_cpu,
+        fast_cpu=fast_cpu,
+        bandwidth_mbps=bandwidth_mbps,
+        samples_per_agent=samples_per_agent,
+        batch_size=batch_size,
+        offload_granularity=offload_granularity,
+    )
+    return timeline.__dict__
+
+
+def timelines_from_campaign(result: CampaignResult) -> list[Fig1Timeline]:
+    """Post-process a finished Figure 1 campaign into its timelines."""
+    return [Fig1Timeline(**payload) for payload in result.payloads()]
+
+
+def format_fig1(timeline: Fig1Timeline) -> str:
+    """Render the Figure 1 timeline the way the CLI reports it."""
+    return "\n".join(
+        [
+            f"round without balancing : {timeline.round_time_without_balancing:10.1f} s",
+            f"round with balancing    : {timeline.round_time_with_balancing:10.1f} s",
+            f"offloaded layers        : {timeline.offloaded_layers:10d}",
+            f"reduction               : {timeline.round_time_reduction_fraction:10.1%}",
+        ]
+    )
+
+
+CAMPAIGN_PRESET = CampaignPreset(
+    build_spec=campaign_spec,
+    format_result=lambda result: "\n\n".join(
+        format_fig1(timeline) for timeline in timelines_from_campaign(result)
+    ),
+)

@@ -10,8 +10,14 @@ only ever need to pair with a *connected* neighbour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+    execute_campaign,
+)
 from repro.experiments.runner import ExperimentRunner, PAPER_COMPARISON_METHODS
 from repro.experiments.scenarios import ScenarioConfig
 from repro.experiments.table2 import TABLE2_TARGETS
@@ -83,26 +89,73 @@ def run_fig3_dataset(
     return bars
 
 
+# ----------------------------------------------------------------------
+# Campaign integration: spec builder, cell runner, post-processor
+# ----------------------------------------------------------------------
+
+def campaign_spec(
+    datasets: Sequence[str] = ("cifar10", "cifar100", "cinic10"),
+    methods: Sequence[str] = PAPER_COMPARISON_METHODS,
+    num_agents: int = FIG3_NUM_AGENTS,
+    max_rounds: int = 1_800,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Declare the Figure 3 grid: dataset × method."""
+    return CampaignSpec.create(
+        name="fig3",
+        runner="fig3-bar",
+        axes={"dataset": tuple(datasets), "method": tuple(methods)},
+        base={"num_agents": num_agents, "max_rounds": max_rounds, "seed": seed},
+    )
+
+
+def run_campaign_cell(
+    dataset: str,
+    method: str,
+    num_agents: int = FIG3_NUM_AGENTS,
+    max_rounds: int = 1_800,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One (dataset, method) bar as a JSON payload."""
+    [bar] = run_fig3_dataset(
+        dataset=dataset,
+        methods=(method,),
+        num_agents=num_agents,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return bar.__dict__
+
+
+def bars_from_campaign(result: CampaignResult) -> list[Fig3Bar]:
+    """Post-process a finished Figure 3 campaign into its bars."""
+    return [Fig3Bar(**payload) for payload in result.payloads()]
+
+
+CAMPAIGN_PRESET = CampaignPreset(
+    build_spec=campaign_spec,
+    format_result=lambda result: format_fig3(bars_from_campaign(result)),
+)
+
+
 def run_fig3(
     datasets: Sequence[str] = ("cifar10", "cifar100", "cinic10"),
     methods: Sequence[str] = PAPER_COMPARISON_METHODS,
     num_agents: int = FIG3_NUM_AGENTS,
     max_rounds: int = 1_800,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[Fig3Bar]:
     """Run the full Figure 3 series (all datasets, all methods)."""
-    bars: list[Fig3Bar] = []
-    for dataset in datasets:
-        bars.extend(
-            run_fig3_dataset(
-                dataset=dataset,
-                methods=methods,
-                num_agents=num_agents,
-                max_rounds=max_rounds,
-                seed=seed,
-            )
-        )
-    return bars
+    spec = campaign_spec(
+        datasets=datasets,
+        methods=methods,
+        num_agents=num_agents,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return bars_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_fig3(bars: Sequence[Fig3Bar]) -> str:

@@ -15,11 +15,17 @@ scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
 from repro.agents.registry import AgentRegistry
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+    execute_campaign,
+)
 from repro.core.comdml import ComDML
 from repro.core.config import ComDMLConfig
 from repro.core.profiling import profile_architecture
@@ -149,24 +155,73 @@ def run_privacy_configuration(
     )
 
 
-def run_privacy_comparison(
-    mechanisms: tuple[str, ...] = (
-        "none",
-        "distance_correlation",
-        "patch_shuffle",
-        "differential_privacy",
-    ),
+# ----------------------------------------------------------------------
+# Campaign integration: spec builder, cell runner, post-processor
+# ----------------------------------------------------------------------
+
+#: Mechanisms compared in the paper's Section V-B-4, in report order.
+PRIVACY_MECHANISMS = (
+    "none",
+    "distance_correlation",
+    "patch_shuffle",
+    "differential_privacy",
+)
+
+
+def campaign_spec(
+    mechanisms: tuple[str, ...] = PRIVACY_MECHANISMS,
     num_agents: int = 8,
     rounds: int = 12,
     seed: int = 0,
+) -> CampaignSpec:
+    """Declare the privacy comparison: one cell per mechanism."""
+    return CampaignSpec.create(
+        name="privacy",
+        runner="privacy-mechanism",
+        axes={"mechanism": tuple(mechanisms)},
+        base={"num_agents": num_agents, "rounds": rounds, "seed": seed},
+    )
+
+
+def run_campaign_cell(
+    mechanism: str,
+    num_agents: int = 8,
+    rounds: int = 12,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One privacy configuration's outcome as a JSON payload."""
+    result = run_privacy_configuration(
+        mechanism, num_agents=num_agents, rounds=rounds, seed=seed
+    )
+    return result.__dict__
+
+
+def results_from_campaign(result: CampaignResult) -> list[PrivacyResult]:
+    """Post-process a finished privacy campaign into its results."""
+    return [PrivacyResult(**payload) for payload in result.payloads()]
+
+
+CAMPAIGN_PRESET = CampaignPreset(
+    build_spec=campaign_spec,
+    format_result=lambda result: format_privacy_results(
+        results_from_campaign(result)
+    ),
+)
+
+
+def run_privacy_comparison(
+    mechanisms: tuple[str, ...] = PRIVACY_MECHANISMS,
+    num_agents: int = 8,
+    rounds: int = 12,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[PrivacyResult]:
     """Run every privacy configuration and return the accuracy comparison."""
-    return [
-        run_privacy_configuration(
-            mechanism, num_agents=num_agents, rounds=rounds, seed=seed
-        )
-        for mechanism in mechanisms
-    ]
+    spec = campaign_spec(
+        mechanisms=tuple(mechanisms), num_agents=num_agents, rounds=rounds, seed=seed
+    )
+    return results_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_privacy_results(results: list[PrivacyResult]) -> str:

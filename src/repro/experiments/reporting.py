@@ -7,17 +7,22 @@ per-agent timelines (:func:`per_agent_timelines`,
 :func:`format_agent_timeline`), a per-round dynamics summary
 (:func:`format_dynamics_summary`), and the compact arrival/churn/departure
 annotation string (:func:`dynamics_annotation`) shown as the ``events``
-column of ``comdml compare``.
+column of ``comdml compare``.  Campaign runs get their own aggregation
+surface: :func:`campaign_summary` (per-cell status, cache hit/miss counts,
+wall-clock speedup) and :func:`format_campaign_summary`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
 
 from repro.runtime.dynamics import DYNAMICS_KINDS
 from repro.runtime.trace import EventTrace, TraceEvent
 from repro.training.metrics import RunHistory
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.experiments.campaign import CampaignResult
 
 #: Trace kinds counted as scenario dynamics in annotations/summaries —
 #: exactly the event kinds a DynamicsSchedule can produce.
@@ -190,3 +195,63 @@ def format_dynamics_summary(trace: EventTrace) -> str:
         for round_index, counts in sorted(per_round.items())
     ]
     return format_table(rows)
+
+
+# ----------------------------------------------------------------------
+# Campaign-level aggregation
+# ----------------------------------------------------------------------
+
+def cell_label(params: Mapping[str, Any], axes: Sequence[str]) -> str:
+    """Compact per-cell label built from the campaign's axis values."""
+    if not axes:
+        return "-"
+    return ", ".join(f"{axis}={params.get(axis)}" for axis in axes)
+
+
+def campaign_summary(result: "CampaignResult") -> dict[str, Any]:
+    """JSON-serialisable aggregation of one campaign run.
+
+    Includes per-cell status (cache ``hit`` or computed ``miss``) and the
+    executive numbers a resume/CI check needs: hit/miss counts, wall-clock
+    time, accumulated per-cell compute time, and the resulting wall-clock
+    speedup (>1 when parallelism and/or caching paid off).
+    """
+    axes = [axis for axis, _ in result.spec.axes]
+    return {
+        "name": result.spec.name,
+        "runner": result.spec.runner,
+        "cells": len(result.cells),
+        "cache_hits": result.hits,
+        "cache_misses": result.misses,
+        "cache_dir": result.cache_dir,
+        "jobs": result.jobs,
+        "wall_seconds": result.wall_seconds,
+        "cell_seconds": result.cell_seconds,
+        "speedup": result.speedup,
+        "per_cell": [
+            {
+                "index": cell.index,
+                "cell": cell_label(cell.params, axes),
+                "status": cell.status,
+                "elapsed_seconds": cell.elapsed_seconds,
+                "key": cell.key[:12],
+            }
+            for cell in result.cells
+        ],
+    }
+
+
+def format_campaign_summary(result: "CampaignResult", verbose: bool = False) -> str:
+    """Render a campaign run: headline counters, plus per-cell rows if verbose."""
+    summary = campaign_summary(result)
+    lines = [
+        f"campaign {summary['name']}: {summary['cells']} cells "
+        f"({summary['cache_hits']} cached, {summary['cache_misses']} computed) "
+        f"in {summary['wall_seconds']:.2f}s wall "
+        f"[jobs={summary['jobs']}, {summary['speedup']:.2f}x vs serial cold run]"
+    ]
+    if verbose and summary["per_cell"]:
+        lines.append(
+            format_table(summary["per_cell"], float_format="{:.3f}")
+        )
+    return "\n".join(lines)

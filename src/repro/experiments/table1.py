@@ -16,8 +16,15 @@ paper's Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional, Sequence
 
 from repro.agents.agent import Agent
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+    execute_campaign,
+)
 from repro.agents.resources import ResourceProfile
 from repro.core.profiling import SplitProfile, profile_architecture
 from repro.core.workload import estimate_offload_time
@@ -132,17 +139,69 @@ def run_setting(
     return rows
 
 
+# ----------------------------------------------------------------------
+# Campaign integration: spec builder, cell runner, post-processor
+# ----------------------------------------------------------------------
+
+def campaign_spec(
+    settings: Optional[Sequence[str]] = None,
+    samples_per_agent: int = 25_000,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Declare the Table I grid: one cell per resource setting."""
+    names = (
+        tuple(settings)
+        if settings is not None
+        else tuple(setting.name for setting in TABLE1_SETTINGS)
+    )
+    return CampaignSpec.create(
+        name="table1",
+        runner="table1-setting",
+        axes={"setting": names},
+        base={"samples_per_agent": samples_per_agent, "seed": seed},
+    )
+
+
+def run_campaign_cell(
+    setting: str,
+    samples_per_agent: int = 25_000,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One resource setting's full offload sweep as a JSON payload."""
+    by_name = {entry.name: entry for entry in TABLE1_SETTINGS}
+    try:
+        resolved = by_name[setting]
+    except KeyError:
+        raise KeyError(
+            f"unknown Table I setting {setting!r}; expected one of {sorted(by_name)}"
+        ) from None
+    rows = run_setting(resolved, samples_per_agent=samples_per_agent, seed=seed)
+    return {"setting": setting, "rows": [row.__dict__ for row in rows]}
+
+
+def results_from_campaign(result: CampaignResult) -> dict[str, list[Table1Row]]:
+    """Post-process a finished Table I campaign into ``{setting: rows}``."""
+    return {
+        payload["setting"]: [Table1Row(**row) for row in payload["rows"]]
+        for payload in result.payloads()
+    }
+
+
+CAMPAIGN_PRESET = CampaignPreset(
+    build_spec=campaign_spec,
+    format_result=lambda result: format_table1(results_from_campaign(result)),
+)
+
+
 def run_table1(
     samples_per_agent: int = 25_000,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> dict[str, list[Table1Row]]:
     """Run both settings of Table I; returns ``{setting name: rows}``."""
-    return {
-        setting.name: run_setting(
-            setting, samples_per_agent=samples_per_agent, seed=seed
-        )
-        for setting in TABLE1_SETTINGS
-    }
+    spec = campaign_spec(samples_per_agent=samples_per_agent, seed=seed)
+    return results_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_table1(results: dict[str, list[Table1Row]]) -> str:

@@ -11,8 +11,14 @@ per-dataset target accuracy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+    execute_campaign,
+)
 from repro.experiments.runner import ExperimentRunner, PAPER_COMPARISON_METHODS
 from repro.experiments.scenarios import ScenarioConfig
 from repro.training.metrics import RunHistory
@@ -87,6 +93,72 @@ def run_table2_cell(
     ]
 
 
+# ----------------------------------------------------------------------
+# Campaign integration: spec builder, cell runner, post-processor
+# ----------------------------------------------------------------------
+
+def campaign_spec(
+    datasets: Sequence[str] = ("cifar10", "cifar100", "cinic10"),
+    distributions: Sequence[bool] = (True, False),
+    methods: Sequence[str] = PAPER_COMPARISON_METHODS,
+    num_agents: int = 10,
+    max_rounds: int = 600,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Declare the Table II grid: dataset × distribution × method."""
+    return CampaignSpec.create(
+        name="table2",
+        runner="table2-cell",
+        axes={
+            "dataset": tuple(datasets),
+            "iid": tuple(distributions),
+            "method": tuple(methods),
+        },
+        base={"num_agents": num_agents, "max_rounds": max_rounds, "seed": seed},
+    )
+
+
+def run_campaign_cell(
+    dataset: str,
+    iid: bool,
+    method: str,
+    num_agents: int = 10,
+    max_rounds: int = 600,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One (dataset, distribution, method) cell as a JSON payload.
+
+    Method runs are independent (each builds its own registry and curve
+    tracker from the scenario's seed factory), so a single-method cell is
+    identical to the same method inside a multi-method sweep.
+    """
+    [cell] = run_table2_cell(
+        dataset=dataset,
+        iid=iid,
+        methods=(method,),
+        num_agents=num_agents,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return cell.__dict__
+
+
+def cell_from_payload(payload: dict[str, Any]) -> Table2Cell:
+    """Rebuild a :class:`Table2Cell` from a campaign payload."""
+    return Table2Cell(**payload)
+
+
+def cells_from_campaign(result: CampaignResult) -> list[Table2Cell]:
+    """Post-process a finished Table II campaign into its cells."""
+    return [cell_from_payload(payload) for payload in result.payloads()]
+
+
+CAMPAIGN_PRESET = CampaignPreset(
+    build_spec=campaign_spec,
+    format_result=lambda result: format_table2(cells_from_campaign(result)),
+)
+
+
 def run_table2(
     datasets: Sequence[str] = ("cifar10", "cifar100", "cinic10"),
     distributions: Sequence[bool] = (True, False),
@@ -94,22 +166,19 @@ def run_table2(
     num_agents: int = 10,
     max_rounds: int = 600,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[Table2Cell]:
     """Run the full Table II grid; returns one cell per (method, dataset, iid)."""
-    cells: list[Table2Cell] = []
-    for dataset in datasets:
-        for iid in distributions:
-            cells.extend(
-                run_table2_cell(
-                    dataset=dataset,
-                    iid=iid,
-                    methods=methods,
-                    num_agents=num_agents,
-                    max_rounds=max_rounds,
-                    seed=seed,
-                )
-            )
-    return cells
+    spec = campaign_spec(
+        datasets=datasets,
+        distributions=distributions,
+        methods=methods,
+        num_agents=num_agents,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return cells_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_table2(cells: Sequence[Table2Cell]) -> str:

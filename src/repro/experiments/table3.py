@@ -9,8 +9,14 @@ not erode ComDML's advantage.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
+from repro.experiments.campaign import (
+    CampaignPreset,
+    CampaignResult,
+    CampaignSpec,
+    execute_campaign,
+)
 from repro.experiments.runner import ExperimentRunner, PAPER_COMPARISON_METHODS
 from repro.experiments.scenarios import ScenarioConfig
 from repro.training.metrics import RunHistory
@@ -85,27 +91,77 @@ def run_table3_cell(
     return cells
 
 
+# ----------------------------------------------------------------------
+# Campaign integration: spec builder, cell runner, post-processor
+# ----------------------------------------------------------------------
+
+def campaign_spec(
+    models: Sequence[str] = TABLE3_MODELS,
+    agent_counts: Sequence[int] = TABLE3_AGENT_COUNTS,
+    methods: Sequence[str] = PAPER_COMPARISON_METHODS,
+    max_rounds: int = 900,
+    seed: int = 0,
+) -> CampaignSpec:
+    """Declare the Table III grid: model × agent count × method."""
+    return CampaignSpec.create(
+        name="table3",
+        runner="table3-cell",
+        axes={
+            "model": tuple(models),
+            "num_agents": tuple(agent_counts),
+            "method": tuple(methods),
+        },
+        base={"max_rounds": max_rounds, "seed": seed},
+    )
+
+
+def run_campaign_cell(
+    model: str,
+    num_agents: int,
+    method: str,
+    max_rounds: int = 900,
+    seed: int = 0,
+) -> dict[str, Any]:
+    """One (model, agent count, method) cell as a JSON payload."""
+    [cell] = run_table3_cell(
+        model=model,
+        num_agents=num_agents,
+        methods=(method,),
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return cell.__dict__
+
+
+def cells_from_campaign(result: CampaignResult) -> list[Table3Cell]:
+    """Post-process a finished Table III campaign into its cells."""
+    return [Table3Cell(**payload) for payload in result.payloads()]
+
+
+CAMPAIGN_PRESET = CampaignPreset(
+    build_spec=campaign_spec,
+    format_result=lambda result: format_table3(cells_from_campaign(result)),
+)
+
+
 def run_table3(
     models: Sequence[str] = TABLE3_MODELS,
     agent_counts: Sequence[int] = TABLE3_AGENT_COUNTS,
     methods: Sequence[str] = PAPER_COMPARISON_METHODS,
     max_rounds: int = 900,
     seed: int = 0,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> list[Table3Cell]:
     """Run the full Table III grid."""
-    cells: list[Table3Cell] = []
-    for model in models:
-        for num_agents in agent_counts:
-            cells.extend(
-                run_table3_cell(
-                    model=model,
-                    num_agents=num_agents,
-                    methods=methods,
-                    max_rounds=max_rounds,
-                    seed=seed,
-                )
-            )
-    return cells
+    spec = campaign_spec(
+        models=models,
+        agent_counts=agent_counts,
+        methods=methods,
+        max_rounds=max_rounds,
+        seed=seed,
+    )
+    return cells_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
 
 
 def format_table3(cells: Sequence[Table3Cell]) -> str:

@@ -103,6 +103,53 @@ class Topology:
             targets = {n for n in neighbors if n in existing and n != agent_id}
         self._graph.add_edges_from((agent_id, target) for target in targets)
 
+    def attach_agent(
+        self,
+        agent_id: int,
+        policy: str = "full",
+        k: int = 2,
+        rng: Optional[np.random.Generator] = None,
+        neighbors: Optional[Iterable[int]] = None,
+    ) -> list[int]:
+        """Wire an arriving agent in via a named attachment policy.
+
+        Explicit ``neighbors`` always win.  Otherwise:
+
+        * ``"full"`` — connect to every existing node (same as
+          :meth:`add_agent` with no neighbours);
+        * ``"ring"`` — splice the newcomer into the ring's wrap-around
+          position: the edge between the smallest and largest existing id
+          (the wrap edge) is removed if present and the newcomer links to
+          both endpoints, keeping a ring a ring;
+        * ``"random-k"`` — connect to ``min(k, n)`` existing nodes sampled
+          uniformly without replacement from ``rng`` (required).
+
+        Returns the newcomer's neighbour list after wiring (sorted).
+        """
+        if neighbors is not None:
+            self.add_agent(agent_id, neighbors)
+            return self.neighbors(agent_id)
+        existing = sorted(node for node in self._graph.nodes if node != agent_id)
+        if policy == "full" or len(existing) <= 1:
+            self.add_agent(agent_id, None)
+        elif policy == "ring":
+            lo, hi = existing[0], existing[-1]
+            if self._graph.has_edge(lo, hi):
+                self._graph.remove_edge(lo, hi)
+            self.add_agent(agent_id, (lo, hi))
+        elif policy == "random-k":
+            if rng is None:
+                raise ValueError("random-k attachment needs an rng")
+            count = min(max(1, k), len(existing))
+            chosen = rng.choice(len(existing), size=count, replace=False)
+            self.add_agent(agent_id, [existing[int(index)] for index in chosen])
+        else:
+            raise ValueError(
+                f"unknown attachment policy {policy!r}; expected "
+                "'full', 'ring' or 'random-k'"
+            )
+        return self.neighbors(agent_id)
+
     def remove_agent(self, agent_id: int) -> None:
         """Drop a departed agent and all its links (no-op if absent)."""
         if agent_id in self._graph:

@@ -510,7 +510,7 @@ class TrainingRuntime:
             if agent is None or agent.agent_id in self.registry:
                 return
             self.registry.add(agent)
-            self.strategy.on_agent_arrival(agent, dyn.neighbors)
+            self.strategy.on_agent_arrival(agent, dyn.neighbors, dyn.attachment)
             self.trace.record(
                 now,
                 round_index,

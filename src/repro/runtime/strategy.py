@@ -23,13 +23,16 @@ between ``core/comdml.py`` and ``baselines/base.py``:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
 from repro.core.pairing import PairingDecision
 from repro.core.profiling import SplitProfile
 from repro.core.workload import OffloadEstimate, individual_training_time
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.dynamics import ArrivalAttachment
 
 
 @dataclass(frozen=True)
@@ -118,9 +121,17 @@ class RoundStrategy(Protocol):
         ...
 
     def on_agent_arrival(
-        self, agent: Agent, neighbors: Optional[Sequence[int]] = None
+        self,
+        agent: Agent,
+        neighbors: Optional[Sequence[int]] = None,
+        attachment: Optional["ArrivalAttachment"] = None,
     ) -> None:
-        """React to a mid-run arrival (e.g. wire the agent into the topology)."""
+        """React to a mid-run arrival (e.g. wire the agent into the topology).
+
+        ``attachment`` carries the arrival event's
+        :class:`~repro.runtime.dynamics.ArrivalAttachment` policy; explicit
+        ``neighbors`` take precedence over it.
+        """
         ...
 
     def on_agent_departure(self, agent: Agent) -> None:
@@ -155,7 +166,10 @@ class StrategyDefaults:
         return unit.duration
 
     def on_agent_arrival(
-        self, agent: Agent, neighbors: Optional[Sequence[int]] = None
+        self,
+        agent: Agent,
+        neighbors: Optional[Sequence[int]] = None,
+        attachment: Optional["ArrivalAttachment"] = None,
     ) -> None:
         return None
 

@@ -8,6 +8,8 @@ quantity reported in the paper's Tables II/III and Figure 3.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -101,6 +103,24 @@ class RunHistory:
             if record.accuracy >= target:
                 return record.round_index + 1
         return None
+
+    def digest(self) -> str:
+        """Content hash of the full run (method + every round record).
+
+        Two runs with bit-identical histories produce the same digest, so
+        equality of runs can be asserted (and cached) without shipping the
+        records themselves — e.g. the campaign determinism property that
+        ``--jobs 1`` and ``--jobs 4`` executions are indistinguishable.
+        """
+        canonical = json.dumps(
+            {
+                "method": self.method,
+                "records": [record.__dict__ for record in self.records],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def summary(self) -> dict:
         """Compact dictionary summary for reports."""

@@ -82,3 +82,177 @@ class TestMain:
         )
         assert exit_code == 0
         assert "total_time_s" in capsys.readouterr().out
+
+    def test_json_export_creates_parent_dirs(self, tmp_path, capsys):
+        out = tmp_path / "deep" / "nested" / "fig1.json"
+        assert main(["fig1", "--json", str(out)]) == 0
+        assert json.loads(out.read_text())["offloaded_layers"] > 0
+        # No stray temp files left next to the target.
+        assert list(out.parent.iterdir()) == [out]
+
+    def test_compare_json_keeps_legacy_columns(self, tmp_path, capsys):
+        out = tmp_path / "rows.json"
+        assert (
+            main(
+                [
+                    "compare",
+                    "--agents",
+                    "4",
+                    "--target",
+                    "0",
+                    "--max-rounds",
+                    "4",
+                    "--methods",
+                    "ComDML",
+                    "--granularity",
+                    "9",
+                    "--json",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        [row] = json.loads(out.read_text())
+        assert list(row) == [
+            "method",
+            "rounds",
+            "time_to_target_s",
+            "total_time_s",
+            "final_accuracy",
+            "events",
+        ]
+
+
+class TestCampaignCommands:
+    def test_run_preset_with_cache_then_all_hits(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        summary1 = tmp_path / "s1.json"
+        summary2 = tmp_path / "s2.json"
+        argv = [
+            "campaign",
+            "run",
+            "ablation-allreduce",
+            "--cache-dir",
+            str(cache),
+        ]
+        assert main(argv + ["--summary-json", str(summary1)]) == 0
+        assert main(argv + ["--summary-json", str(summary2)]) == 0
+        first = json.loads(summary1.read_text())
+        second = json.loads(summary2.read_text())
+        assert first["cache_misses"] == first["cells"]
+        assert second["cache_hits"] == second["cells"] > 0
+        assert second["cache_misses"] == 0
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.experiments.ablations import allreduce_spec
+
+        spec_path = tmp_path / "sweep.json"
+        allreduce_spec(agent_counts=(4, 8)).save(spec_path)
+        payloads = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    str(spec_path),
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--json",
+                    str(payloads),
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(payloads.read_text())
+        assert [row["num_agents"] for row in rows] == [4, 8]
+        assert "campaign ablation-allreduce" in capsys.readouterr().out
+
+    def test_show_reports_cache_status(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(["campaign", "run", "ablation-allreduce", "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["campaign", "show", "ablation-allreduce", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out and "pending" not in out
+
+    def test_clean_removes_entries(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        main(["campaign", "run", "ablation-allreduce", "--cache-dir", cache])
+        capsys.readouterr()
+        assert main(["campaign", "clean", "--cache-dir", cache]) == 0
+        assert "removed 6" in capsys.readouterr().out
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "not-a-preset-or-file"])
+
+
+class TestScheduleCommands:
+    def test_poisson_generates_and_saves(self, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        assert (
+            main(
+                [
+                    "schedule",
+                    "poisson",
+                    "--horizon",
+                    "20000",
+                    "--arrival-rate",
+                    "0.0005",
+                    "--departure-rate",
+                    "0.0002",
+                    "--candidates",
+                    "0",
+                    "1",
+                    "--seed",
+                    "3",
+                    "--attachment",
+                    "random-k",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "arrivals" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["events"], "expected a non-empty schedule"
+
+    def test_compare_consumes_saved_schedule(self, tmp_path, capsys):
+        out = tmp_path / "sched.json"
+        main(
+            [
+                "schedule",
+                "poisson",
+                "--horizon",
+                "20000",
+                "--arrival-rate",
+                "0.0005",
+                "--seed",
+                "3",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "compare",
+                    "--agents",
+                    "5",
+                    "--target",
+                    "0",
+                    "--max-rounds",
+                    "30",
+                    "--methods",
+                    "ComDML",
+                    "--granularity",
+                    "9",
+                    "--schedule",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert "arr" in capsys.readouterr().out

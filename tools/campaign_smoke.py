@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Campaign cache smoke check (run in CI).
+
+Runs a 2×2 mini-campaign (two datasets × two methods of the Table II grid)
+twice through the ``comdml campaign run`` CLI with ``--jobs 2``:
+
+1. the first run must compute every cell (cold cache);
+2. the second run must be served **100 % from the cache** (zero misses)
+   and produce identical cell payloads.
+
+Exits non-zero on any violation.  Run locally with::
+
+    PYTHONPATH=src python tools/campaign_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import main  # noqa: E402  (needs src on sys.path first)
+from repro.experiments import table2  # noqa: E402
+
+
+def run(spec_path: Path, cache_dir: Path, summary_path: Path, payload_path: Path) -> dict:
+    code = main(
+        [
+            "campaign",
+            "run",
+            str(spec_path),
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(cache_dir),
+            "--summary-json",
+            str(summary_path),
+            "--json",
+            str(payload_path),
+        ]
+    )
+    if code != 0:
+        raise SystemExit(f"campaign run exited with {code}")
+    return json.loads(summary_path.read_text(encoding="utf-8"))
+
+
+def check(condition: bool, message: str, failures: list[str]) -> None:
+    print(("ok  " if condition else "FAIL") + f" {message}")
+    if not condition:
+        failures.append(message)
+
+
+def main_smoke() -> int:
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as tmp:
+        tmp_path = Path(tmp)
+        spec = table2.campaign_spec(
+            datasets=("cifar10", "cifar100"),
+            distributions=(True,),
+            methods=("ComDML", "FedAvg"),
+            max_rounds=80,
+        )
+        spec_path = tmp_path / "mini.json"
+        spec.save(spec_path)
+        cache_dir = tmp_path / "cache"
+
+        first = run(spec_path, cache_dir, tmp_path / "s1.json", tmp_path / "p1.json")
+        second = run(spec_path, cache_dir, tmp_path / "s2.json", tmp_path / "p2.json")
+
+        check(first["cells"] == 4, "mini-campaign expands to 2x2 = 4 cells", failures)
+        check(
+            first["cache_misses"] == first["cells"],
+            "first run computes every cell (cold cache)",
+            failures,
+        )
+        check(
+            second["cache_hits"] == second["cells"] and second["cache_misses"] == 0,
+            "second run is 100% cache hits",
+            failures,
+        )
+        payloads_first = json.loads((tmp_path / "p1.json").read_text(encoding="utf-8"))
+        payloads_second = json.loads((tmp_path / "p2.json").read_text(encoding="utf-8"))
+        check(
+            payloads_first == payloads_second,
+            "cached payloads identical to computed ones",
+            failures,
+        )
+        print(
+            f"first run: {first['wall_seconds']:.2f}s wall "
+            f"({first['speedup']:.2f}x vs serial cold run at jobs=2); "
+            f"second run: {second['wall_seconds']:.2f}s wall"
+        )
+    if failures:
+        for message in failures:
+            print(f"FAILED: {message}", file=sys.stderr)
+        return 1
+    print("campaign smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())
