@@ -4,17 +4,20 @@ Installed as the ``comdml`` console script (also runnable as
 ``python -m repro.cli``).  Every experiment subcommand is a thin alias that
 builds a :class:`~repro.experiments.campaign.CampaignSpec` and executes it
 on the shared :class:`~repro.experiments.campaign.CampaignExecutor`, so all
-of them accept ``--jobs`` (parallel worker processes) and ``--cache-dir``
-(on-disk result cache, making re-runs and resumes free):
+of them accept the campaign execution flags: ``--jobs``, ``--cache-dir``
+(default also via ``$COMDML_CACHE_DIR``), ``--backend``
+(``serial``/``thread``/``process``/``worker-pool``), and
+``--progress/--no-progress`` (live cell-level event streaming to stderr):
 
 .. code-block:: console
 
    comdml compare  --agents 10 --dataset cifar10 --target 0.9
    comdml compare  --mode semi-sync --quorum-policy deadline --schedule sched.json
    comdml table2   --datasets cifar10 --methods ComDML FedAvg --jobs 4
-   comdml table3   --models resnet56 --agent-counts 20 50 --cache-dir .comdml-cache
-   comdml campaign run table2 --jobs 4
-   comdml campaign run my_sweep.json --cache-dir .comdml-cache
+   comdml table3   --models resnet56 --agent-counts 20 50 --backend thread --jobs 8
+   comdml campaign run table2 --jobs 4 --progress
+   comdml campaign run my_sweep.json --backend worker-pool --bind 0.0.0.0:8765
+   comdml worker serve --host coordinator.example --port 8765     # on each host
    comdml campaign show my_sweep.json
    comdml campaign clean
    comdml schedule poisson --horizon 20000 --arrival-rate 0.001 --out sched.json
@@ -29,6 +32,11 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.experiments import comparison, fig1, fig3, privacy, table1, table2, table3
+from repro.experiments.backends import (
+    EXECUTION_BACKENDS,
+    WorkerPoolBackend,
+    serve_worker,
+)
 from repro.experiments.campaign import (
     CAMPAIGN_PRESETS,
     CampaignCache,
@@ -37,13 +45,16 @@ from repro.experiments.campaign import (
     DEFAULT_CACHE_DIR,
     atomic_write_json,
     execute_campaign,
+    resolve_cache_dir,
     resolve_preset,
 )
 from repro.experiments.reporting import (
     campaign_summary,
     cell_label,
+    execution_report,
     format_campaign_summary,
     format_table,
+    progress_renderer_for,
 )
 from repro.experiments.runner import PAPER_COMPARISON_METHODS
 from repro.runtime.dynamics import ATTACHMENT_POLICIES, DynamicsSchedule
@@ -75,13 +86,76 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for campaign cells (1 = run inline)",
+        help="parallelism for the thread/process backends (1 = run inline)",
     )
     parser.add_argument(
         "--cache-dir",
         default=None,
-        help="cache finished cells under this directory (re-runs become free)",
+        help="cache finished cells under this directory "
+        "(defaults to $COMDML_CACHE_DIR when set)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(EXECUTION_BACKENDS),
+        default=None,
+        help="execution backend (default: process when --jobs > 1, else serial)",
+    )
+    parser.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        help="worker-pool only: coordinator bind address HOST:PORT "
+        "(port 0 picks a free port, printed at startup)",
+    )
+    parser.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="stream cell-level progress events to stderr "
+        "(default: only when stderr is a TTY)",
+    )
+
+
+def _parse_bind(bind: str) -> tuple[str, int]:
+    host, _, port = bind.rpartition(":")
+    if not port.isdigit() or not 0 <= int(port) <= 65535:
+        raise SystemExit(
+            f"error: --bind must look like HOST:PORT (port 0-65535), got {bind!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _resolve_backend_arg(args: argparse.Namespace):
+    """Turn ``--backend``/``--bind`` into what the executor accepts."""
+    if args.backend != "worker-pool":
+        return args.backend
+    host, port = _parse_bind(args.bind)
+    backend = WorkerPoolBackend(host=host, port=port)
+    host, port = backend.address
+    # A wildcard bind is reachable on every interface but dialable on none —
+    # tell the operator to substitute a real coordinator address.
+    reach = "<coordinator-host>" if host in ("0.0.0.0", "::", "") else host
+    print(
+        f"worker-pool coordinator listening on {host}:{port} — attach workers "
+        f"with: comdml worker serve --host {reach} --port {port}",
+        file=sys.stderr,
+    )
+    return backend
+
+
+def _campaign_execution(
+    args: argparse.Namespace,
+    spec: CampaignSpec,
+    cache_fallback: Optional[str] = None,
+):
+    """Shared execution kwargs + renderer for one campaign-backed command."""
+    renderer = progress_renderer_for(spec, enabled=args.progress)
+    kwargs = {
+        "jobs": args.jobs,
+        "cache_dir": resolve_cache_dir(args.cache_dir, cache_fallback),
+        "backend": _resolve_backend_arg(args),
+        "on_event": renderer,
+    }
+    return kwargs, renderer
 
 
 def _maybe_write_json(path: Optional[str], payload) -> None:
@@ -122,7 +196,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         quorum_deadline_factor=args.deadline_factor,
         seed=args.seed,
     )
-    result = execute_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    kwargs, renderer = _campaign_execution(args, spec)
+    try:
+        result = execute_campaign(spec, **kwargs)
+    finally:
+        if renderer is not None:
+            renderer.close()
     rows = result.payloads()
     print(format_table(rows, columns=_COMPARE_COLUMNS))
     if args.target and any(row["method"] == "ComDML" for row in rows):
@@ -139,13 +218,19 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_harness_campaign(args: argparse.Namespace, spec: CampaignSpec):
+    """Execute one experiment harness spec with the shared campaign flags."""
+    kwargs, renderer = _campaign_execution(args, spec)
+    try:
+        return execute_campaign(spec, **kwargs)
+    finally:
+        if renderer is not None:
+            renderer.close()
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
-    results = table1.run_table1(
-        samples_per_agent=args.samples,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-    )
+    spec = table1.campaign_spec(samples_per_agent=args.samples, seed=args.seed)
+    results = table1.results_from_campaign(_run_harness_campaign(args, spec))
     print(table1.format_table1(results))
     _maybe_write_json(
         args.json_path,
@@ -155,28 +240,26 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    cells = table2.run_table2(
+    spec = table2.campaign_spec(
         datasets=args.datasets,
         methods=args.methods,
         num_agents=args.agents,
         seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
     )
+    cells = table2.cells_from_campaign(_run_harness_campaign(args, spec))
     print(table2.format_table2(cells))
     _maybe_write_json(args.json_path, [cell.__dict__ for cell in cells])
     return 0
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
-    cells = table3.run_table3(
+    spec = table3.campaign_spec(
         models=args.models,
         agent_counts=args.agent_counts,
         methods=args.methods,
         seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
     )
+    cells = table3.cells_from_campaign(_run_harness_campaign(args, spec))
     print(table3.format_table3(cells))
     _maybe_write_json(args.json_path, [cell.__dict__ for cell in cells])
     return 0
@@ -188,7 +271,7 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
         fast_cpu=args.fast_cpu,
         bandwidth_mbps=args.bandwidth,
     )
-    result = execute_campaign(spec, jobs=args.jobs, cache_dir=args.cache_dir)
+    result = _run_harness_campaign(args, spec)
     [timeline] = fig1.timelines_from_campaign(result)
     print(fig1.format_fig1(timeline))
     _maybe_write_json(args.json_path, timeline.__dict__)
@@ -196,26 +279,20 @@ def _cmd_fig1(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
-    bars = fig3.run_fig3(
-        datasets=args.datasets,
-        methods=args.methods,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
+    spec = fig3.campaign_spec(
+        datasets=args.datasets, methods=args.methods, seed=args.seed
     )
+    bars = fig3.bars_from_campaign(_run_harness_campaign(args, spec))
     print(fig3.format_fig3(bars))
     _maybe_write_json(args.json_path, [bar.__dict__ for bar in bars])
     return 0
 
 
 def _cmd_privacy(args: argparse.Namespace) -> int:
-    results = privacy.run_privacy_comparison(
-        num_agents=args.agents,
-        rounds=args.rounds,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
+    spec = privacy.campaign_spec(
+        num_agents=args.agents, rounds=args.rounds, seed=args.seed
     )
+    results = privacy.results_from_campaign(_run_harness_campaign(args, spec))
     print(privacy.format_privacy_results(results))
     _maybe_write_json(args.json_path, [result.__dict__ for result in results])
     return 0
@@ -247,25 +324,33 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     if args.save_spec:
         spec.save(args.save_spec)
         print(f"wrote {args.save_spec}")
-    executor = CampaignExecutor(spec, cache_dir=args.cache_dir, jobs=args.jobs)
-    result = executor.run(force=args.force)
+    kwargs, renderer = _campaign_execution(args, spec, cache_fallback=DEFAULT_CACHE_DIR)
+    executor = CampaignExecutor(spec, **kwargs)
+    try:
+        result = executor.run(force=args.force)
+    finally:
+        if renderer is not None:
+            renderer.close()
     if preset is not None:
         print(preset.format_result(result))
         print()
     print(format_campaign_summary(result, verbose=preset is None))
     if args.summary_json:
         _maybe_write_json(args.summary_json, campaign_summary(result))
+    if args.report_json:
+        _maybe_write_json(args.report_json, execution_report(result))
     _maybe_write_json(args.json_path, result.payloads())
     return 0
 
 
 def _cmd_campaign_show(args: argparse.Namespace) -> int:
     spec, _ = _resolve_spec(args.spec)
-    executor = CampaignExecutor(spec, cache_dir=args.cache_dir, jobs=1)
+    cache_dir = resolve_cache_dir(args.cache_dir, DEFAULT_CACHE_DIR)
+    executor = CampaignExecutor(spec, cache_dir=cache_dir, jobs=1)
     plan = executor.plan()
     cached = sum(1 for _, _, _, entry in plan if entry is not None)
     print(f"campaign {spec.name} (runner {spec.runner}): {len(plan)} cells, "
-          f"{cached} cached in {args.cache_dir}")
+          f"{cached} cached in {cache_dir}")
     axes = [axis for axis, _ in spec.axes]
     for index, params, key, entry in plan:
         status = "cached" if entry is not None else "pending"
@@ -274,8 +359,33 @@ def _cmd_campaign_show(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_clean(args: argparse.Namespace) -> int:
-    removed = CampaignCache(args.cache_dir).clear()
-    print(f"removed {removed} cached cell(s) from {args.cache_dir}")
+    cache_dir = resolve_cache_dir(args.cache_dir, DEFAULT_CACHE_DIR)
+    removed = CampaignCache(cache_dir).clear()
+    print(f"removed {removed} cached cell(s) from {cache_dir}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+def _cmd_worker_serve(args: argparse.Namespace) -> int:
+    try:
+        computed = serve_worker(
+            args.host,
+            args.port,
+            name=args.name,
+            capacity=args.capacity,
+            retry_seconds=args.retry_seconds,
+        )
+    except OSError as error:
+        print(
+            f"error: could not attach to coordinator at {args.host}:{args.port}: "
+            f"{error}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"worker detached after computing {computed} cell(s)")
     return 0
 
 
@@ -424,8 +534,7 @@ def build_parser() -> argparse.ArgumentParser:
         "spec",
         help=f"campaign preset ({', '.join(sorted(CAMPAIGN_PRESETS))}) or spec JSON path",
     )
-    run_parser.add_argument("--jobs", type=int, default=1)
-    run_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    _add_campaign_options(run_parser)
     run_parser.add_argument(
         "--force", action="store_true", help="recompute cells even when cached"
     )
@@ -433,7 +542,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-spec", default=None, help="also write the expanded spec JSON here"
     )
     run_parser.add_argument(
-        "--summary-json", default=None, help="write the campaign summary JSON here"
+        "--summary-json",
+        default=None,
+        help="write the deterministic result summary (cell keys + payload digests; "
+        "identical bytes for any backend/jobs/cache state) here",
+    )
+    run_parser.add_argument(
+        "--report-json",
+        default=None,
+        help="write the execution report (backend, cache hits, timing, workers) here",
     )
     run_parser.add_argument(
         "--json", dest="json_path", default=None, help="write cell payloads here"
@@ -444,12 +561,45 @@ def build_parser() -> argparse.ArgumentParser:
         "show", help="expand a campaign and report each cell's cache status"
     )
     show_parser.add_argument("spec", help="campaign preset or spec JSON path")
-    show_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    show_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (defaults to $COMDML_CACHE_DIR, then .comdml-cache)",
+    )
     show_parser.set_defaults(handler=_cmd_campaign_show)
 
     clean_parser = campaign_sub.add_parser("clean", help="delete the campaign cell cache")
-    clean_parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    clean_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache root (defaults to $COMDML_CACHE_DIR, then .comdml-cache)",
+    )
     clean_parser.set_defaults(handler=_cmd_campaign_clean)
+
+    worker = subparsers.add_parser(
+        "worker", help="run a worker-pool execution worker"
+    )
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve_parser = worker_sub.add_parser(
+        "serve",
+        help="attach to a campaign coordinator and compute cells until shutdown",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="coordinator host")
+    serve_parser.add_argument("--port", type=int, required=True, help="coordinator port")
+    serve_parser.add_argument(
+        "--name", default=None, help="worker name (default: hostname-pid)"
+    )
+    serve_parser.add_argument(
+        "--capacity", type=int, default=1, help="cells this worker runs concurrently"
+    )
+    serve_parser.add_argument(
+        "--retry-seconds",
+        type=float,
+        default=10.0,
+        help="keep retrying the initial connection this long "
+        "(workers may be started before the campaign)",
+    )
+    serve_parser.set_defaults(handler=_cmd_worker_serve)
 
     schedule = subparsers.add_parser(
         "schedule", help="generate dynamics schedules (save/load as JSON)"

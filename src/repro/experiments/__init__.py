@@ -7,19 +7,29 @@ parallel, cached, resumable
 :class:`~repro.experiments.campaign.CampaignExecutor`.
 """
 
+from repro.experiments.backends import (
+    EXECUTION_BACKENDS,
+    ExecutionBackend,
+    create_backend,
+)
 from repro.experiments.campaign import (
     CampaignCache,
     CampaignExecutor,
     CampaignResult,
     CampaignSpec,
     execute_campaign,
+    resolve_cache_dir,
 )
+from repro.experiments.fingerprint import runner_fingerprint
 from repro.experiments.scenarios import ScenarioConfig, Scenario, build_scenario
 from repro.experiments.runner import ExperimentRunner, METHOD_REGISTRY
 from repro.experiments.reporting import (
+    CampaignProgressRenderer,
     campaign_summary,
+    execution_report,
     format_campaign_summary,
     format_table,
+    payload_digest,
     speedup_over_baselines,
 )
 from repro.experiments.table1 import run_table1, TABLE1_OFFLOAD_OPTIONS
@@ -32,9 +42,17 @@ from repro.experiments.privacy import run_privacy_comparison
 __all__ = [
     "CampaignCache",
     "CampaignExecutor",
+    "CampaignProgressRenderer",
     "CampaignResult",
     "CampaignSpec",
+    "EXECUTION_BACKENDS",
+    "ExecutionBackend",
+    "create_backend",
     "execute_campaign",
+    "execution_report",
+    "payload_digest",
+    "resolve_cache_dir",
+    "runner_fingerprint",
     "campaign_summary",
     "format_campaign_summary",
     "ScenarioConfig",

@@ -1,0 +1,77 @@
+"""Cell invocation and the in-cell progress hook.
+
+Backends do not import the campaign module (the campaign module imports
+*them*); everything they need to run a cell — resolving the dotted
+runner path and timing the call — lives here.
+
+Runners may report mid-cell progress by calling
+:func:`report_cell_progress`; the active backend wires a per-thread sink
+around the call (:func:`execute_task`), so the same runner code streams
+progress under the serial, thread, and worker-pool backends and is a
+silent no-op under the process backend (separate address space) or when
+invoked outside a campaign.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.experiments.backends.events import CellProgress, CellTask
+
+_state = threading.local()
+
+
+def resolve_dotted(dotted: str) -> Callable[..., Any]:
+    """Import a ``"module:function"`` reference."""
+    module_name, _, attribute = dotted.partition(":")
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)
+
+
+def report_cell_progress(fraction: float, message: str = "") -> None:
+    """Report mid-cell progress from inside a runner (0.0 <= fraction <= 1.0).
+
+    Safe to call anywhere: outside a campaign cell (or under a backend
+    with no progress channel) it does nothing.
+    """
+    sink = getattr(_state, "sink", None)
+    if sink is not None:
+        sink(min(max(float(fraction), 0.0), 1.0), str(message))
+
+
+def execute_task(
+    task: CellTask,
+    progress: Optional[Callable[[CellProgress], None]] = None,
+    worker: Optional[str] = None,
+) -> tuple[Any, float]:
+    """Run one cell and time it; wires the progress hook for the duration.
+
+    Returns ``(payload, elapsed_seconds)``; exceptions from the runner
+    propagate to the caller, with the hook reliably unwound.
+    """
+    if progress is not None:
+        _state.sink = lambda fraction, message: progress(
+            CellProgress(
+                index=task.index,
+                key=task.key,
+                fraction=fraction,
+                message=message,
+                worker=worker,
+            )
+        )
+    started = time.perf_counter()
+    try:
+        payload = resolve_dotted(task.dotted)(**task.params)
+    finally:
+        _state.sink = None
+    return payload, time.perf_counter() - started
+
+
+def timed_call(dotted: str, params: dict[str, Any]) -> tuple[Any, float]:
+    """Process-pool worker entry point: run one cell inside the subprocess."""
+    started = time.perf_counter()
+    payload = resolve_dotted(dotted)(**params)
+    return payload, time.perf_counter() - started

@@ -1,0 +1,588 @@
+"""Multi-host execution: a socket coordinator and ``comdml worker serve``.
+
+The :class:`WorkerPoolBackend` binds a TCP socket and dispatches cells to
+worker processes that *attach* to it — typically ``comdml worker serve
+--host H --port P`` on any number of hosts (or :func:`serve_worker`
+in-process, which the tests use).  The wire protocol is newline-delimited
+JSON frames:
+
+======================  ==============================================
+worker → coordinator    ``hello`` (name, capacity, cache schema),
+                        ``heartbeat``,
+                        ``progress`` (cell, fraction, message),
+                        ``result`` (cell, payload, elapsed),
+                        ``error`` (cell, error, traceback),
+                        ``reject`` (cell, reason — code mismatch)
+coordinator → worker    ``cell`` (cell, runner dotted path, params,
+                        key, expected runner fingerprint), ``shutdown``
+======================  ==============================================
+
+Two code-equivalence guards keep a mixed-version fleet from poisoning
+the content-addressed cache: a worker whose ``hello`` advertises a
+different cache schema is refused outright, and every ``cell`` frame
+carries the coordinator's runner *source fingerprint* — a worker whose
+local checkout fingerprints differently **rejects** the cell instead of
+computing a stale-code payload that would be stored under a
+current-code key.  A rejecting worker is dropped like a dead one (its
+cells requeue onto up-to-date survivors), so a partially upgraded fleet
+degrades to the correct subset instead of corrupting results.
+
+Failure isolation is per worker: a cell whose runner *raises* is a cell
+failure (reported, never retried — a deterministic error would just
+ping-pong); a worker that disconnects or stops heartbeating is declared
+lost, and every cell in flight on it is requeued onto the survivors, so
+killing a worker mid-sweep costs only the lost partial work.  Cells are
+pure functions of their parameters, so requeueing cannot change results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.experiments.backends.events import (
+    BackendEvent,
+    CellFailed,
+    CellFinished,
+    CellProgress,
+    CellStarted,
+    CellTask,
+    WorkerJoined,
+    WorkerLost,
+)
+from repro.experiments.backends.invoke import execute_task
+from repro.experiments.fingerprint import runner_fingerprint
+from repro.utils.logging import get_logger
+
+logger = get_logger("worker_pool")
+
+#: Wire-protocol version, checked at the hello handshake; bump on any
+#: incompatible frame change so mixed-version fleets fail fast and loud.
+PROTOCOL_VERSION = 1
+
+#: Seconds between worker heartbeat frames.
+HEARTBEAT_INTERVAL = 1.0
+
+#: Coordinator declares a silent worker lost after this many seconds.
+HEARTBEAT_TIMEOUT = 10.0
+
+
+def _write_frame(wfile, lock: threading.Lock, frame: dict[str, Any]) -> None:
+    payload = json.dumps(frame, separators=(",", ":")) + "\n"
+    with lock:
+        wfile.write(payload)
+        wfile.flush()
+
+
+class _WorkerConn:
+    """Coordinator-side state for one attached worker."""
+
+    def __init__(self, conn: socket.socket) -> None:
+        self.conn = conn
+        self.rfile = conn.makefile("r", encoding="utf-8", newline="\n")
+        self.wfile = conn.makefile("w", encoding="utf-8", newline="\n")
+        self.send_lock = threading.Lock()
+        self.name = "?"
+        self.capacity = 1
+        self.assigned: dict[int, CellTask] = {}
+        self.last_seen = time.monotonic()
+        self.lost = False
+
+    def send(self, frame: dict[str, Any]) -> None:
+        _write_frame(self.wfile, self.send_lock, frame)
+
+    def close(self) -> None:
+        try:
+            self.conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPoolBackend:
+    """Dispatch cells over TCP to attached ``comdml worker serve`` processes.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`address`).  Binding happens in the constructor so the
+        address is known before any worker needs it.
+    jobs:
+        Accepted for registry uniformity; parallelism is the sum of
+        attached worker capacities, not a local setting.
+    start_timeout:
+        Seconds to wait for the *first* worker (and, later, for a
+        replacement when every worker has died with cells pending)
+        before giving up with a ``RuntimeError``.
+    heartbeat_timeout:
+        Seconds of silence after which a worker is declared lost.
+    """
+
+    name = "worker-pool"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        jobs: Optional[int] = None,
+        start_timeout: float = 60.0,
+        heartbeat_timeout: float = HEARTBEAT_TIMEOUT,
+    ) -> None:
+        del jobs
+        self.start_timeout = start_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self._server = socket.create_server((host, port))
+        self._server.settimeout(0.2)
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The ``(host, port)`` the coordinator is listening on."""
+        host, port = self._server.getsockname()[:2]
+        return host, port
+
+    def close(self) -> None:
+        """Stop listening (submit() calls this when the stream ends).
+
+        The backend is single-use: once its stream has ended the listening
+        socket is gone, so construct a fresh backend per campaign run.
+        """
+        self._closed = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def submit(self, tasks: Sequence[CellTask]) -> Iterator[BackendEvent]:
+        if self._closed:
+            raise RuntimeError(
+                "this WorkerPoolBackend has already run a campaign and shut "
+                "down its socket; construct a new backend per run"
+            )
+        if not tasks:
+            self.close()
+            return
+        inbox: "queue.Queue[tuple]" = queue.Queue()
+        stop = threading.Event()
+        names_lock = threading.Lock()
+        names_taken: set[str] = set()
+        #: Every accepted connection, joined or not — all of them are closed
+        #: when the stream ends so no worker is ever left blocking on a read.
+        accepted_lock = threading.Lock()
+        accepted: list[_WorkerConn] = []
+
+        def reader(worker: _WorkerConn) -> None:
+            try:
+                hello = json.loads(worker.rfile.readline() or "null")
+            except (OSError, ValueError):
+                hello = None
+            if not isinstance(hello, dict) or hello.get("type") != "hello":
+                worker.close()
+                return
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                logger.warning(
+                    "refusing worker %s: wire protocol %r != %d",
+                    hello.get("worker"),
+                    hello.get("protocol"),
+                    PROTOCOL_VERSION,
+                )
+                worker.close()
+                return
+            base = str(hello.get("worker") or "worker")
+            # Readers run concurrently: reserve the (deduplicated) name under
+            # a lock so two same-named workers cannot shadow each other.
+            with names_lock:
+                worker.name = base
+                suffix = 2
+                while worker.name in names_taken:
+                    worker.name = f"{base}#{suffix}"
+                    suffix += 1
+                names_taken.add(worker.name)
+            worker.capacity = max(1, int(hello.get("capacity", 1)))
+            inbox.put(("join", worker, None))
+            try:
+                for line in worker.rfile:
+                    frame = json.loads(line)
+                    inbox.put(("frame", worker, frame))
+            except (OSError, ValueError) as error:
+                inbox.put(("gone", worker, f"read error: {error}"))
+                return
+            inbox.put(("gone", worker, "disconnected"))
+
+        def acceptor() -> None:
+            while not stop.is_set():
+                try:
+                    conn, _ = self._server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                worker = _WorkerConn(conn)
+                with accepted_lock:
+                    accepted.append(worker)
+                threading.Thread(target=reader, args=(worker,), daemon=True).start()
+
+        threading.Thread(target=acceptor, daemon=True).start()
+
+        pending: deque[CellTask] = deque(tasks)
+        workers: dict[str, _WorkerConn] = {}
+        completed: set[int] = set()
+        done = 0
+        total = len(tasks)
+        last_worker_activity = time.monotonic()
+
+        def dispatch(worker: _WorkerConn) -> list[BackendEvent]:
+            events: list[BackendEvent] = []
+            # A frame can be queued behind the drop that declared its sender
+            # lost; dispatching onto the dead connection would strand cells
+            # in its assigned map forever.
+            if worker.lost:
+                return events
+            while pending and len(worker.assigned) < worker.capacity:
+                task = pending.popleft()
+                worker.assigned[task.index] = task
+                try:
+                    worker.send(
+                        {
+                            "type": "cell",
+                            "cell": task.index,
+                            "runner": task.dotted,
+                            "params": task.params,
+                            "key": task.key,
+                            # The coordinator's view of the runner's code;
+                            # a worker whose checkout fingerprints
+                            # differently must reject rather than compute.
+                            "fingerprint": runner_fingerprint(task.dotted),
+                        }
+                    )
+                except OSError as error:
+                    events.extend(drop(worker, f"send failed: {error}"))
+                    return events
+                events.append(
+                    CellStarted(
+                        index=task.index,
+                        key=task.key,
+                        params=task.params,
+                        worker=worker.name,
+                    )
+                )
+            return events
+
+        def drop(worker: _WorkerConn, reason: str) -> list[BackendEvent]:
+            if worker.lost:
+                return []
+            worker.lost = True
+            worker.close()
+            workers.pop(worker.name, None)
+            requeued = tuple(sorted(worker.assigned))
+            pending.extend(worker.assigned.values())
+            worker.assigned.clear()
+            logger.warning(
+                "worker %s lost (%s); requeued %d cell(s)",
+                worker.name,
+                reason,
+                len(requeued),
+            )
+            events: list[BackendEvent] = [
+                WorkerLost(worker=worker.name, reason=reason, requeued=requeued)
+            ]
+            for survivor in list(workers.values()):
+                events.extend(dispatch(survivor))
+            return events
+
+        def handle(worker: _WorkerConn, frame: dict[str, Any]) -> list[BackendEvent]:
+            nonlocal done
+            if worker.lost:
+                # Late frame from a worker already declared lost: its cells
+                # were requeued, so the (duplicate) outcome is ignored.
+                return []
+            worker.last_seen = time.monotonic()
+            kind = frame.get("type")
+            if kind == "heartbeat":
+                return []
+            if kind == "progress":
+                index = int(frame.get("cell", -1))
+                task = worker.assigned.get(index)
+                if task is None:
+                    return []
+                return [
+                    CellProgress(
+                        index=index,
+                        key=task.key,
+                        fraction=float(frame.get("fraction", 0.0)),
+                        message=str(frame.get("message", "")),
+                        worker=worker.name,
+                    )
+                ]
+            if kind == "reject":
+                # The worker's checkout disagrees with ours about the
+                # runner's code: requeue everything it holds (drop() does)
+                # and cut it loose so it cannot poison the cache.
+                return drop(
+                    worker,
+                    f"code mismatch: {frame.get('reason', 'runner fingerprint differs')}",
+                )
+            if kind in ("result", "error"):
+                index = int(frame.get("cell", -1))
+                task = worker.assigned.pop(index, None)
+                events: list[BackendEvent] = []
+                if task is not None and index not in completed:
+                    completed.add(index)
+                    done += 1
+                    if kind == "result":
+                        events.append(
+                            CellFinished(
+                                index=index,
+                                key=task.key,
+                                payload=frame.get("payload"),
+                                elapsed_seconds=float(frame.get("elapsed", 0.0)),
+                                worker=worker.name,
+                            )
+                        )
+                    else:
+                        events.append(
+                            CellFailed(
+                                index=index,
+                                key=task.key,
+                                error=str(frame.get("error", "cell failed")),
+                                worker=worker.name,
+                            )
+                        )
+                events.extend(dispatch(worker))
+                return events
+            logger.warning("ignoring unknown frame %r from %s", kind, worker.name)
+            return []
+
+        try:
+            while done < total:
+                try:
+                    item = inbox.get(timeout=0.25)
+                except queue.Empty:
+                    item = None
+                now = time.monotonic()
+                if item is not None:
+                    action, worker, detail = item
+                    last_worker_activity = now
+                    if action == "join":
+                        workers[worker.name] = worker
+                        worker.last_seen = now
+                        yield WorkerJoined(worker=worker.name, capacity=worker.capacity)
+                        for event in dispatch(worker):
+                            yield event
+                    elif action == "gone":
+                        for event in drop(worker, detail or "disconnected"):
+                            yield event
+                    elif action == "frame":
+                        for event in handle(worker, detail):
+                            yield event
+                for worker in list(workers.values()):
+                    if now - worker.last_seen > self.heartbeat_timeout:
+                        for event in drop(worker, "heartbeat timeout"):
+                            yield event
+                if not workers and done < total:
+                    if now - last_worker_activity > self.start_timeout:
+                        raise RuntimeError(
+                            f"worker pool on {self.address[0]}:{self.address[1]} has "
+                            f"no live workers after {self.start_timeout:.0f}s "
+                            f"({total - done} cell(s) pending); start workers with "
+                            f"'comdml worker serve --host {self.address[0]} "
+                            f"--port {self.address[1]}'"
+                        )
+        finally:
+            stop.set()
+            # A worker whose 'join' is still queued in the inbox must get a
+            # shutdown too; drain what the main loop never processed.
+            while True:
+                try:
+                    action, worker, _ = inbox.get_nowait()
+                except queue.Empty:
+                    break
+                if action == "join":
+                    workers.setdefault(worker.name, worker)
+            for worker in list(workers.values()):
+                try:
+                    worker.send({"type": "shutdown"})
+                except OSError:
+                    pass
+            # Close every accepted connection (joined or not): readers
+            # unblock and the attached serve_worker loops see EOF.
+            with accepted_lock:
+                for worker in accepted:
+                    worker.close()
+            self.close()
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _connect_with_retry(host: str, port: int, retry_seconds: float) -> socket.socket:
+    deadline = time.monotonic() + retry_seconds
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.2)
+
+
+def serve_worker(
+    host: str,
+    port: int,
+    name: Optional[str] = None,
+    capacity: int = 1,
+    retry_seconds: float = 10.0,
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+) -> int:
+    """Attach to a coordinator and compute cells until it says shutdown.
+
+    This is the body of ``comdml worker serve``; it retries the initial
+    connection for ``retry_seconds`` (so workers may be started before
+    the campaign), sends heartbeats from a background thread, streams
+    per-cell progress frames, and returns the number of cells computed.
+    """
+    sock = _connect_with_retry(host, port, retry_seconds)
+    sock.settimeout(None)
+    worker_name = name or f"{socket.gethostname()}-{os.getpid()}"
+    rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+    wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+    send_lock = threading.Lock()
+
+    def send(frame: dict[str, Any]) -> None:
+        _write_frame(wfile, send_lock, frame)
+
+    stop = threading.Event()
+
+    def heartbeats() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                send({"type": "heartbeat"})
+            except OSError:
+                return
+
+    threading.Thread(target=heartbeats, daemon=True).start()
+    computed_lock = threading.Lock()
+    computed = 0
+
+    def forward_progress(event: CellProgress) -> None:
+        try:
+            send(
+                {
+                    "type": "progress",
+                    "cell": event.index,
+                    "fraction": event.fraction,
+                    "message": event.message,
+                }
+            )
+        except OSError:
+            pass
+
+    def run_cell(task: CellTask) -> None:
+        nonlocal computed
+        try:
+            payload, elapsed = execute_task(
+                task, progress=forward_progress, worker=worker_name
+            )
+        except BaseException as error:  # noqa: BLE001 - reported over the wire
+            send(
+                {
+                    "type": "error",
+                    "cell": task.index,
+                    "error": f"{type(error).__name__}: {error}",
+                    "traceback": traceback.format_exc(),
+                }
+            )
+        else:
+            send(
+                {
+                    "type": "result",
+                    "cell": task.index,
+                    "payload": payload,
+                    "elapsed": elapsed,
+                }
+            )
+            with computed_lock:
+                computed += 1
+
+    # capacity > 1 genuinely runs that many cells concurrently — the read
+    # loop must keep draining frames while cells compute, so execution
+    # moves to a thread pool and frame sends are serialised by send_lock.
+    pool = ThreadPoolExecutor(max_workers=capacity) if capacity > 1 else None
+    logger.info("worker %s attached to %s:%d", worker_name, host, port)
+    try:
+        # Inside the OSError guard: the coordinator may have gone away (or
+        # never accepted us — e.g. a fully-cached run) between connect and
+        # here, which surfaces as a reset on this first write.
+        send(
+            {
+                "type": "hello",
+                "worker": worker_name,
+                "capacity": capacity,
+                "protocol": PROTOCOL_VERSION,
+            }
+        )
+        for line in rfile:
+            frame = json.loads(line)
+            kind = frame.get("type")
+            if kind == "shutdown":
+                break
+            if kind != "cell":
+                continue
+            task = CellTask(
+                index=int(frame["cell"]),
+                params=dict(frame.get("params", {})),
+                key=str(frame.get("key", "")),
+                runner="",
+                dotted=str(frame["runner"]),
+            )
+            expected = frame.get("fingerprint")
+            if expected is not None:
+                try:
+                    local = runner_fingerprint(task.dotted)
+                except Exception as error:  # noqa: BLE001 - treated as mismatch
+                    local = f"unfingerprintable: {error}"
+                if local != expected:
+                    # Computing with different code would store a stale
+                    # payload under the coordinator's current-code cache
+                    # key; bow out and let an up-to-date worker take it.
+                    send(
+                        {
+                            "type": "reject",
+                            "cell": task.index,
+                            "reason": (
+                                f"local fingerprint of {task.dotted} differs "
+                                "(worker checkout out of date?)"
+                            ),
+                        }
+                    )
+                    break
+            if pool is not None:
+                pool.submit(run_cell, task)
+            else:
+                run_cell(task)
+    except (OSError, ValueError):
+        pass
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+    logger.info("worker %s detached after %d cell(s)", worker_name, computed)
+    return computed

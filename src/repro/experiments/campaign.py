@@ -9,14 +9,21 @@ configuration) and a :class:`CampaignExecutor` executes its cells:
 * **expansion** — :meth:`CampaignSpec.expand` materialises the Cartesian
   product of the axes into per-cell parameter dictionaries, in a
   deterministic order (axes vary right-to-left, like nested loops);
-* **parallelism** — cells run on a ``concurrent.futures``
-  ``ProcessPoolExecutor`` (``jobs`` workers); because every cell is a pure
-  function of its parameters (each carries its own seed), results are
-  identical regardless of worker count or completion order;
+* **execution** — cells run on a pluggable
+  :class:`~repro.experiments.backends.ExecutionBackend` (``serial``,
+  ``thread``, ``process``, or the multi-host ``worker-pool``); backends
+  stream typed events (``cell_started`` … ``worker_lost``) that the
+  executor forwards to an optional ``on_event`` consumer, e.g. the live
+  renderer in :mod:`repro.experiments.reporting`.  Because every cell is
+  a pure function of its parameters (each carries its own seed), results
+  are byte-identical regardless of backend, worker count, or completion
+  order;
 * **memoisation** — each finished cell is written to an on-disk
   content-addressed cache keyed by a stable hash of the cell parameters
-  plus the code-relevant versions, so re-running a campaign (or resuming
-  one after an interruption) skips every cached cell.
+  plus the *runner's source fingerprint*
+  (:mod:`repro.experiments.fingerprint`), so re-running a campaign (or
+  resuming one after an interruption) skips every cached cell — and a
+  release or an edit to an unrelated module leaves the cache warm.
 
 A cell is ``(runner, params)``: ``runner`` names an entry of
 :data:`CELL_RUNNERS` (a dotted ``module:function`` path, resolved lazily so
@@ -48,12 +55,22 @@ import os
 import re
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import Counter
 from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
+from repro.experiments.backends import (
+    CellCached,
+    CellFailed,
+    CellFinished,
+    CellTask,
+    ExecutionBackend,
+    create_backend,
+    resolve_dotted,
+)
+from repro.experiments.fingerprint import runner_fingerprint
 from repro.utils.logging import get_logger
 from repro.version import __version__
 
@@ -61,15 +78,22 @@ logger = get_logger("campaign")
 
 #: Bumped whenever the cell/payload contract changes incompatibly; part of
 #: every cache key, so stale entries can never be served to new code.
-CACHE_SCHEMA_VERSION = 1
+#: (2: package-version key component replaced by runner source fingerprints.)
+CACHE_SCHEMA_VERSION = 2
 
 #: Default on-disk cache location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".comdml-cache"
 
+#: Environment variable naming the default cache root; an explicit
+#: ``--cache-dir`` always wins (see :func:`resolve_cache_dir`).
+CACHE_DIR_ENV = "COMDML_CACHE_DIR"
+
 #: Cache layout patterns: two-hex-digit shard directories holding
-#: ``<sha256 hex>.json`` entry files.
+#: ``<sha256 hex>.json`` entry files (plus quarantined ``*.corrupt``
+#: siblings awaiting ``clean``).
 _HEX2_RE = re.compile(r"[0-9a-f]{2}")
 _KEY_FILE_RE = re.compile(r"[0-9a-f]{64}\.json")
+_CORRUPT_FILE_RE = re.compile(r"[0-9a-f]{64}\.json\.corrupt")
 
 #: Registered cell runners: name -> dotted "module:function" path.  The
 #: indirection keeps this module import-light and cycle-free; workers
@@ -86,6 +110,7 @@ CELL_RUNNERS: dict[str, str] = {
     "ablation-heterogeneity": "repro.experiments.ablations:heterogeneity_cell",
     "ablation-pairing": "repro.experiments.ablations:pairing_cell",
     "ablation-allreduce": "repro.experiments.ablations:allreduce_cell",
+    "demo-cell": "repro.experiments.backends.demo:demo_cell",
 }
 
 #: Campaign presets the CLI can run by name: name -> dotted path of a
@@ -117,13 +142,6 @@ def register_cell_runner(name: str, dotted_path: str) -> None:
     CELL_RUNNERS[name] = dotted_path
 
 
-def _resolve_dotted(dotted: str) -> Callable[..., Any]:
-    """Import a ``"module:function"`` reference."""
-    module_name, _, attribute = dotted.partition(":")
-    module = importlib.import_module(module_name)
-    return getattr(module, attribute)
-
-
 def resolve_runner(name: str) -> Callable[..., Any]:
     """Import and return the callable registered under ``name``."""
     try:
@@ -132,7 +150,7 @@ def resolve_runner(name: str) -> Callable[..., Any]:
         raise KeyError(
             f"unknown cell runner {name!r}; expected one of {sorted(CELL_RUNNERS)}"
         ) from None
-    return _resolve_dotted(dotted)
+    return resolve_dotted(dotted)
 
 
 def resolve_preset(name: str) -> "CampaignPreset":
@@ -151,6 +169,22 @@ def resolve_preset(name: str) -> "CampaignPreset":
 def run_cell(runner: str, params: Mapping[str, Any]) -> Any:
     """Execute one cell in-process and return its JSON payload."""
     return resolve_runner(runner)(**params)
+
+
+def resolve_cache_dir(
+    explicit: Optional[str] = None, fallback: Optional[str] = None
+) -> Optional[str]:
+    """Pick the cache root: explicit flag > ``$COMDML_CACHE_DIR`` > fallback.
+
+    Lets CI and multi-user hosts redirect every command's cache without
+    threading ``--cache-dir`` through each invocation.
+    """
+    if explicit is not None:
+        return explicit
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    return fallback
 
 
 # ----------------------------------------------------------------------
@@ -313,16 +347,21 @@ class CampaignPreset:
 # ----------------------------------------------------------------------
 
 def cell_key(runner: str, params: Mapping[str, Any]) -> str:
-    """Stable content hash of one cell (parameters + code-relevant versions).
+    """Stable content hash of one cell (parameters + runner code fingerprint).
 
-    Any change to the cell parameters, the package version, or the cache
-    schema yields a different key, so the cache can only ever serve results
-    produced by equivalent code on an identical configuration.
+    Any change to the cell parameters, the cache schema, or the source of
+    the runner's module (including its intra-``repro`` import closure —
+    see :mod:`repro.experiments.fingerprint`) yields a different key, so
+    the cache can only ever serve results produced by equivalent code on
+    an identical configuration.  Edits to *unrelated* modules — and
+    version bumps — leave keys (and therefore warm caches) untouched.
     """
+    dotted = CELL_RUNNERS.get(runner)
+    fingerprint = runner_fingerprint(dotted) if dotted is not None else None
     canonical = json.dumps(
         {
             "schema": CACHE_SCHEMA_VERSION,
-            "version": __version__,
+            "fingerprint": fingerprint,
             "runner": runner,
             "params": params,
         },
@@ -363,6 +402,10 @@ class CampaignCache:
     runner, parameters, payload, and the compute time of the original run.
     Entries are written atomically, so an interrupted campaign can never
     leave a truncated file behind — resume simply re-runs the missing keys.
+    An entry that is unreadable anyway (e.g. a torn write on a filesystem
+    without atomic replace) is *quarantined* — renamed to ``*.corrupt`` —
+    so it is recomputed exactly once instead of re-parsed on every run;
+    :meth:`clear` removes quarantined files along with live entries.
     """
 
     def __init__(self, root: str | Path) -> None:
@@ -375,8 +418,9 @@ class CampaignCache:
     def load(self, key: str) -> Optional[dict[str, Any]]:
         """Return the stored entry for ``key``, or ``None`` on a miss.
 
-        A corrupt entry (e.g. from a torn write on a filesystem without
-        atomic replace) is treated as a miss and deleted.
+        A corrupt entry is treated as a miss and quarantined (renamed to
+        ``<key>.json.corrupt``) so the next store overwrites a clean file
+        and subsequent runs never re-parse the broken one.
         """
         path = self.path_for(key)
         try:
@@ -385,11 +429,14 @@ class CampaignCache:
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, OSError):
-            logger.warning("dropping unreadable cache entry %s", path)
+            logger.warning("quarantining unreadable cache entry %s", path)
             try:
-                path.unlink()
+                path.replace(path.with_name(path.name + ".corrupt"))
             except OSError:
-                pass
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             return None
 
     def store(
@@ -413,7 +460,7 @@ class CampaignCache:
             },
         )
 
-    def _entries(self):
+    def _entries(self, include_corrupt: bool = False):
         """Paths of files matching the cache layout (``<hex2>/<hex64>.json``).
 
         Deliberately strict so that ``clear`` pointed at the wrong directory
@@ -425,18 +472,29 @@ class CampaignCache:
         for shard in self.root.iterdir():
             if not (shard.is_dir() and _HEX2_RE.fullmatch(shard.name)):
                 continue
-            for path in shard.glob("*.json"):
+            for path in shard.iterdir():
                 if _KEY_FILE_RE.fullmatch(path.name):
                     yield path
+                elif include_corrupt and _CORRUPT_FILE_RE.fullmatch(path.name):
+                    yield path
+
+    def quarantined(self) -> list[Path]:
+        """Quarantined (``*.corrupt``) files currently under the root."""
+        return [
+            path
+            for path in self._entries(include_corrupt=True)
+            if path.name.endswith(".corrupt")
+        ]
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number of files removed.
+        """Delete every cache entry (including quarantined ``*.corrupt``
+        files); returns the number of files removed.
 
         Only files laid out like cache entries are touched — foreign files
         under the cache root are left alone.
         """
         removed = 0
-        for path in self._entries():
+        for path in self._entries(include_corrupt=True):
             path.unlink()
             removed += 1
         if self.root.exists():
@@ -482,6 +540,10 @@ class CampaignResult:
     wall_seconds: float
     jobs: int
     cache_dir: Optional[str] = None
+    backend: str = "serial"
+    #: How many of each backend event kind the run produced (includes
+    #: ``worker_joined``/``worker_lost`` for worker-pool runs).
+    event_counts: dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
@@ -511,7 +573,7 @@ class CampaignResult:
 
 
 class CampaignExecutor:
-    """Expands a :class:`CampaignSpec` and runs its cells.
+    """Expands a :class:`CampaignSpec` and runs its cells on a backend.
 
     Parameters
     ----------
@@ -521,9 +583,25 @@ class CampaignExecutor:
         Root of the on-disk cell cache; ``None`` disables caching (every
         cell recomputes).
     jobs:
-        Worker processes.  ``1`` runs cells inline in the calling process
-        (no pool, no pickling); results are identical either way because
-        cells are pure functions of their parameters.
+        Parallelism for the ``thread``/``process`` backends; ignored by
+        ``serial`` and by ``worker-pool`` (whose parallelism is the sum
+        of attached worker capacities).
+    backend:
+        An :class:`~repro.experiments.backends.ExecutionBackend` instance,
+        a registered backend name, or ``None`` to pick the classic
+        behaviour: ``process`` when ``jobs > 1`` and more than one cell
+        needs computing, else ``serial`` (a single pending cell always
+        runs inline — no pool spin-up on a warm resume).  Explicit
+        backends are constructed eagerly, so a ``"worker-pool"`` string
+        binds its socket here — read the address from
+        :attr:`execution_backend` before :meth:`run` to attach workers
+        (or construct the
+        :class:`~repro.experiments.backends.WorkerPoolBackend` yourself).
+    on_event:
+        Optional callable receiving every
+        :class:`~repro.experiments.backends.events.BackendEvent` as it
+        happens (``cell_cached`` events for hits included) — the hook the
+        live progress renderer plugs into.
     """
 
     def __init__(
@@ -531,6 +609,8 @@ class CampaignExecutor:
         spec: CampaignSpec,
         cache_dir: Optional[str | Path] = None,
         jobs: int = 1,
+        backend: Union[ExecutionBackend, str, None] = None,
+        on_event: Optional[Callable[[Any], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -541,6 +621,15 @@ class CampaignExecutor:
             )
         self.spec = spec
         self.jobs = jobs
+        self.backend = backend
+        #: The resolved backend instance for explicit selections; ``None``
+        #: means "choose per run" (serial/process depending on workload).
+        self.execution_backend: Optional[ExecutionBackend] = None
+        if isinstance(backend, str):
+            self.execution_backend = create_backend(backend, jobs=jobs)
+        elif backend is not None:
+            self.execution_backend = backend
+        self.on_event = on_event
         self.cache = CampaignCache(cache_dir) if cache_dir is not None else None
 
     # ------------------------------------------------------------------
@@ -553,49 +642,110 @@ class CampaignExecutor:
             rows.append((index, params, key, entry))
         return rows
 
-    def run(self, force: bool = False) -> CampaignResult:
+    def _resolve_backend(self, num_pending: int) -> ExecutionBackend:
+        if self.execution_backend is not None:
+            return self.execution_backend
+        # Default selection: a pool only pays off for 2+ cells to compute;
+        # a warm resume with one missing cell runs inline.
+        name = "process" if self.jobs > 1 and num_pending > 1 else "serial"
+        return create_backend(name, jobs=self.jobs)
+
+    def run(
+        self,
+        force: bool = False,
+        on_event: Optional[Callable[[Any], None]] = None,
+    ) -> CampaignResult:
         """Execute the campaign and return per-cell results in grid order.
 
         ``force`` ignores (and overwrites) cached entries.  Interrupting a
         run is safe: finished cells are already on disk, so the next ``run``
-        resumes by recomputing only the missing ones.
+        resumes by recomputing only the missing ones.  A failing cell does
+        not abort the sweep — the remaining cells still execute (and reach
+        the cache) before the first failure is re-raised, so a resumed run
+        recomputes only the failed cells.
         """
+        emit = on_event or self.on_event or (lambda event: None)
         started = time.perf_counter()
         plan = self.plan()
         results: dict[int, CellResult] = {}
-        pending: list[tuple[int, dict[str, Any], str]] = []
+        pending: list[CellTask] = []
+        event_counts: Counter[str] = Counter()
         for index, params, key, entry in plan:
             if entry is not None and not force:
+                elapsed = float(entry.get("elapsed_seconds", 0.0))
                 results[index] = CellResult(
                     index=index,
                     params=params,
                     key=key,
                     status="hit",
                     payload=entry["payload"],
-                    elapsed_seconds=float(entry.get("elapsed_seconds", 0.0)),
+                    elapsed_seconds=elapsed,
                 )
+                event_counts["cell_cached"] += 1
+                emit(CellCached(index=index, key=key, elapsed_seconds=elapsed))
             else:
-                pending.append((index, params, key))
+                pending.append(
+                    CellTask(
+                        index=index,
+                        params=params,
+                        key=key,
+                        runner=self.spec.runner,
+                        dotted=CELL_RUNNERS[self.spec.runner],
+                    )
+                )
 
+        backend = self._resolve_backend(len(pending))
         if pending:
             logger.info(
-                "campaign %s: %d/%d cells to compute (%d cached), jobs=%d",
+                "campaign %s: %d/%d cells to compute (%d cached), backend=%s jobs=%d",
                 self.spec.name,
                 len(pending),
                 len(plan),
                 len(plan) - len(pending),
+                backend.name,
                 self.jobs,
             )
-        for index, params, key, payload, elapsed in self._execute(pending):
-            if self.cache is not None:
-                self.cache.store(key, self.spec.runner, params, payload, elapsed)
-            results[index] = CellResult(
-                index=index,
-                params=params,
-                key=key,
-                status="miss",
-                payload=payload,
-                elapsed_seconds=elapsed,
+        tasks_by_index = {task.index: task for task in pending}
+        failures: list[CellFailed] = []
+        # Submit even an empty pending list: backends that own resources
+        # (the worker-pool's listening socket and attached workers) release
+        # them on their empty-submit path, so a fully-cached run must not
+        # leave a coordinator dangling.
+        for event in backend.submit(pending):
+            event_counts[event.kind] += 1
+            if isinstance(event, CellFinished):
+                task = tasks_by_index[event.index]
+                if self.cache is not None:
+                    self.cache.store(
+                        task.key,
+                        self.spec.runner,
+                        task.params,
+                        event.payload,
+                        event.elapsed_seconds,
+                    )
+                results[event.index] = CellResult(
+                    index=event.index,
+                    params=task.params,
+                    key=task.key,
+                    status="miss",
+                    payload=event.payload,
+                    elapsed_seconds=event.elapsed_seconds,
+                )
+            elif isinstance(event, CellFailed):
+                logger.warning(
+                    "cell %d (%s) failed: %s",
+                    event.index,
+                    event.key[:12],
+                    event.error,
+                )
+                failures.append(event)
+            emit(event)
+        if failures:
+            first = failures[0]
+            if first.exception is not None:
+                raise first.exception
+            raise RuntimeError(
+                f"cell {first.index} failed on backend {backend.name}: {first.error}"
             )
 
         return CampaignResult(
@@ -604,59 +754,9 @@ class CampaignExecutor:
             wall_seconds=time.perf_counter() - started,
             jobs=self.jobs,
             cache_dir=str(self.cache.root) if self.cache is not None else None,
+            backend=backend.name,
+            event_counts=dict(event_counts),
         )
-
-    # ------------------------------------------------------------------
-    def _execute(self, pending: Sequence[tuple[int, dict[str, Any], str]]):
-        """Yield ``(index, params, key, payload, elapsed)`` per finished cell.
-
-        Parallel cells are yielded in *completion* order (the caller
-        reassembles grid order by index), so each finished cell reaches the
-        cache immediately.  If a cell raises, the remaining futures are
-        still drained — and therefore cached — before the first error is
-        re-raised; a resumed run recomputes only the failed cells.
-        """
-        if not pending:
-            return
-        if self.jobs == 1 or len(pending) == 1:
-            for index, params, key in pending:
-                cell_started = time.perf_counter()
-                payload = run_cell(self.spec.runner, params)
-                yield index, params, key, payload, time.perf_counter() - cell_started
-            return
-        # Workers receive the runner's dotted path, not its registry name:
-        # runners registered at runtime via register_cell_runner() would be
-        # missing from a freshly imported registry under the spawn and
-        # forkserver start methods.
-        dotted = CELL_RUNNERS[self.spec.runner]
-        first_error: Optional[BaseException] = None
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(pending))) as pool:
-            futures = {
-                pool.submit(_timed_cell, dotted, params): (index, params, key)
-                for index, params, key in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index, params, key = futures[future]
-                    try:
-                        payload, elapsed = future.result()
-                    except BaseException as error:  # noqa: BLE001 - re-raised below
-                        if first_error is None:
-                            first_error = error
-                        logger.warning("cell %d (%s) failed: %s", index, key[:12], error)
-                        continue
-                    yield index, params, key, payload, elapsed
-        if first_error is not None:
-            raise first_error
-
-
-def _timed_cell(dotted: str, params: dict[str, Any]) -> tuple[Any, float]:
-    """Worker entry point: run one cell and time it inside the subprocess."""
-    started = time.perf_counter()
-    payload = _resolve_dotted(dotted)(**params)
-    return payload, time.perf_counter() - started
 
 
 def execute_campaign(
@@ -664,6 +764,10 @@ def execute_campaign(
     jobs: int = 1,
     cache_dir: Optional[str | Path] = None,
     force: bool = False,
+    backend: Union[ExecutionBackend, str, None] = None,
+    on_event: Optional[Callable[[Any], None]] = None,
 ) -> CampaignResult:
     """One-shot convenience wrapper around :class:`CampaignExecutor`."""
-    return CampaignExecutor(spec, cache_dir=cache_dir, jobs=jobs).run(force=force)
+    return CampaignExecutor(
+        spec, cache_dir=cache_dir, jobs=jobs, backend=backend, on_event=on_event
+    ).run(force=force)

@@ -146,6 +146,8 @@ def run_fig3(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend=None,
+    on_event=None,
 ) -> list[Fig3Bar]:
     """Run the full Figure 3 series (all datasets, all methods)."""
     spec = campaign_spec(
@@ -155,7 +157,10 @@ def run_fig3(
         max_rounds=max_rounds,
         seed=seed,
     )
-    return bars_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
+    result = execute_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, backend=backend, on_event=on_event
+    )
+    return bars_from_campaign(result)
 
 
 def format_fig3(bars: Sequence[Fig3Bar]) -> str:

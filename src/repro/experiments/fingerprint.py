@@ -1,0 +1,209 @@
+"""Per-runner source fingerprints for campaign cache keys.
+
+The original cache key folded in the *package version*, so every release
+— or any edit whatsoever once versions were bumped — invalidated every
+cached cell.  A cell's payload actually depends only on the code that
+runs it: the runner function's module and the ``repro`` modules that
+module (transitively) imports.  This module computes exactly that —
+
+``runner_fingerprint("pkg.mod:func")`` =
+    sha256 over the sorted ``(module name, sha256(module source))``
+    pairs of ``pkg.mod`` and its intra-``repro`` import closure.
+
+Editing a module inside the closure changes the fingerprint (and hence
+invalidates exactly the runners that can see it); editing an unrelated
+module, or bumping ``repro.version.__version__``, changes nothing, so
+caches stay warm across releases.
+
+Imports are discovered *statically* (``ast`` over the module source) and
+module names resolve to files via :func:`importlib.util.find_spec` — no
+runner module is executed to be fingerprinted.  ``from x import y``
+counts ``x.y`` only when it is itself a module; attribute imports fall
+back to ``x``.  Conditional or ``TYPE_CHECKING`` imports are included —
+over-approximating the closure only ever invalidates too much, never too
+little.  Modules whose source cannot be found (C extensions, zipped
+installs) contribute a version-based sentinel instead, restoring the old
+whole-package behaviour for exactly those cells.
+
+Known approximation: ancestor package ``__init__`` modules are *not*
+implicitly added (only explicit ``from repro import X``-style imports
+pull them in).  Including them would drag hub ``__init__`` files — which
+re-export every harness — into every closure and collapse the
+granularity this module exists to provide; the cost is that a
+behaviour-*changing* edit to a package ``__init__`` (as opposed to the
+usual re-export list) is not detected.  Bump
+:data:`repro.experiments.campaign.CACHE_SCHEMA_VERSION` for such edits.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from importlib import util as importlib_util
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.version import __version__
+
+#: Only imports inside this package are part of a fingerprint closure.
+ROOT_PACKAGE = "repro"
+
+#: Modules excluded from every closure: their content cannot affect cell
+#: payloads.  ``repro.version`` would re-create the exact "every release
+#: invalidates everything" failure this module removes; the campaign
+#: engine and backends orchestrate *around* cells (runners import
+#: ``CampaignSpec`` for spec building only — payloads are stored
+#: verbatim, never transformed by the engine), and they are the most
+#: frequently edited modules, so including them would invalidate every
+#: cache on every engine tweak.  Engine changes that *do* alter the
+#: cell/payload contract must bump
+#: :data:`repro.experiments.campaign.CACHE_SCHEMA_VERSION`, which is part
+#: of every key.
+EXCLUDED_MODULES = frozenset(
+    {
+        "repro.version",
+        "repro.experiments.campaign",
+        "repro.experiments.fingerprint",
+    }
+)
+
+#: Package prefixes excluded wholesale (same rationale as above).
+EXCLUDED_PREFIXES = ("repro.experiments.backends",)
+
+_fingerprint_cache: dict[str, str] = {}
+_closure_cache: dict[str, dict[str, str]] = {}
+
+
+def clear_fingerprint_cache() -> None:
+    """Forget memoised fingerprints (tests that edit sources need this)."""
+    _fingerprint_cache.clear()
+    _closure_cache.clear()
+
+
+def _find_spec(module_name: str):
+    try:
+        return importlib_util.find_spec(module_name)
+    except (ImportError, AttributeError, ValueError):
+        return None
+
+
+def _module_source(module_name: str) -> Optional[str]:
+    """The module's source text, or ``None`` when unavailable."""
+    spec = _find_spec(module_name)
+    if spec is None or spec.origin in (None, "built-in", "frozen"):
+        return None
+    try:
+        return Path(spec.origin).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None
+
+
+def _is_package(module_name: str) -> bool:
+    spec = _find_spec(module_name)
+    return spec is not None and spec.submodule_search_locations is not None
+
+
+def _resolve_relative(module_name: str, level: int, target: Optional[str]) -> Optional[str]:
+    """Resolve a ``from ... import`` base for a relative import."""
+    package_parts = module_name.split(".")
+    if not _is_package(module_name):
+        package_parts = package_parts[:-1]
+    # level=1 is the current package; each extra level walks one parent up.
+    if level - 1 >= len(package_parts):
+        return None
+    if level > 1:
+        package_parts = package_parts[: -(level - 1)]
+    base = ".".join(package_parts)
+    if not base:
+        return None
+    return f"{base}.{target}" if target else base
+
+
+def _imported_module_names(module_name: str, source: str) -> Iterator[str]:
+    """Module names ``module_name`` imports, resolved absolute (best effort)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _resolve_relative(module_name, node.level, node.module)
+            else:
+                base = node.module
+            if base is None:
+                continue
+            yield base
+            for alias in node.names:
+                if alias.name != "*":
+                    yield f"{base}.{alias.name}"
+
+
+def _in_scope(module_name: str) -> bool:
+    if not (
+        module_name == ROOT_PACKAGE or module_name.startswith(ROOT_PACKAGE + ".")
+    ):
+        return False
+    if module_name in EXCLUDED_MODULES:
+        return False
+    return not any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in EXCLUDED_PREFIXES
+    )
+
+
+def module_source_closure(module_name: str) -> dict[str, str]:
+    """``{module name: sha256(source)}`` for a module and its intra-``repro``
+    import closure (plus the root module itself even when outside ``repro``,
+    so custom runners registered from user packages are still fingerprinted).
+    """
+    if module_name in _closure_cache:
+        return dict(_closure_cache[module_name])
+    closure: dict[str, str] = {}
+    queue = [module_name]
+    seen = {module_name}
+    while queue:
+        current = queue.pop()
+        source = _module_source(current)
+        if source is None:
+            # No source to hash — pin to the package version as a sentinel
+            # so such modules behave like the pre-fingerprint cache did.
+            closure[current] = f"unavailable:{__version__}"
+            continue
+        closure[current] = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        for imported in _imported_module_names(current, source):
+            if imported in seen or not _in_scope(imported):
+                continue
+            # `from x import y` yields candidate x.y for attributes too;
+            # keep only names that resolve to actual modules.
+            if _find_spec(imported) is None:
+                continue
+            seen.add(imported)
+            queue.append(imported)
+    _closure_cache[module_name] = dict(closure)
+    return closure
+
+
+def source_fingerprint(module_name: str) -> str:
+    """Stable hash of a module's source closure (order-independent)."""
+    closure = module_source_closure(module_name)
+    canonical = json.dumps(sorted(closure.items()), separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def runner_fingerprint(dotted: str) -> str:
+    """Fingerprint of a ``"module:function"`` cell runner's code.
+
+    Memoised per dotted path — a campaign probes the cache once per cell,
+    and the closure walk (a dozen file reads) must not repeat per probe.
+    """
+    if dotted in _fingerprint_cache:
+        return _fingerprint_cache[dotted]
+    module_name = dotted.partition(":")[0]
+    fingerprint = source_fingerprint(module_name)
+    _fingerprint_cache[dotted] = fingerprint
+    return fingerprint

@@ -7,15 +7,29 @@ per-agent timelines (:func:`per_agent_timelines`,
 :func:`format_agent_timeline`), a per-round dynamics summary
 (:func:`format_dynamics_summary`), and the compact arrival/churn/departure
 annotation string (:func:`dynamics_annotation`) shown as the ``events``
-column of ``comdml compare``.  Campaign runs get their own aggregation
-surface: :func:`campaign_summary` (per-cell status, cache hit/miss counts,
-wall-clock speedup) and :func:`format_campaign_summary`.
+column of ``comdml compare``.  Campaign runs get two aggregation
+surfaces with deliberately different guarantees:
+
+* :func:`campaign_summary` — the *deterministic* result summary
+  (per-cell payload digests and an overall campaign digest).  Its bytes
+  are identical for the same spec regardless of backend, job count, or
+  cache state, which is what the CI backend matrix asserts on.
+* :func:`execution_report` — the *run-dependent* facts: backend, cache
+  hit/miss counts, wall-clock time and speedup, per-cell status and
+  timings, worker membership changes.
+
+Live campaigns stream through :class:`CampaignProgressRenderer`, the
+consumer for backend events (``cell_started``, ``cell_progress``,
+``cell_finished``, ``cell_cached``, ``worker_joined``/``worker_lost``):
+a refreshing status line on a TTY, one line per event otherwise.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence
+import sys
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, TextIO
 
 from repro.runtime.dynamics import DYNAMICS_KINDS
 from repro.runtime.trace import EventTrace, TraceEvent
@@ -208,26 +222,68 @@ def cell_label(params: Mapping[str, Any], axes: Sequence[str]) -> str:
     return ", ".join(f"{axis}={params.get(axis)}" for axis in axes)
 
 
-def campaign_summary(result: "CampaignResult") -> dict[str, Any]:
-    """JSON-serialisable aggregation of one campaign run.
+def payload_digest(payload: Any) -> str:
+    """sha256 of a cell payload's canonical JSON form."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
-    Includes per-cell status (cache ``hit`` or computed ``miss``) and the
-    executive numbers a resume/CI check needs: hit/miss counts, wall-clock
-    time, accumulated per-cell compute time, and the resulting wall-clock
-    speedup (>1 when parallelism and/or caching paid off).
+
+def campaign_summary(result: "CampaignResult") -> dict[str, Any]:
+    """The *deterministic* summary of a campaign's results.
+
+    Contains only facts that are a pure function of the spec and the
+    runner code — cell keys and payload digests, plus an overall campaign
+    digest folding them together — and none of how the run happened
+    (backend, jobs, cache state, timing: see :func:`execution_report`).
+    The CI backend matrix asserts these bytes are identical across
+    ``serial``/``thread``/``process``/``worker-pool``.
     """
     axes = [axis for axis, _ in result.spec.axes]
+    per_cell = [
+        {
+            "index": cell.index,
+            "cell": cell_label(cell.params, axes),
+            "key": cell.key,
+            "payload_digest": payload_digest(cell.payload),
+        }
+        for cell in result.cells
+    ]
+    overall = hashlib.sha256(
+        "".join(row["payload_digest"] for row in per_cell).encode("utf-8")
+    ).hexdigest()
     return {
         "name": result.spec.name,
         "runner": result.spec.runner,
         "cells": len(result.cells),
+        "digest": overall,
+        "per_cell": per_cell,
+    }
+
+
+def execution_report(result: "CampaignResult") -> dict[str, Any]:
+    """The *run-dependent* report of one campaign execution.
+
+    Everything :func:`campaign_summary` deliberately leaves out: which
+    backend ran the sweep, cache hit/miss counts, wall-clock time and
+    speedup, per-cell status and compute time, and — for worker-pool
+    runs — how many workers joined and how many were lost mid-sweep.
+    """
+    counts = result.event_counts
+    axes = [axis for axis, _ in result.spec.axes]
+    return {
+        "name": result.spec.name,
+        "backend": result.backend,
+        "jobs": result.jobs,
+        "cache_dir": result.cache_dir,
+        "cells": len(result.cells),
         "cache_hits": result.hits,
         "cache_misses": result.misses,
-        "cache_dir": result.cache_dir,
-        "jobs": result.jobs,
         "wall_seconds": result.wall_seconds,
         "cell_seconds": result.cell_seconds,
         "speedup": result.speedup,
+        "workers_joined": counts.get("worker_joined", 0),
+        "workers_lost": counts.get("worker_lost", 0),
+        "events": dict(counts),
         "per_cell": [
             {
                 "index": cell.index,
@@ -243,15 +299,191 @@ def campaign_summary(result: "CampaignResult") -> dict[str, Any]:
 
 def format_campaign_summary(result: "CampaignResult", verbose: bool = False) -> str:
     """Render a campaign run: headline counters, plus per-cell rows if verbose."""
-    summary = campaign_summary(result)
-    lines = [
-        f"campaign {summary['name']}: {summary['cells']} cells "
-        f"({summary['cache_hits']} cached, {summary['cache_misses']} computed) "
-        f"in {summary['wall_seconds']:.2f}s wall "
-        f"[jobs={summary['jobs']}, {summary['speedup']:.2f}x vs serial cold run]"
-    ]
-    if verbose and summary["per_cell"]:
-        lines.append(
-            format_table(summary["per_cell"], float_format="{:.3f}")
+    report = execution_report(result)
+    headline = (
+        f"campaign {report['name']}: {report['cells']} cells "
+        f"({report['cache_hits']} cached, {report['cache_misses']} computed) "
+        f"in {report['wall_seconds']:.2f}s wall "
+        f"[backend={report['backend']}, jobs={report['jobs']}, "
+        f"{report['speedup']:.2f}x vs serial cold run]"
+    )
+    if report["workers_lost"]:
+        headline += (
+            f" · {report['workers_lost']} worker(s) lost, "
+            f"{result.event_counts.get('worker_joined', 0)} joined"
         )
+    lines = [headline]
+    if verbose and report["per_cell"]:
+        lines.append(format_table(report["per_cell"], float_format="{:.3f}"))
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Live campaign progress
+# ----------------------------------------------------------------------
+
+class CampaignProgressRenderer:
+    """Stream backend events to a terminal as the campaign executes.
+
+    On a TTY (``live=True``) a single status line is redrawn in place —
+    done/cached/failed counters, the number of in-flight cells, worker
+    membership, and the latest progress message; worker joins/losses and
+    cell failures still get a full line each so they survive in the
+    scrollback.  On a non-TTY (CI logs, redirects) every event becomes
+    one plain line.  Pass the instance as ``on_event`` to
+    :class:`~repro.experiments.campaign.CampaignExecutor` and call
+    :meth:`close` when the run returns.
+    """
+
+    def __init__(
+        self,
+        total_cells: int,
+        name: str = "",
+        axes: Sequence[str] = (),
+        stream: Optional[TextIO] = None,
+        live: Optional[bool] = None,
+    ) -> None:
+        self.total = total_cells
+        self.name = name
+        self.axes = list(axes)
+        self.stream = stream if stream is not None else sys.stderr
+        if live is None:
+            live = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.live = live
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self.running: set[int] = set()
+        self.workers: set[str] = set()
+        self.lost_workers = 0
+        self.last_message = ""
+        self._labels: dict[int, str] = {}
+        self._status_shown = False
+
+    # ------------------------------------------------------------------
+    def _label(self, index: int) -> str:
+        return self._labels.get(index, f"#{index}")
+
+    def _println(self, text: str) -> None:
+        if self.live and self._status_shown:
+            self.stream.write("\r\x1b[2K")
+        self.stream.write(text + "\n")
+        self._status_shown = False
+        if self.live:
+            self._render_status()
+        self.stream.flush()
+
+    def _render_status(self) -> None:
+        finished = self.done + self.cached + self.failed
+        parts = [
+            f"{self.name or 'campaign'}: {finished}/{self.total}",
+            f"{self.done} computed",
+            f"{self.cached} cached",
+        ]
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        if self.running:
+            parts.append(f"{len(self.running)} running")
+        if self.workers or self.lost_workers:
+            parts.append(f"workers {len(self.workers)} (+{self.lost_workers} lost)")
+        if self.last_message:
+            parts.append(self.last_message)
+        self.stream.write("\r\x1b[2K" + " · ".join(parts))
+        self._status_shown = True
+        self.stream.flush()
+
+    # ------------------------------------------------------------------
+    def __call__(self, event: Any) -> None:
+        kind = getattr(event, "kind", "")
+        if kind == "cell_started":
+            self._labels[event.index] = cell_label(event.params, self.axes)
+            self.running.add(event.index)
+            if not self.live:
+                self._println(
+                    f"[{self.name}] cell {event.index} started"
+                    + (f" on {event.worker}" if event.worker else "")
+                    + f" ({self._label(event.index)})"
+                )
+            else:
+                self._render_status()
+        elif kind == "cell_progress":
+            self.last_message = (
+                f"cell {event.index} {event.fraction * 100.0:.0f}%"
+                + (f" {event.message}" if event.message else "")
+            )
+            if not self.live:
+                self._println(f"[{self.name}] {self.last_message}")
+            else:
+                self._render_status()
+        elif kind == "cell_finished":
+            self.running.discard(event.index)
+            self.done += 1
+            if not self.live:
+                self._println(
+                    f"[{self.name}] cell {event.index} finished "
+                    f"in {event.elapsed_seconds:.2f}s ({self._label(event.index)})"
+                )
+            else:
+                self._render_status()
+        elif kind == "cell_cached":
+            self.cached += 1
+            if not self.live:
+                self._println(f"[{self.name}] cell {event.index} cached")
+            else:
+                self._render_status()
+        elif kind == "cell_failed":
+            self.running.discard(event.index)
+            self.failed += 1
+            self._println(
+                f"[{self.name}] cell {event.index} FAILED: {event.error}"
+            )
+        elif kind == "worker_joined":
+            self.workers.add(event.worker)
+            self._println(
+                f"[{self.name}] worker {event.worker} joined "
+                f"(capacity {event.capacity})"
+            )
+        elif kind == "worker_lost":
+            self.workers.discard(event.worker)
+            self.lost_workers += 1
+            for index in event.requeued:
+                self.running.discard(index)
+            requeued = (
+                f"; requeued cells {', '.join(str(i) for i in event.requeued)}"
+                if event.requeued
+                else ""
+            )
+            self._println(
+                f"[{self.name}] worker {event.worker} LOST ({event.reason}){requeued}"
+            )
+
+    def close(self) -> None:
+        """Terminate the status line so the next print starts clean."""
+        if self.live and self._status_shown:
+            self.stream.write("\n")
+            self._status_shown = False
+            self.stream.flush()
+
+
+def progress_renderer_for(
+    spec: Any,
+    enabled: Optional[bool] = None,
+    stream: Optional[TextIO] = None,
+) -> Optional[CampaignProgressRenderer]:
+    """Build a renderer for a spec, honouring the ``--progress`` tri-state.
+
+    ``enabled=None`` (auto) turns progress on only when the stream is a
+    TTY — CI logs and redirected output stay clean unless ``--progress``
+    is passed explicitly.  Returns ``None`` when progress is off.
+    """
+    out = stream if stream is not None else sys.stderr
+    if enabled is None:
+        enabled = bool(getattr(out, "isatty", lambda: False)())
+    if not enabled:
+        return None
+    return CampaignProgressRenderer(
+        total_cells=spec.num_cells,
+        name=spec.name,
+        axes=[axis for axis, _ in spec.axes],
+        stream=out,
+    )

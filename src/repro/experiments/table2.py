@@ -168,6 +168,8 @@ def run_table2(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend=None,
+    on_event=None,
 ) -> list[Table2Cell]:
     """Run the full Table II grid; returns one cell per (method, dataset, iid)."""
     spec = campaign_spec(
@@ -178,7 +180,10 @@ def run_table2(
         max_rounds=max_rounds,
         seed=seed,
     )
-    return cells_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
+    result = execute_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, backend=backend, on_event=on_event
+    )
+    return cells_from_campaign(result)
 
 
 def format_table2(cells: Sequence[Table2Cell]) -> str:

@@ -152,6 +152,8 @@ def run_table3(
     seed: int = 0,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    backend=None,
+    on_event=None,
 ) -> list[Table3Cell]:
     """Run the full Table III grid."""
     spec = campaign_spec(
@@ -161,7 +163,10 @@ def run_table3(
         max_rounds=max_rounds,
         seed=seed,
     )
-    return cells_from_campaign(execute_campaign(spec, jobs=jobs, cache_dir=cache_dir))
+    result = execute_campaign(
+        spec, jobs=jobs, cache_dir=cache_dir, backend=backend, on_event=on_event
+    )
+    return cells_from_campaign(result)
 
 
 def format_table3(cells: Sequence[Table3Cell]) -> str:

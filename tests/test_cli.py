@@ -126,8 +126,6 @@ class TestMain:
 class TestCampaignCommands:
     def test_run_preset_with_cache_then_all_hits(self, tmp_path, capsys):
         cache = tmp_path / "cache"
-        summary1 = tmp_path / "s1.json"
-        summary2 = tmp_path / "s2.json"
         argv = [
             "campaign",
             "run",
@@ -135,13 +133,107 @@ class TestCampaignCommands:
             "--cache-dir",
             str(cache),
         ]
-        assert main(argv + ["--summary-json", str(summary1)]) == 0
-        assert main(argv + ["--summary-json", str(summary2)]) == 0
-        first = json.loads(summary1.read_text())
-        second = json.loads(summary2.read_text())
+        assert main(argv + ["--report-json", str(tmp_path / "r1.json")]) == 0
+        assert main(argv + ["--report-json", str(tmp_path / "r2.json")]) == 0
+        first = json.loads((tmp_path / "r1.json").read_text())
+        second = json.loads((tmp_path / "r2.json").read_text())
         assert first["cache_misses"] == first["cells"]
         assert second["cache_hits"] == second["cells"] > 0
         assert second["cache_misses"] == 0
+
+    def test_summary_json_is_deterministic_across_runs(self, tmp_path, capsys):
+        """--summary-json carries only result facts: identical bytes whether
+        cells were computed or served from the cache."""
+        cache = tmp_path / "cache"
+        argv = ["campaign", "run", "ablation-allreduce", "--cache-dir", str(cache)]
+        assert main(argv + ["--summary-json", str(tmp_path / "s1.json")]) == 0
+        assert main(argv + ["--summary-json", str(tmp_path / "s2.json")]) == 0
+        assert (tmp_path / "s1.json").read_bytes() == (tmp_path / "s2.json").read_bytes()
+        summary = json.loads((tmp_path / "s1.json").read_text())
+        assert summary["cells"] == len(summary["per_cell"])
+        assert all(len(row["payload_digest"]) == 64 for row in summary["per_cell"])
+
+    def test_backend_flag_thread_matches_serial(self, tmp_path, capsys):
+        argv = ["campaign", "run", "ablation-allreduce", "--cache-dir"]
+        assert main(
+            argv
+            + [str(tmp_path / "c1"), "--summary-json", str(tmp_path / "serial.json")]
+        ) == 0
+        assert main(
+            argv
+            + [
+                str(tmp_path / "c2"),
+                "--backend",
+                "thread",
+                "--jobs",
+                "3",
+                "--summary-json",
+                str(tmp_path / "thread.json"),
+                "--report-json",
+                str(tmp_path / "thread-report.json"),
+            ]
+        ) == 0
+        assert (tmp_path / "serial.json").read_bytes() == (
+            tmp_path / "thread.json"
+        ).read_bytes()
+        report = json.loads((tmp_path / "thread-report.json").read_text())
+        assert report["backend"] == "thread"
+
+    def test_progress_flag_streams_events(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "ablation-allreduce",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--progress",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "cell 0 started" in err and "finished" in err
+
+    def test_cache_dir_env_var_is_honoured(self, tmp_path, capsys, monkeypatch):
+        env_cache = tmp_path / "env-cache"
+        monkeypatch.setenv("COMDML_CACHE_DIR", str(env_cache))
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "ablation-allreduce",
+                    "--report-json",
+                    str(tmp_path / "report.json"),
+                ]
+            )
+            == 0
+        )
+        report = json.loads((tmp_path / "report.json").read_text())
+        assert report["cache_dir"] == str(env_cache)
+        assert env_cache.exists()
+        # The explicit flag still wins over the environment.
+        flag_cache = tmp_path / "flag-cache"
+        assert (
+            main(
+                [
+                    "campaign",
+                    "run",
+                    "ablation-allreduce",
+                    "--cache-dir",
+                    str(flag_cache),
+                    "--report-json",
+                    str(tmp_path / "report2.json"),
+                ]
+            )
+            == 0
+        )
+        assert json.loads((tmp_path / "report2.json").read_text())["cache_dir"] == str(
+            flag_cache
+        )
 
     def test_run_spec_file(self, tmp_path, capsys):
         from repro.experiments.ablations import allreduce_spec
@@ -185,6 +277,34 @@ class TestCampaignCommands:
     def test_unknown_spec_rejected(self):
         with pytest.raises(SystemExit):
             main(["campaign", "run", "not-a-preset-or-file"])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run", "table2", "--backend", "gpu"])
+
+
+class TestWorkerCommands:
+    def test_serve_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "serve"])
+
+    def test_serve_fails_cleanly_when_no_coordinator(self, capsys):
+        # Nothing listens on this port; the worker should give up after the
+        # (short) retry window and exit non-zero with a readable error.
+        code = main(
+            [
+                "worker",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "1",
+                "--retry-seconds",
+                "0.1",
+            ]
+        )
+        assert code == 1
+        assert "could not attach" in capsys.readouterr().err
 
 
 class TestScheduleCommands:

@@ -12,10 +12,15 @@ from repro.experiments.campaign import (
     cell_key,
     execute_campaign,
     register_cell_runner,
+    resolve_cache_dir,
     resolve_runner,
 )
 from repro.experiments import comparison, table2
-from repro.experiments.reporting import campaign_summary, format_campaign_summary
+from repro.experiments.reporting import (
+    campaign_summary,
+    execution_report,
+    format_campaign_summary,
+)
 
 
 def tiny_spec(**base_overrides) -> CampaignSpec:
@@ -132,13 +137,34 @@ class TestExecutorCaching:
         assert [cell.status for cell in resumed.cells] == ["miss", "hit"]
         assert resumed.payloads() == first.payloads()
 
-    def test_corrupt_entry_treated_as_miss(self, tmp_path):
+    def test_corrupt_entry_treated_as_miss_and_quarantined(self, tmp_path):
         spec = tiny_spec()
         first = execute_campaign(spec, cache_dir=tmp_path)
         cache = CampaignCache(tmp_path)
-        cache.path_for(first.cells[1].key).write_text("{truncated", encoding="utf-8")
+        corrupt_source = cache.path_for(first.cells[1].key)
+        corrupt_source.write_text("{truncated", encoding="utf-8")
         rerun = execute_campaign(spec, cache_dir=tmp_path)
         assert [cell.status for cell in rerun.cells] == ["hit", "miss"]
+        # The broken file was renamed aside (recomputed once, never
+        # re-parsed), and the recomputed entry is a clean hit afterwards.
+        quarantined = cache.quarantined()
+        assert [path.name for path in quarantined] == [corrupt_source.name + ".corrupt"]
+        assert not corrupt_source.exists() or corrupt_source.read_text() != "{truncated"
+        third = execute_campaign(spec, cache_dir=tmp_path)
+        assert [cell.status for cell in third.cells] == ["hit", "hit"]
+
+    def test_clear_removes_quarantined_files(self, tmp_path):
+        spec = tiny_spec()
+        first = execute_campaign(spec, cache_dir=tmp_path)
+        cache = CampaignCache(tmp_path)
+        cache.path_for(first.cells[0].key).write_text("{truncated", encoding="utf-8")
+        cache.load(first.cells[0].key)  # quarantines
+        assert len(cache.quarantined()) == 1
+        assert len(cache) == 1
+        # 1 live entry + 1 quarantined file.
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.quarantined() == []
 
     def test_force_recomputes_everything(self, tmp_path):
         spec = tiny_spec()
@@ -198,6 +224,25 @@ class TestExecutorCaching:
             CampaignExecutor(tiny_spec(), jobs=0)
 
 
+class TestCacheDirResolution:
+    def test_flag_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("COMDML_CACHE_DIR", "/env/cache")
+        assert resolve_cache_dir("/flag/cache") == "/flag/cache"
+
+    def test_env_wins_over_fallback(self, monkeypatch):
+        monkeypatch.setenv("COMDML_CACHE_DIR", "/env/cache")
+        assert resolve_cache_dir(None, "/fallback") == "/env/cache"
+
+    def test_fallback_when_unset(self, monkeypatch):
+        monkeypatch.delenv("COMDML_CACHE_DIR", raising=False)
+        assert resolve_cache_dir(None, "/fallback") == "/fallback"
+        assert resolve_cache_dir(None) is None
+
+    def test_empty_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("COMDML_CACHE_DIR", "")
+        assert resolve_cache_dir(None, "/fallback") == "/fallback"
+
+
 class TestParallelDeterminism:
     def test_jobs_do_not_change_payloads(self, tmp_path):
         spec = table2.campaign_spec(
@@ -234,17 +279,27 @@ class TestParallelDeterminism:
 
 
 class TestSummary:
-    def test_campaign_summary_counts(self, tmp_path):
+    def test_execution_report_counts(self, tmp_path):
         spec = tiny_spec()
         execute_campaign(spec, cache_dir=tmp_path)
         result = execute_campaign(spec, cache_dir=tmp_path)
-        summary = campaign_summary(result)
-        assert summary["cells"] == 2
-        assert summary["cache_hits"] == 2
-        assert summary["cache_misses"] == 0
-        assert [row["status"] for row in summary["per_cell"]] == ["hit", "hit"]
+        report = execution_report(result)
+        assert report["cells"] == 2
+        assert report["cache_hits"] == 2
+        assert report["cache_misses"] == 0
+        assert report["backend"] == "serial"
+        assert report["events"].get("cell_cached") == 2
+        assert [row["status"] for row in report["per_cell"]] == ["hit", "hit"]
         text = format_campaign_summary(result, verbose=True)
         assert "2 cells" in text and "2 cached" in text
+
+    def test_campaign_summary_is_cache_and_backend_agnostic(self, tmp_path):
+        spec = tiny_spec()
+        cold = campaign_summary(execute_campaign(spec, cache_dir=tmp_path))
+        warm = campaign_summary(execute_campaign(spec, cache_dir=tmp_path))
+        threaded = campaign_summary(execute_campaign(spec, backend="thread", jobs=2))
+        assert cold == warm == threaded
+        assert cold["digest"] and len(cold["digest"]) == 64
 
     def test_payload_order_matches_expansion(self, tmp_path):
         spec = tiny_spec()

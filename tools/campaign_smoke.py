@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Campaign cache smoke check (run in CI).
+"""Campaign backend-matrix + cache smoke check (run in CI).
 
-Runs a 2×2 mini-campaign (two datasets × two methods of the Table II grid)
-twice through the ``comdml campaign run`` CLI with ``--jobs 2``:
+Three independent guarantees, exercised end to end through the real CLI:
 
-1. the first run must compute every cell (cold cache);
-2. the second run must be served **100 % from the cache** (zero misses)
-   and produce identical cell payloads.
+1. **Backend matrix** — a 2×2 mini-campaign (two datasets × two methods
+   of the Table II grid) runs on every execution backend: ``serial``,
+   ``thread``, ``process``, and ``worker-pool`` (the last via two real
+   ``comdml worker serve`` subprocesses attached over localhost TCP).
+   All four ``--summary-json`` files must be byte-identical.
+2. **Cache semantics** — the first (serial) run computes every cell,
+   a repeat run over the same cache is 100 % hits, and its summary is
+   *still* byte-identical (the summary is a pure function of the spec).
+3. **Cache stability under edits** — in a throwaway copy of the source
+   tree: editing a module *outside* a runner's import closure leaves the
+   runner's cell key unchanged, bumping the package version leaves it
+   unchanged, and editing the runner's own module changes it.
 
 Exits non-zero on any violation.  Run locally with::
 
@@ -16,6 +24,11 @@ Exits non-zero on any violation.  Run locally with::
 from __future__ import annotations
 
 import json
+import os
+import re
+import shutil
+import socket
+import subprocess
 import sys
 import tempfile
 from pathlib import Path
@@ -26,26 +39,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.cli import main  # noqa: E402  (needs src on sys.path first)
 from repro.experiments import table2  # noqa: E402
 
-
-def run(spec_path: Path, cache_dir: Path, summary_path: Path, payload_path: Path) -> dict:
-    code = main(
-        [
-            "campaign",
-            "run",
-            str(spec_path),
-            "--jobs",
-            "2",
-            "--cache-dir",
-            str(cache_dir),
-            "--summary-json",
-            str(summary_path),
-            "--json",
-            str(payload_path),
-        ]
-    )
-    if code != 0:
-        raise SystemExit(f"campaign run exited with {code}")
-    return json.loads(summary_path.read_text(encoding="utf-8"))
+BACKENDS = ("serial", "thread", "process", "worker-pool")
 
 
 def check(condition: bool, message: str, failures: list[str]) -> None:
@@ -54,46 +48,273 @@ def check(condition: bool, message: str, failures: list[str]) -> None:
         failures.append(message)
 
 
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def run_backend(
+    backend: str, spec_path: Path, tmp_path: Path
+) -> tuple[dict, dict, list]:
+    """One cold ``campaign run`` on ``backend``; returns (summary, report, payloads)."""
+    cache_dir = tmp_path / f"cache-{backend}"
+    summary = tmp_path / f"summary-{backend}.json"
+    report = tmp_path / f"report-{backend}.json"
+    payloads = tmp_path / f"payloads-{backend}.json"
+    argv = [
+        "campaign",
+        "run",
+        str(spec_path),
+        "--backend",
+        backend,
+        "--jobs",
+        "2",
+        "--cache-dir",
+        str(cache_dir),
+        "--summary-json",
+        str(summary),
+        "--report-json",
+        str(report),
+        "--json",
+        str(payloads),
+        "--no-progress",
+    ]
+    workers: list[subprocess.Popen] = []
+    if backend == "worker-pool":
+        port = free_port()
+        argv += ["--bind", f"127.0.0.1:{port}"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        for index in range(2):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.cli",
+                        "worker",
+                        "serve",
+                        "--host",
+                        "127.0.0.1",
+                        "--port",
+                        str(port),
+                        "--name",
+                        f"smoke-w{index}",
+                        "--retry-seconds",
+                        "60",
+                    ],
+                    env=env,
+                )
+            )
+    try:
+        code = main(argv)
+    finally:
+        # On the success path workers have already been sent shutdown;
+        # terminate() is then a no-op but fails fast when the coordinator
+        # died and workers would otherwise retry for their full window.
+        for proc in workers:
+            proc.terminate()
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    if code != 0:
+        raise SystemExit(f"campaign run --backend {backend} exited with {code}")
+    return (
+        json.loads(summary.read_text(encoding="utf-8")),
+        json.loads(report.read_text(encoding="utf-8")),
+        json.loads(payloads.read_text(encoding="utf-8")),
+    )
+
+
+def backend_matrix(tmp_path: Path, failures: list[str]) -> None:
+    spec = table2.campaign_spec(
+        datasets=("cifar10", "cifar100"),
+        distributions=(True,),
+        methods=("ComDML", "FedAvg"),
+        max_rounds=80,
+    )
+    spec_path = tmp_path / "mini.json"
+    spec.save(spec_path)
+
+    summaries, payload_sets = {}, {}
+    for backend in BACKENDS:
+        summary, report, payloads = run_backend(backend, spec_path, tmp_path)
+        summaries[backend] = (tmp_path / f"summary-{backend}.json").read_bytes()
+        payload_sets[backend] = payloads
+        check(summary["cells"] == 4, f"[{backend}] expands to 2x2 = 4 cells", failures)
+        check(
+            report["cache_misses"] == report["cells"],
+            f"[{backend}] cold run computes every cell",
+            failures,
+        )
+        check(
+            report["backend"] == backend,
+            f"[{backend}] report names the backend",
+            failures,
+        )
+        if backend == "worker-pool":
+            check(
+                report["workers_joined"] == 2,
+                "[worker-pool] both localhost workers joined",
+                failures,
+            )
+        print(
+            f"    {backend}: {report['wall_seconds']:.2f}s wall "
+            f"({report['speedup']:.2f}x vs serial cold run)"
+        )
+
+    reference = summaries["serial"]
+    for backend in BACKENDS[1:]:
+        check(
+            summaries[backend] == reference,
+            f"[{backend}] --summary-json byte-identical to serial",
+            failures,
+        )
+        check(
+            payload_sets[backend] == payload_sets["serial"],
+            f"[{backend}] payloads identical to serial",
+            failures,
+        )
+
+    # Warm re-run over the serial cache: 100 % hits, summary unchanged.
+    warm_summary = tmp_path / "summary-warm.json"
+    warm_report = tmp_path / "report-warm.json"
+    code = main(
+        [
+            "campaign",
+            "run",
+            str(spec_path),
+            "--cache-dir",
+            str(tmp_path / "cache-serial"),
+            "--summary-json",
+            str(warm_summary),
+            "--report-json",
+            str(warm_report),
+            "--no-progress",
+        ]
+    )
+    check(code == 0, "warm re-run exits 0", failures)
+    warm = json.loads(warm_report.read_text(encoding="utf-8"))
+    check(
+        warm["cache_hits"] == warm["cells"] and warm["cache_misses"] == 0,
+        "warm re-run is 100% cache hits",
+        failures,
+    )
+    check(
+        warm_summary.read_bytes() == reference,
+        "warm --summary-json byte-identical to the cold one",
+        failures,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache stability under source edits
+# ----------------------------------------------------------------------
+
+RUNNER = "ablation-allreduce"
+RUNNER_MODULE = "repro.experiments.ablations"
+PROBE = (
+    "import json; "
+    "from repro.experiments.campaign import cell_key; "
+    "from repro.experiments.fingerprint import module_source_closure; "
+    f"print(json.dumps({{'key': cell_key({RUNNER!r}, {{'num_agents': 4}}), "
+    f"'closure': sorted(module_source_closure({RUNNER_MODULE!r}))}}))"
+)
+
+
+def probe_key(src_copy: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src_copy)
+    output = subprocess.run(
+        [sys.executable, "-c", PROBE],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    return json.loads(output)
+
+
+def module_path(src_copy: Path, module: str) -> Path:
+    parts = module.split(".")
+    path = src_copy.joinpath(*parts)
+    return path / "__init__.py" if path.is_dir() else path.with_suffix(".py")
+
+
+def cache_stability(tmp_path: Path, failures: list[str]) -> None:
+    src_copy = tmp_path / "srccopy"
+    shutil.copytree(ROOT / "src", src_copy)
+
+    baseline = probe_key(src_copy)
+    closure = set(baseline["closure"])
+    check(RUNNER_MODULE in closure, "runner module is inside its own closure", failures)
+
+    # Find a repro module genuinely outside the runner's closure (skip
+    # package __init__ files: the fingerprint deliberately tracks only
+    # explicit imports, so probing a leaf module is the honest check).
+    unrelated = None
+    for candidate in sorted((src_copy / "repro").rglob("*.py")):
+        if candidate.name == "__init__.py":
+            continue
+        module = ".".join(candidate.relative_to(src_copy).with_suffix("").parts)
+        if module not in closure and module != "repro.version":
+            unrelated = (candidate, module)
+            break
+    check(unrelated is not None, "found a module outside the runner closure", failures)
+    if unrelated is None:
+        return
+    path, module = unrelated
+    path.write_text(path.read_text(encoding="utf-8") + "\n# smoke probe\n")
+    check(
+        probe_key(src_copy)["key"] == baseline["key"],
+        f"editing unrelated module ({module}) keeps the cell key",
+        failures,
+    )
+
+    version_path = module_path(src_copy, "repro.version")
+    version_text = version_path.read_text(encoding="utf-8")
+    bumped = re.sub(r'__version__ = ".*?"', '__version__ = "99.0.0"', version_text)
+    check(bumped != version_text, "version bump actually edited version.py", failures)
+    version_path.write_text(bumped)
+    check(
+        probe_key(src_copy)["key"] == baseline["key"],
+        "bumping the package version keeps the cell key",
+        failures,
+    )
+
+    # The execution engine orchestrates around cells; editing it must not
+    # cold-start every cache (contract changes go through
+    # CACHE_SCHEMA_VERSION instead).
+    engine_path = module_path(src_copy, "repro.experiments.campaign")
+    engine_path.write_text(
+        engine_path.read_text(encoding="utf-8") + "\n# smoke probe\n"
+    )
+    check(
+        probe_key(src_copy)["key"] == baseline["key"],
+        "editing the campaign engine keeps the cell key",
+        failures,
+    )
+
+    runner_path = module_path(src_copy, RUNNER_MODULE)
+    runner_path.write_text(
+        runner_path.read_text(encoding="utf-8") + "\n# smoke probe\n"
+    )
+    check(
+        probe_key(src_copy)["key"] != baseline["key"],
+        "editing the runner's own module changes the cell key",
+        failures,
+    )
+
+
 def main_smoke() -> int:
     failures: list[str] = []
     with tempfile.TemporaryDirectory(prefix="campaign-smoke-") as tmp:
         tmp_path = Path(tmp)
-        spec = table2.campaign_spec(
-            datasets=("cifar10", "cifar100"),
-            distributions=(True,),
-            methods=("ComDML", "FedAvg"),
-            max_rounds=80,
-        )
-        spec_path = tmp_path / "mini.json"
-        spec.save(spec_path)
-        cache_dir = tmp_path / "cache"
-
-        first = run(spec_path, cache_dir, tmp_path / "s1.json", tmp_path / "p1.json")
-        second = run(spec_path, cache_dir, tmp_path / "s2.json", tmp_path / "p2.json")
-
-        check(first["cells"] == 4, "mini-campaign expands to 2x2 = 4 cells", failures)
-        check(
-            first["cache_misses"] == first["cells"],
-            "first run computes every cell (cold cache)",
-            failures,
-        )
-        check(
-            second["cache_hits"] == second["cells"] and second["cache_misses"] == 0,
-            "second run is 100% cache hits",
-            failures,
-        )
-        payloads_first = json.loads((tmp_path / "p1.json").read_text(encoding="utf-8"))
-        payloads_second = json.loads((tmp_path / "p2.json").read_text(encoding="utf-8"))
-        check(
-            payloads_first == payloads_second,
-            "cached payloads identical to computed ones",
-            failures,
-        )
-        print(
-            f"first run: {first['wall_seconds']:.2f}s wall "
-            f"({first['speedup']:.2f}x vs serial cold run at jobs=2); "
-            f"second run: {second['wall_seconds']:.2f}s wall"
-        )
+        backend_matrix(tmp_path, failures)
+        cache_stability(tmp_path, failures)
     if failures:
         for message in failures:
             print(f"FAILED: {message}", file=sys.stderr)
