@@ -1,8 +1,13 @@
 """Micro-benchmarks of the hot paths (proper pytest-benchmark statistics).
 
 These are not paper reproductions; they track the library's own performance:
-split profiling, the per-pair offload optimisation, round-timing assembly,
-and one round of local-loss split training of the proxy model.
+split profiling, the per-pair offload optimisation, round-timing assembly
+(both the vectorized kernel and the scalar reference it replaced, so every
+run records the speedup on the same machine), and one round of local-loss
+split training of the proxy model.
+
+``tools/bench_trajectory.py`` runs this suite and appends the medians to
+the repo's perf history (``BENCH_<n>.json``); see docs/performance.md.
 """
 
 from __future__ import annotations
@@ -13,7 +18,8 @@ import pytest
 from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
 from repro.agents.resources import ResourceProfile
-from repro.core.pairing import greedy_pairing
+from repro.core.fastpath import PairCostModel
+from repro.core.pairing import greedy_pairing, greedy_pairing_reference
 from repro.core.profiling import profile_architecture
 from repro.core.timing import compute_round_timing
 from repro.core.workload import best_offload
@@ -28,9 +34,14 @@ from repro.utils.units import mbps_to_bytes_per_second
 
 @pytest.mark.parametrize("spec_builder", [resnet56_spec, resnet110_spec])
 def test_profile_architecture_speed(benchmark, spec_builder):
-    """Cost of full-granularity split profiling."""
+    """Cost of full-granularity split profiling (cold cache every round)."""
     spec = spec_builder()
-    profile = benchmark(profile_architecture, spec, None, 1)
+
+    def profile_cold():
+        profile_architecture.cache_clear()
+        return profile_architecture(spec, None, 1)
+
+    profile = benchmark(profile_cold)
     assert profile.num_options == spec.num_layers
 
 
@@ -45,13 +56,23 @@ def test_best_offload_speed(benchmark):
     assert estimate.offloaded_layers > 0
 
 
-def test_round_timing_speed(benchmark):
-    """Cost of planning and timing one 50-agent round."""
+def _round_planning_workload():
+    """The 50-agent plan-and-time workload shared by the two paths below."""
     registry = AgentRegistry.build(
         num_agents=50, rng=np.random.default_rng(0), samples_per_agent=1_000
     )
     profile = profile_architecture(resnet56_spec(), granularity=9)
     link_model = LinkModel(full_topology(registry.ids))
+    return registry, profile, link_model
+
+
+def test_round_timing_speed(benchmark):
+    """Cost of planning and timing one 50-agent round (vectorized kernel).
+
+    This is the gated trajectory bench: CI fails if its median regresses
+    more than 2x against the committed ``BENCH_5.json`` baseline.
+    """
+    registry, profile, link_model = _round_planning_workload()
 
     def plan_and_time():
         decisions = greedy_pairing(registry.agents, link_model, profile)
@@ -59,6 +80,32 @@ def test_round_timing_speed(benchmark):
 
     timing = benchmark(plan_and_time)
     assert timing.total_time > 0
+
+
+def test_round_timing_speed_scalar(benchmark):
+    """The same 50-agent round on the scalar reference path.
+
+    Kept so every trajectory run records the kernel speedup on identical
+    hardware (vectorized vs scalar medians in one BENCH json).
+    """
+    registry, profile, link_model = _round_planning_workload()
+
+    def plan_and_time_scalar():
+        decisions = greedy_pairing_reference(registry.agents, link_model, profile)
+        return compute_round_timing(decisions, registry, profile)
+
+    timing = benchmark(plan_and_time_scalar)
+    assert timing.total_time > 0
+
+
+def test_pair_cost_model_speed(benchmark):
+    """Cost of one kernel evaluation (the full 50x50xM pair-time tensor)."""
+    registry, profile, link_model = _round_planning_workload()
+
+    model = benchmark(
+        PairCostModel, registry.agents, profile, link_model=link_model
+    )
+    assert np.isfinite(model.best_pair_times).any()
 
 
 def test_local_loss_split_training_round(benchmark):

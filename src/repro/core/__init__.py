@@ -7,7 +7,8 @@ from repro.core.workload import (
     best_offload,
     exact_min_makespan,
 )
-from repro.core.pairing import PairingDecision, greedy_pairing
+from repro.core.fastpath import PairCostModel
+from repro.core.pairing import PairingDecision, greedy_pairing, greedy_pairing_reference
 from repro.core.scheduler import DecentralizedPairingScheduler
 from repro.core.timing import PairTiming, RoundTiming, compute_round_timing
 from repro.core.config import ComDMLConfig
@@ -20,8 +21,10 @@ __all__ = [
     "estimate_offload_time",
     "best_offload",
     "exact_min_makespan",
+    "PairCostModel",
     "PairingDecision",
     "greedy_pairing",
+    "greedy_pairing_reference",
     "DecentralizedPairingScheduler",
     "PairTiming",
     "RoundTiming",

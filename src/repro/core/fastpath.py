@@ -1,0 +1,300 @@
+"""Vectorized round-planning kernel.
+
+Every training round of every method evaluates the paper's
+``AgentTrainingTime`` (Algorithm 1) for each (slow, candidate, split)
+triple.  The scalar path in :mod:`repro.core.workload` builds an
+:class:`~repro.core.workload.OffloadEstimate` dataclass per triple —
+an O(n² · M) pure-Python loop that dominates planning cost at campaign
+scale.  :class:`PairCostModel` evaluates the same min-reduction as a
+handful of broadcasted NumPy operations:
+
+1. per-agent vectors are extracted once per round: processing speeds
+   ``p_i``, batches per round ``Ñ_i``, individual training times ``τ̂_i``,
+   and the effective bandwidth matrix ``c_ij``;
+2. for each candidate split ``m`` (there are few), the full ``n × n``
+   pair-time slice ``τ̂_ij^m = max(Ñ_i T_s(m)/p_i, τ̂_j + Ñ_i ν_m/c_ij +
+   Ñ_i T_f(m)/p_j)`` is computed elementwise;
+3. a running strict-``<`` minimum over the ``m`` slices argmin-reduces to
+   the best split per (slow, candidate) pair, and a masked row argmin
+   gives the best candidate per slow agent.
+
+Bit-for-bit identity with the scalar oracle is a hard requirement (the
+sync golden regression serializes these floats): every elementwise
+expression below mirrors the *exact* operation order of
+:func:`repro.core.workload.estimate_offload_time`, all reductions use
+first-minimum tie-breaking exactly like the scalar ``min``/strict-``<``
+loops, and the final :class:`~repro.core.workload.OffloadEstimate` for a
+chosen pair is produced by the scalar oracle itself (one call per formed
+pair, not per candidate).  ``tests/test_fastpath.py`` asserts full float
+equality of the resulting decisions against the scalar reference across
+random populations, profiles, and bandwidth matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.agents.agent import Agent
+from repro.core.profiling import SplitProfile
+from repro.core.workload import OffloadEstimate, estimate_offload_time
+from repro.sim.costs import DEFAULT_LINK_LATENCY_SECONDS, cpu_share_to_throughput
+from repro.network.link import LinkModel
+
+
+def bandwidth_matrix(agents: Sequence[Agent], link_model: LinkModel) -> np.ndarray:
+    """Effective pairwise bandwidth (bytes/s), 0.0 where no usable link.
+
+    Entry ``[i, j]`` equals ``link_model.bandwidth(agents[i], agents[j])``
+    exactly.  For a plain :class:`~repro.network.link.LinkModel` the matrix
+    is assembled vectorized from the topology's adjacency (the effective
+    bandwidth is the min of the two access links, with no arithmetic, so
+    no rounding concerns); any other link model falls back to per-pair
+    calls, preserving subclass overrides.
+    """
+    n = len(agents)
+    if type(link_model) is LinkModel:
+        try:
+            adjacency = np.asarray(
+                _adjacency(link_model, [agent.agent_id for agent in agents]),
+                dtype=bool,
+            )
+        except Exception:
+            adjacency = None
+        if adjacency is not None:
+            access = np.array(
+                [agent.profile.bandwidth_bytes_per_second for agent in agents],
+                dtype=np.float64,
+            )
+            # min(access_i, access_j) is 0 whenever either side is
+            # disconnected, matching LinkModel.can_communicate.
+            matrix = np.minimum(access[:, None], access[None, :])
+            matrix[~adjacency] = 0.0
+            np.fill_diagonal(matrix, 0.0)
+            return matrix
+    matrix = np.zeros((n, n), dtype=np.float64)
+    for i, a in enumerate(agents):
+        for j, b in enumerate(agents):
+            if i != j:
+                matrix[i, j] = link_model.bandwidth(a, b)
+    return matrix
+
+
+def _adjacency(link_model: LinkModel, ids: list[int]):
+    import networkx as nx
+
+    return nx.to_numpy_array(
+        link_model.topology.graph, nodelist=ids, weight=None, dtype=np.float64
+    )
+
+
+class PairCostModel:
+    """Precomputed pair-time tensor for one round's participants.
+
+    Parameters
+    ----------
+    participants:
+        The round's agents; all matrices are indexed by position in this
+        sequence.
+    profile:
+        Split profile of the architecture being trained.
+    link_model:
+        Source of pairwise bandwidths (mutually exclusive with
+        ``bandwidths``).
+    bandwidths:
+        Explicit ``n × n`` bandwidth matrix in bytes/s (used by the exact
+        solver, whose bandwidths come from a caller-supplied lookup).
+    batch_size:
+        Optional batch-size override, with the same semantics as the
+        scalar path: estimates resolve ``None`` to each slow agent's own
+        batch size.
+    latency_seconds:
+        Per-message link latency; defaults to the link model's latency or
+        :data:`~repro.sim.costs.DEFAULT_LINK_LATENCY_SECONDS`.
+    shared_busy_times:
+        When true (the greedy scheduler's convention) the fast agent's own
+        task time ``τ̂_j`` is its broadcast individual time, computed with
+        its *own* batch size.  When false (the exact solver's convention,
+        matching ``estimate_offload_time`` with no explicit busy time) it
+        is recomputed with the slow agent's batch size.
+
+    Attributes
+    ----------
+    individual_times:
+        ``τ̂_i`` vector (the shared list broadcast in Algorithm 1).
+    bandwidths:
+        Effective bandwidth matrix in bytes/s, 0 where unusable.
+    best_pair_times:
+        ``[i, j]`` = minimum of ``τ̂_ij^m`` over all profiled splits
+        (``+inf`` where ``i == j`` or no usable link).
+    best_split_indices:
+        Position in ``profile.offload_options`` of the minimizing split
+        (first minimum on ties, like the scalar oracle; ``-1`` invalid).
+    pairable:
+        Boolean matrix: a usable link exists *and* the best split actually
+        offloads work (``m > 0``) — exactly the candidates the greedy
+        scheduler considers.
+    """
+
+    def __init__(
+        self,
+        participants: Sequence[Agent],
+        profile: SplitProfile,
+        *,
+        link_model: Optional[LinkModel] = None,
+        bandwidths: Optional[np.ndarray] = None,
+        batch_size: Optional[int] = None,
+        latency_seconds: Optional[float] = None,
+        shared_busy_times: bool = True,
+    ) -> None:
+        if (link_model is None) == (bandwidths is None):
+            raise ValueError("provide exactly one of link_model or bandwidths")
+        self.agents = list(participants)
+        self.profile = profile
+        self.batch_size = batch_size
+        n = len(self.agents)
+        self.n = n
+        if latency_seconds is None:
+            latency_seconds = (
+                link_model.latency_seconds
+                if link_model is not None
+                else DEFAULT_LINK_LATENCY_SECONDS
+            )
+        self.latency_seconds = latency_seconds
+        self._shared_busy_times = shared_busy_times
+
+        if bandwidths is not None:
+            self.bandwidths = np.asarray(bandwidths, dtype=np.float64)
+            if self.bandwidths.shape != (n, n):
+                raise ValueError(
+                    f"bandwidth matrix must be {n}x{n}, got {self.bandwidths.shape}"
+                )
+        else:
+            self.bandwidths = bandwidth_matrix(self.agents, link_model)
+
+        # ------------------------------------------------------------------
+        # Per-agent vectors (same scalar formulas, evaluated elementwise)
+        # ------------------------------------------------------------------
+        throughput = np.array(
+            [cpu_share_to_throughput(agent.profile.cpu_share) for agent in self.agents],
+            dtype=np.float64,
+        )
+        batches = np.array(
+            [float(agent.batches_per_round) for agent in self.agents], dtype=np.float64
+        )
+        # τ̂ uses `batch_size or agent.batch_size` (the greedy broadcast);
+        # estimates use `batch_size if not None else slow.batch_size`.  The
+        # two resolutions only differ for a falsy override, which the
+        # scalar path rejects anyway, but both are mirrored faithfully.
+        bs_tau = np.array(
+            [float(batch_size or agent.batch_size) for agent in self.agents],
+            dtype=np.float64,
+        )
+        bs_est = np.array(
+            [
+                float(batch_size if batch_size is not None else agent.batch_size)
+                for agent in self.agents
+            ],
+            dtype=np.float64,
+        )
+        full_flops = profile.full_train_flops_per_sample
+        flops_tau = full_flops * bs_tau
+        flops_est = full_flops * bs_est
+        self.individual_times = batches / (throughput / flops_tau)
+        # Slow-side speed p_i and fast-side speed p_j, both under the slow
+        # agent's batch size (estimate_offload_time converts per-sample
+        # costs with a single batch size per pair).
+        slow_speed = throughput / flops_est
+        fast_speed = throughput[None, :] / flops_est[:, None]
+        solo_est = batches / slow_speed
+
+        if shared_busy_times:
+            busy = np.broadcast_to(self.individual_times[None, :], (n, n))
+        else:
+            busy = batches[None, :] / fast_speed
+
+        # ------------------------------------------------------------------
+        # Pair-time slices per split, reduced with strict-< first-minimum
+        # ------------------------------------------------------------------
+        best_time = np.full((n, n), np.inf)
+        best_index = np.full((n, n), -1, dtype=np.int64)
+        slow_factors = profile.slow_time_array
+        fast_factors = profile.fast_time_array
+        intermediate = profile.intermediate_bytes_array
+        offloaded = profile.offloaded_bytes_array
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for index, option in enumerate(profile.offload_options):
+                if option == 0:
+                    pair_time = np.maximum(solo_est[:, None], busy)
+                else:
+                    slow_factor = slow_factors[index]
+                    fast_factor = fast_factors[index]
+                    slow_time = (
+                        batches * slow_factor / slow_speed
+                        if slow_factor > 0
+                        else np.zeros(n)
+                    )
+                    fast_offload = (
+                        (batches * fast_factor)[:, None] / fast_speed
+                        if fast_factor > 0
+                        else np.zeros((n, n))
+                    )
+                    intermediate_bytes = (intermediate[index] * bs_est)[:, None]
+                    communication = batches[:, None] * (
+                        latency_seconds + intermediate_bytes / self.bandwidths
+                    ) + (2.0 * offloaded[index]) / self.bandwidths
+                    fast_chain = (busy + communication) + fast_offload
+                    pair_time = np.maximum(slow_time[:, None], fast_chain)
+                better = pair_time < best_time
+                best_time[better] = pair_time[better]
+                best_index[better] = index
+        valid = self.bandwidths > 0
+        np.fill_diagonal(valid, False)
+        best_time[~valid] = np.inf
+        best_index[~valid] = -1
+        self.best_pair_times = best_time
+        self.best_split_indices = best_index
+        offload_values = profile.options_array
+        self.pairable = valid & (offload_values[np.maximum(best_index, 0)] > 0)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def individual_times_by_id(self) -> dict[int, float]:
+        """The shared training-time list ``{agent id: τ̂}`` of Algorithm 1."""
+        return {
+            agent.agent_id: float(time)
+            for agent, time in zip(self.agents, self.individual_times)
+        }
+
+    def best_offloaded_layers(self, slow: int, fast: int) -> int:
+        """Offload value ``m`` minimizing the pair time for positions (slow, fast)."""
+        index = int(self.best_split_indices[slow, fast])
+        if index < 0:
+            raise ValueError(f"no usable link between positions {slow} and {fast}")
+        return int(self.profile.offload_options[index])
+
+    def estimate(self, slow: int, fast: int) -> OffloadEstimate:
+        """Full :class:`OffloadEstimate` for the best split of (slow, fast).
+
+        Delegates to the scalar oracle for the single chosen split, so the
+        returned estimate is bit-identical to the pure-Python path (and is
+        built from Python floats, keeping downstream JSON serializable).
+        Under ``shared_busy_times=False`` the oracle recomputes the fast
+        agent's busy time itself, mirroring a ``best_offload`` call with no
+        explicit busy time.
+        """
+        busy = (
+            float(self.individual_times[fast]) if self._shared_busy_times else None
+        )
+        return estimate_offload_time(
+            slow_agent=self.agents[slow],
+            fast_agent=self.agents[fast],
+            offloaded_layers=self.best_offloaded_layers(slow, fast),
+            profile=self.profile,
+            bandwidth_bytes_per_second=float(self.bandwidths[slow, fast]),
+            fast_agent_busy_time=busy,
+            batch_size=self.batch_size,
+            latency_seconds=self.latency_seconds,
+        )

@@ -15,12 +15,21 @@ The procedure needs only neighbour-local information (speeds, dataset
 sizes, observed link speeds), which is what makes it decentralized: each
 agent could run it independently from the shared list of training times and
 arrive at the same pairing.
+
+:func:`greedy_pairing` evaluates the (slow × candidate × split) cost
+tensor through the vectorized :class:`~repro.core.fastpath.PairCostModel`
+kernel; the pure-Python loop is kept as
+:func:`greedy_pairing_reference`, the oracle the equivalence tests and
+the trajectory benchmarks compare against.  Both produce *identical*
+``PairingDecision`` lists — same floats, same tie-breaking.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
 
 from repro.agents.agent import Agent
 from repro.core.profiling import SplitProfile
@@ -30,6 +39,9 @@ from repro.core.workload import (
     individual_training_time,
 )
 from repro.network.link import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.fastpath import PairCostModel
 
 
 @dataclass(frozen=True)
@@ -65,8 +77,14 @@ def greedy_pairing(
     profile: SplitProfile,
     batch_size: Optional[int] = None,
     improvement_threshold: float = 0.0,
+    cost_model: Optional["PairCostModel"] = None,
 ) -> list[PairingDecision]:
     """Pair agents for one round using the paper's greedy scheduler.
+
+    Pair times are evaluated through the vectorized
+    :class:`~repro.core.fastpath.PairCostModel` kernel; the decisions are
+    identical (to full float equality) to
+    :func:`greedy_pairing_reference`.
 
     Parameters
     ----------
@@ -77,6 +95,10 @@ def greedy_pairing(
         Minimum *relative* improvement over training alone required to form
         a pair (0 reproduces the paper; a small positive value avoids pairs
         that barely help, used in ablations).
+    cost_model:
+        Optional precomputed kernel for these exact participants (the
+        scheduler passes its own so the shared τ̂ list and the plan come
+        from one evaluation); built on demand when omitted.
 
     Returns
     -------
@@ -84,6 +106,86 @@ def greedy_pairing(
     (with ``fast_id=None``) per agent that trains alone.  Fast agents that
     help a slow agent do not get their own entry — their own local task is
     accounted for inside the pair's estimate.
+    """
+    from repro.core.fastpath import PairCostModel
+
+    agents = list(participants)
+    if not agents:
+        return []
+    if cost_model is None:
+        cost_model = PairCostModel(
+            agents, profile, link_model=link_model, batch_size=batch_size
+        )
+    taus = cost_model.individual_times
+    # The shared list A: agent positions in descending order of completion
+    # time (stable, so ties keep participant order like the scalar sort).
+    order = sorted(range(len(agents)), key=lambda k: taus[k], reverse=True)
+
+    # Candidates must be reachable and actually offload (best split m > 0);
+    # the `alive` mask below removes agents as they pair up or train alone.
+    candidate = cost_model.pairable
+    pair_times = cost_model.best_pair_times
+    alive = np.ones(len(agents), dtype=bool)
+    decisions: list[PairingDecision] = []
+
+    for i in order:
+        if not alive[i]:
+            continue
+        own_time = float(taus[i])
+
+        row = np.where(candidate[i] & alive, pair_times[i], np.inf)
+        best_j = int(np.argmin(row))  # first minimum, like the strict-< scan
+        best_time = row[best_j]
+
+        if best_time < own_time * (1.0 - improvement_threshold):
+            estimate = cost_model.estimate(i, best_j)
+            decisions.append(
+                PairingDecision(
+                    slow_id=agents[i].agent_id,
+                    fast_id=agents[best_j].agent_id,
+                    offloaded_layers=estimate.offloaded_layers,
+                    estimate=estimate,
+                )
+            )
+            alive[i] = False
+            alive[best_j] = False
+        else:
+            decisions.append(_solo_decision(agents[i].agent_id, own_time))
+            alive[i] = False
+
+    return decisions
+
+
+def _solo_decision(agent_id: int, own_time: float) -> PairingDecision:
+    """Decision for an agent that trains the full model alone."""
+    return PairingDecision(
+        slow_id=agent_id,
+        fast_id=None,
+        offloaded_layers=0,
+        estimate=OffloadEstimate(
+            offloaded_layers=0,
+            slow_time=own_time,
+            fast_own_time=0.0,
+            communication_time=0.0,
+            fast_offload_time=0.0,
+            pair_time=own_time,
+        ),
+    )
+
+
+def greedy_pairing_reference(
+    participants: Sequence[Agent],
+    link_model: LinkModel,
+    profile: SplitProfile,
+    batch_size: Optional[int] = None,
+    improvement_threshold: float = 0.0,
+) -> list[PairingDecision]:
+    """Scalar reference implementation of :func:`greedy_pairing`.
+
+    One ``AgentTrainingTime`` minimisation per (slow, candidate) pair via
+    :func:`~repro.core.workload.best_offload` — the pre-kernel pure-Python
+    path, kept as the oracle the vectorized kernel is tested against and
+    as the baseline of the round-planning trajectory benchmark.
     """
     agents = list(participants)
     # Step 2 of Algorithm 1: broadcast p_j and τ̂_j — here we simply compute

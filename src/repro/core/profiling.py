@@ -19,15 +19,39 @@ holding, for every candidate offload index ``m``:
 Because the profile is computed from per-layer costs with a single batch
 of reference work, it is exactly the "lightweight, low-overhead local split
 model profiling" the paper describes — no training run is needed.
+
+Two performance features live here:
+
+* every per-split quantity is also exposed as a read-only, contiguous
+  NumPy array (``slow_time_array``, ``fast_time_array``,
+  ``intermediate_bytes_array``, ``offloaded_bytes_array``,
+  ``options_array``), computed once per profile, so the vectorized
+  round-planning kernel (:mod:`repro.core.fastpath`) can broadcast over
+  splits without per-call conversion;
+* :func:`profile_architecture` is memoized on the *value* of
+  ``(spec, offload_options, granularity)`` — harnesses and campaigns
+  re-profile the same architecture every cell/round, and profiles are
+  immutable, so repeated profiling is free.  Tests that need a cold cache
+  call ``profile_architecture.cache_clear()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from functools import cached_property
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.models.spec import ArchitectureSpec, TRAIN_FLOPS_MULTIPLIER
 from repro.utils.validation import check_positive
+
+
+def _readonly_array(values: Sequence[float], dtype=np.float64) -> np.ndarray:
+    """Contiguous, locked array view of a per-split tuple."""
+    array = np.ascontiguousarray(values, dtype=dtype)
+    array.setflags(write=False)
+    return array
 
 
 @dataclass(frozen=True)
@@ -97,6 +121,38 @@ class SplitProfile:
         """Number of candidate split models ``M``."""
         return len(self.offload_options)
 
+    # ------------------------------------------------------------------
+    # Vector views (computed once, shared by the fastpath kernel)
+    # ------------------------------------------------------------------
+    @cached_property
+    def options_array(self) -> np.ndarray:
+        """Offload candidates ``m`` as an integer array."""
+        return _readonly_array(self.offload_options, dtype=np.int64)
+
+    @cached_property
+    def slow_time_array(self) -> np.ndarray:
+        """``T_s(m)`` for every candidate split, aligned with ``offload_options``."""
+        return _readonly_array(self.relative_slow_time)
+
+    @cached_property
+    def fast_time_array(self) -> np.ndarray:
+        """``T_f(m)`` for every candidate split."""
+        return _readonly_array(self.relative_fast_time)
+
+    @cached_property
+    def intermediate_bytes_array(self) -> np.ndarray:
+        """Per-sample intermediate bytes ``ν_m`` for every candidate split."""
+        return _readonly_array(self.intermediate_bytes_per_sample)
+
+    @cached_property
+    def offloaded_bytes_array(self) -> np.ndarray:
+        """Offloaded sub-model bytes for every candidate split."""
+        return _readonly_array(self.offloaded_model_bytes)
+
+
+#: Memoized profiles keyed by (spec value, explicit options, granularity).
+_PROFILE_CACHE: dict[tuple, SplitProfile] = {}
+
 
 def profile_architecture(
     spec: ArchitectureSpec,
@@ -107,7 +163,41 @@ def profile_architecture(
 
     When ``offload_options`` is omitted, candidates are generated every
     ``granularity`` layers (plus the no-offload option 0).
+
+    Results are memoized: specs are immutable value objects, so profiling
+    the same architecture at the same granularity (as every round of every
+    campaign cell does) returns the cached :class:`SplitProfile`.
     """
+    key: Optional[tuple] = (
+        spec,
+        None if offload_options is None else tuple(offload_options),
+        granularity,
+    )
+    try:
+        return _PROFILE_CACHE[key]
+    except KeyError:
+        pass
+    except TypeError:  # unhashable custom option sequence — profile uncached
+        key = None
+    profile = _profile_architecture_uncached(spec, offload_options, granularity)
+    if key is not None:
+        _PROFILE_CACHE[key] = profile
+    return profile
+
+
+def _profile_cache_clear() -> None:
+    """Forget memoized profiles (tests that count profiling work need this)."""
+    _PROFILE_CACHE.clear()
+
+
+profile_architecture.cache_clear = _profile_cache_clear  # type: ignore[attr-defined]
+
+
+def _profile_architecture_uncached(
+    spec: ArchitectureSpec,
+    offload_options: Sequence[int] | None = None,
+    granularity: int = 1,
+) -> SplitProfile:
     if offload_options is None:
         options = spec.offload_options(granularity)
     else:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
+from repro.core.fastpath import PairCostModel
 from repro.core.pairing import PairingDecision, greedy_pairing, pairing_makespan
 from repro.core.profiling import SplitProfile
 from repro.core.workload import individual_training_time
@@ -122,15 +123,24 @@ class DecentralizedPairingScheduler:
     def plan_round(
         self, participants: Optional[Sequence[Agent]] = None
     ) -> list[PairingDecision]:
-        """Produce the pairing decisions for one round."""
+        """Produce the pairing decisions for one round.
+
+        One :class:`~repro.core.fastpath.PairCostModel` evaluation per
+        round supplies both the broadcast τ̂ list (step 2 of Algorithm 1)
+        and the pair-time tensor the greedy scan reduces over.
+        """
         if participants is None:
             participants = self.select_participants()
-        self.refresh_shared_times(participants)
+        cost_model = PairCostModel(
+            participants, self.profile, link_model=self.link_model
+        )
+        self.shared_training_times = cost_model.individual_times_by_id()
         decisions = greedy_pairing(
             participants=participants,
             link_model=self.link_model,
             profile=self.profile,
             improvement_threshold=self.improvement_threshold,
+            cost_model=cost_model,
         )
         self.stats.rounds += 1
         self.stats.total_pairs += sum(1 for d in decisions if d.is_offloading)

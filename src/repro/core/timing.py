@@ -101,30 +101,41 @@ def compute_round_timing(
     ``num_aggregating_agents`` defaults to the number of agents involved in
     the decisions (solo agents + both members of each pair); pass the full
     population size when unsampled agents also join the aggregation.
+
+    The per-decision breakdowns, the makespan, and the compute and
+    communication totals are accumulated in a single pass over the
+    decisions (decision order, left-to-right additions — the exact float
+    sequence the sync golden regression pins down).
     """
     pair_timings: list[PairTiming] = []
     involved_ids: set[int] = set()
+    makespan = 0.0
+    total_compute = 0.0
+    total_communication = 0.0
 
     for decision in decisions:
         estimate = decision.estimate
+        is_pair = decision.fast_id is not None
         involved_ids.add(decision.slow_id)
-        if decision.fast_id is not None:
+        if is_pair:
             involved_ids.add(decision.fast_id)
-        pair_timings.append(
-            PairTiming(
-                slow_id=decision.slow_id,
-                fast_id=decision.fast_id,
-                offloaded_layers=decision.offloaded_layers,
-                slow_compute=estimate.slow_time,
-                fast_own_compute=estimate.fast_own_time if decision.fast_id is not None else 0.0,
-                fast_offload_compute=estimate.fast_offload_time,
-                communication=estimate.communication_time,
-                pair_time=estimate.pair_time,
-                idle_time=estimate.idle_time if decision.fast_id is not None else 0.0,
-            )
+        timing = PairTiming(
+            slow_id=decision.slow_id,
+            fast_id=decision.fast_id,
+            offloaded_layers=decision.offloaded_layers,
+            slow_compute=estimate.slow_time,
+            fast_own_compute=estimate.fast_own_time if is_pair else 0.0,
+            fast_offload_compute=estimate.fast_offload_time,
+            communication=estimate.communication_time,
+            pair_time=estimate.pair_time,
+            idle_time=estimate.idle_time if is_pair else 0.0,
         )
-
-    makespan = max((timing.pair_time for timing in pair_timings), default=0.0)
+        pair_timings.append(timing)
+        makespan = max(makespan, timing.pair_time)
+        total_compute += (
+            timing.slow_compute + timing.fast_own_compute
+        ) + timing.fast_offload_compute
+        total_communication += timing.communication
 
     participants = [registry.get(agent_id) for agent_id in involved_ids if agent_id in registry]
     num_agents = (
@@ -143,16 +154,11 @@ def compute_round_timing(
         compressor=compressor,
     )
 
-    total_compute = sum(
-        timing.slow_compute + timing.fast_own_compute + timing.fast_offload_compute
-        for timing in pair_timings
-    )
-    total_communication = sum(timing.communication for timing in pair_timings)
-
     # Idle time: every involved agent waits from its own completion until the
     # makespan.  Within a pair the faster side additionally idles while its
     # partner finishes, which is already captured by PairTiming.idle_time; on
-    # top of that the whole pair idles until the global makespan.
+    # top of that the whole pair idles until the global makespan.  (Second
+    # pass: the idle terms need the final makespan.)
     total_idle = 0.0
     for timing in pair_timings:
         total_idle += timing.idle_time

@@ -12,16 +12,24 @@ the helper minimizing over candidates.
 
 The global problem — choose the pairing matrix ``γ_ij ∈ {0,1}`` and the
 splits minimizing the makespan ``max_i τ_i`` — is an integer program
-(Eq. 5).  :func:`exact_min_makespan` solves it exactly by exhaustive search
-over matchings for small populations; it exists as the optimal reference the
-greedy decentralized scheduler is ablated against.
+(Eq. 5).  :func:`exact_min_makespan` solves it exactly for small
+populations (branch-and-bound over the matching tree, with the per-pair
+cost tables memoized once per call through the vectorized kernel); it
+exists as the optimal reference the greedy decentralized scheduler is
+ablated against.
+
+The scalar functions here (:func:`estimate_offload_time`,
+:func:`best_offload`) are the *reference oracle*: the vectorized kernel in
+:mod:`repro.core.fastpath` mirrors their arithmetic operation-for-operation
+and is tested to produce bit-identical results.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.agents.agent import Agent
 from repro.core.profiling import SplitProfile
@@ -198,7 +206,16 @@ def best_offload(
 # ----------------------------------------------------------------------
 
 def _pair_partitions(ids: Sequence[int]):
-    """Yield all partitions of ``ids`` into unordered pairs and singletons."""
+    """Yield all partitions of ``ids`` into unordered pairs and singletons.
+
+    The enumeration order (first element solo, then paired with each later
+    element in turn) is the tie-breaking contract of
+    :func:`exact_min_makespan`: among partitions of equal makespan, the
+    first one in this order wins.  The solver itself explores the same
+    tree depth-first with branch-and-bound pruning instead of
+    materializing every partition; this generator remains the executable
+    specification the equivalence tests enumerate with.
+    """
     ids = list(ids)
     if not ids:
         yield []
@@ -221,7 +238,17 @@ def exact_min_makespan(
     batch_size: Optional[int] = None,
     max_agents: int = 10,
 ) -> tuple[float, list[tuple[int, Optional[int], int]]]:
-    """Exhaustively solve the pairing/offloading integer program (Eq. 5).
+    """Exactly solve the pairing/offloading integer program (Eq. 5).
+
+    The group costs are precomputed *once per call*: the per-pair best
+    split/time table comes from one vectorized
+    :class:`~repro.core.fastpath.PairCostModel` evaluation over all agent
+    pairs (the original solver re-derived it with scalar ``best_offload``
+    calls for every partition containing the pair).  The partition tree is
+    then explored depth-first in :func:`_pair_partitions` order with
+    branch-and-bound pruning: a branch whose running makespan already
+    reaches the incumbent can never *strictly* beat it, so pruning keeps
+    the returned makespan and assignment identical to full enumeration.
 
     Parameters
     ----------
@@ -229,7 +256,8 @@ def exact_min_makespan(
         Callable ``(agent_a, agent_b) -> bytes_per_second`` returning 0 when
         the two agents cannot communicate.
     max_agents:
-        Safety bound — the number of matchings grows super-exponentially.
+        Safety bound — the number of matchings grows super-exponentially
+        (pruning helps, but the worst case remains exponential).
 
     Returns
     -------
@@ -237,53 +265,95 @@ def exact_min_makespan(
     ``(slow_id, fast_id or None, offloaded_layers)``.  Within a pair the
     slower agent (larger individual time) is always the one offloading.
     """
+    from repro.core.fastpath import PairCostModel
+
     if len(agents) > max_agents:
         raise ValueError(
             f"exact solver limited to {max_agents} agents, got {len(agents)}"
         )
-    agent_by_id = {agent.agent_id: agent for agent in agents}
-    ids = [agent.agent_id for agent in agents]
+    agents = list(agents)
+    n = len(agents)
+    if n == 0:
+        return 0.0, []
+
+    solo_times = [
+        individual_training_time(agent, profile, batch_size or agent.batch_size)
+        for agent in agents
+    ]
+
+    # Pair tables, memoized once per call.  Bandwidths come from the
+    # caller's lookup, queried (slow, fast) like the scalar path; the
+    # kernel then yields every pair's best split and time in one shot.
+    bandwidths = np.zeros((n, n))
+    pair_bandwidth: dict[tuple[int, int], float] = {}
+    for p in range(n):
+        for q in range(p + 1, n):
+            slow_pos, fast_pos = (
+                (p, q) if solo_times[p] >= solo_times[q] else (q, p)
+            )
+            bandwidth = bandwidth_lookup(agents[slow_pos], agents[fast_pos])
+            pair_bandwidth[(p, q)] = bandwidth
+            bandwidths[p, q] = bandwidths[q, p] = bandwidth
+    cost_model = PairCostModel(
+        agents,
+        profile,
+        bandwidths=bandwidths,
+        batch_size=batch_size,
+        shared_busy_times=False,
+    )
+
+    #: (p, q) with p < q -> (group makespan contribution, assignment entries)
+    Entry = tuple[int, Optional[int], int]
+    pair_table: dict[tuple[int, int], tuple[float, list[Entry]]] = {}
+    for (p, q), bandwidth in pair_bandwidth.items():
+        first, second = agents[p], agents[q]
+        if bandwidth <= 0:
+            # These two agents cannot pair; they both train alone.
+            pair_table[(p, q)] = (
+                max(solo_times[p], solo_times[q]),
+                [(first.agent_id, None, 0), (second.agent_id, None, 0)],
+            )
+            continue
+        slow_pos, fast_pos = (p, q) if solo_times[p] >= solo_times[q] else (q, p)
+        offloaded = cost_model.best_offloaded_layers(slow_pos, fast_pos)
+        pair_table[(p, q)] = (
+            float(cost_model.best_pair_times[slow_pos, fast_pos]),
+            [(agents[slow_pos].agent_id, agents[fast_pos].agent_id, offloaded)],
+        )
 
     best_makespan = float("inf")
-    best_assignment: list[tuple[int, Optional[int], int]] = []
+    best_groups: list[tuple[int, ...]] = []
 
-    for partition in _pair_partitions(ids):
-        makespan = 0.0
-        assignment: list[tuple[int, Optional[int], int]] = []
-        feasible = True
-        for group in partition:
-            if len(group) == 1:
-                agent = agent_by_id[group[0]]
-                time = individual_training_time(agent, profile, batch_size or agent.batch_size)
-                assignment.append((agent.agent_id, None, 0))
-                makespan = max(makespan, time)
-                continue
-            first, second = agent_by_id[group[0]], agent_by_id[group[1]]
-            time_first = individual_training_time(
-                first, profile, batch_size or first.batch_size
+    # Depth-first search over _pair_partitions' tree, pruned on the running
+    # makespan.  Updates are strict-<, so cutting branches at >= preserves
+    # the exact enumeration-order winner.
+    def search(remaining: list[int], running: float, groups: list[tuple[int, ...]]):
+        nonlocal best_makespan, best_groups
+        if running >= best_makespan:
+            return
+        if not remaining:
+            best_makespan = running
+            best_groups = list(groups)
+            return
+        first, rest = remaining[0], remaining[1:]
+        groups.append((first,))
+        search(rest, max(running, solo_times[first]), groups)
+        groups.pop()
+        for index, partner in enumerate(rest):
+            groups.append((first, partner))
+            search(
+                rest[:index] + rest[index + 1 :],
+                max(running, pair_table[(first, partner)][0]),
+                groups,
             )
-            time_second = individual_training_time(
-                second, profile, batch_size or second.batch_size
-            )
-            slow, fast = (first, second) if time_first >= time_second else (second, first)
-            bandwidth = bandwidth_lookup(slow, fast)
-            if bandwidth <= 0:
-                # These two agents cannot pair; they both train alone.
-                assignment.append((first.agent_id, None, 0))
-                assignment.append((second.agent_id, None, 0))
-                makespan = max(makespan, time_first, time_second)
-                continue
-            estimate = best_offload(
-                slow_agent=slow,
-                fast_agent=fast,
-                profile=profile,
-                bandwidth_bytes_per_second=bandwidth,
-                batch_size=batch_size,
-            )
-            assignment.append((slow.agent_id, fast.agent_id, estimate.offloaded_layers))
-            makespan = max(makespan, estimate.pair_time)
-        if feasible and makespan < best_makespan:
-            best_makespan = makespan
-            best_assignment = assignment
+            groups.pop()
 
+    search(list(range(n)), 0.0, [])
+
+    best_assignment: list[Entry] = []
+    for group in best_groups:
+        if len(group) == 1:
+            best_assignment.append((agents[group[0]].agent_id, None, 0))
+        else:
+            best_assignment.extend(pair_table[group][1])
     return best_makespan, best_assignment

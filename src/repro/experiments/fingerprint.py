@@ -25,14 +25,21 @@ little.  Modules whose source cannot be found (C extensions, zipped
 installs) contribute a version-based sentinel instead, restoring the old
 whole-package behaviour for exactly those cells.
 
-Known approximation: ancestor package ``__init__`` modules are *not*
-implicitly added (only explicit ``from repro import X``-style imports
-pull them in).  Including them would drag hub ``__init__`` files — which
-re-export every harness — into every closure and collapse the
-granularity this module exists to provide; the cost is that a
-behaviour-*changing* edit to a package ``__init__`` (as opposed to the
-usual re-export list) is not detected.  Bump
-:data:`repro.experiments.campaign.CACHE_SCHEMA_VERSION` for such edits.
+Ancestor package ``__init__`` modules *are* part of every closure: a
+statement ``import repro.core.pairing`` executes ``repro/__init__.py``
+and ``repro/core/__init__.py`` at import time, so their source is hashed
+into the fingerprint of every closure that imports through them
+(including ancestors of excluded engine modules — the exclusion is about
+*their* content, not the packages they live in).  Their own imports are
+**not** followed, though: hub ``__init__`` files re-export every harness,
+and recursing through them would collapse the per-runner granularity this
+module exists to provide.  The net effect is that a behaviour-changing
+edit to a package ``__init__`` invalidates the caches that can see it —
+no :data:`repro.experiments.campaign.CACHE_SCHEMA_VERSION` bump needed —
+while editing a module that is merely *re-exported* by a hub still only
+invalidates the runners that genuinely import it.  (The residual blind
+spot is an ``__init__`` whose import-time *side effects* call into a
+module nobody imports explicitly; that still needs a schema bump.)
 """
 
 from __future__ import annotations
@@ -143,6 +150,13 @@ def _imported_module_names(module_name: str, source: str) -> Iterator[str]:
                     yield f"{base}.{alias.name}"
 
 
+def _ancestor_packages(module_name: str) -> Iterator[str]:
+    """Proper ancestor package names of a dotted module name."""
+    parts = module_name.split(".")
+    for count in range(1, len(parts)):
+        yield ".".join(parts[:count])
+
+
 def _in_scope(module_name: str) -> bool:
     if not (
         module_name == ROOT_PACKAGE or module_name.startswith(ROOT_PACKAGE + ".")
@@ -160,12 +174,19 @@ def module_source_closure(module_name: str) -> dict[str, str]:
     """``{module name: sha256(source)}`` for a module and its intra-``repro``
     import closure (plus the root module itself even when outside ``repro``,
     so custom runners registered from user packages are still fingerprinted).
+
+    Ancestor package ``__init__`` modules of every name the walk touches
+    are hashed into the closure too — importing a module executes them —
+    but their own imports are not followed (see the module docstring).
     """
     if module_name in _closure_cache:
         return dict(_closure_cache[module_name])
     closure: dict[str, str] = {}
     queue = [module_name]
     seen = {module_name}
+    #: Every ROOT_PACKAGE-scoped name the walk touched, including excluded
+    #: imports: importing them still executes their package __init__s.
+    touched = {module_name}
     while queue:
         current = queue.pop()
         source = _module_source(current)
@@ -176,6 +197,7 @@ def module_source_closure(module_name: str) -> dict[str, str]:
             continue
         closure[current] = hashlib.sha256(source.encode("utf-8")).hexdigest()
         for imported in _imported_module_names(current, source):
+            touched.add(imported)
             if imported in seen or not _in_scope(imported):
                 continue
             # `from x import y` yields candidate x.y for attributes too;
@@ -184,6 +206,18 @@ def module_source_closure(module_name: str) -> dict[str, str]:
                 continue
             seen.add(imported)
             queue.append(imported)
+    for name in sorted(touched):
+        for ancestor in _ancestor_packages(name):
+            if ancestor in closure or not _in_scope(ancestor):
+                continue
+            if _find_spec(ancestor) is None:
+                continue
+            source = _module_source(ancestor)
+            closure[ancestor] = (
+                f"unavailable:{__version__}"
+                if source is None
+                else hashlib.sha256(source.encode("utf-8")).hexdigest()
+            )
     _closure_cache[module_name] = dict(closure)
     return closure
 

@@ -68,3 +68,58 @@ class TestProfileArchitecture:
         profile = profile_architecture(tiny_spec, granularity=1)
         assert profile.architecture == "tiny"
         assert profile.num_options == tiny_spec.num_layers
+
+
+class TestProfileMemoization:
+    def test_same_value_spec_returns_cached_profile(self, resnet56):
+        from repro.models.resnet import resnet56_spec
+
+        profile_architecture.cache_clear()
+        first = profile_architecture(resnet56, granularity=9)
+        # A freshly built (but value-equal) spec must hit the cache too.
+        assert profile_architecture(resnet56_spec(), granularity=9) is first
+
+    def test_distinct_granularities_are_distinct_entries(self, resnet56):
+        profile_architecture.cache_clear()
+        assert profile_architecture(resnet56, granularity=9) is not (
+            profile_architecture(resnet56, granularity=3)
+        )
+
+    def test_explicit_options_key_on_their_values(self, resnet56):
+        profile_architecture.cache_clear()
+        first = profile_architecture(resnet56, offload_options=[0, 9, 18])
+        assert profile_architecture(resnet56, offload_options=(0, 9, 18)) is first
+        assert profile_architecture(resnet56, offload_options=[0, 9]) is not first
+
+    def test_cache_clear_forgets(self, resnet56):
+        profile_architecture.cache_clear()
+        first = profile_architecture(resnet56, granularity=9)
+        profile_architecture.cache_clear()
+        second = profile_architecture(resnet56, granularity=9)
+        assert second is not first
+        assert second == first
+
+
+class TestProfileArrays:
+    def test_arrays_mirror_tuples(self, resnet56_profile):
+        import numpy as np
+
+        profile = resnet56_profile
+        assert np.array_equal(profile.options_array, profile.offload_options)
+        assert np.array_equal(profile.slow_time_array, profile.relative_slow_time)
+        assert np.array_equal(profile.fast_time_array, profile.relative_fast_time)
+        assert np.array_equal(
+            profile.intermediate_bytes_array, profile.intermediate_bytes_per_sample
+        )
+        assert np.array_equal(
+            profile.offloaded_bytes_array, profile.offloaded_model_bytes
+        )
+
+    def test_arrays_are_cached_and_read_only(self, resnet56_profile):
+        import numpy as np
+
+        array = resnet56_profile.slow_time_array
+        assert resnet56_profile.slow_time_array is array
+        assert array.flags["C_CONTIGUOUS"]
+        with pytest.raises(ValueError):
+            array[0] = 1.0

@@ -90,6 +90,28 @@ class TestClosure:
         closure = module_source_closure("repro.experiments.campaign")
         assert all(name.startswith("repro") for name in closure)
 
+    def test_ancestor_package_inits_are_hashed_into_the_closure(self):
+        """Importing repro.experiments.table2 executes repro/__init__ and
+        repro/experiments/__init__, so both must be fingerprinted."""
+        closure = module_source_closure("repro.experiments.table2")
+        assert "repro" in closure
+        assert "repro.experiments" in closure
+        assert len(closure["repro"]) == 64
+
+    def test_ancestor_init_imports_are_not_recursed(self):
+        """Hub __init__ re-exports must not drag every harness into every
+        closure: repro.experiments/__init__ imports the privacy harness,
+        but the ablations runner never does."""
+        closure = module_source_closure("repro.experiments.ablations")
+        assert "repro.experiments" in closure
+        assert "repro.experiments.privacy" not in closure
+
+    def test_excluded_engine_packages_stay_out_even_as_ancestors(self):
+        closure = module_source_closure("repro.experiments.table2")
+        assert not any(
+            name.startswith("repro.experiments.backends") for name in closure
+        )
+
 
 class TestFingerprint:
     def test_stable_across_calls(self):
@@ -116,6 +138,19 @@ class TestFingerprint:
         (demo_package / "runner.py").write_text(
             (demo_package / "runner.py").read_text() + "\n# edited\n"
         )
+        clear_fingerprint_cache()
+        importlib.invalidate_caches()
+        assert source_fingerprint("fpdemo.runner") != first
+
+    def test_editing_a_package_init_changes_the_fingerprint(
+        self, demo_package, monkeypatch
+    ):
+        """A behaviour-changing package __init__ edit must invalidate the
+        caches of runners inside that package (ROADMAP blind spot)."""
+        monkeypatch.setattr(fingerprint, "ROOT_PACKAGE", "fpdemo")
+        first = source_fingerprint("fpdemo.runner")
+        assert "fpdemo" in module_source_closure("fpdemo.runner")
+        (demo_package / "__init__.py").write_text("SIDE_EFFECT = True\n")
         clear_fingerprint_cache()
         importlib.invalidate_caches()
         assert source_fingerprint("fpdemo.runner") != first

@@ -1,0 +1,195 @@
+"""Perf-trajectory runner: benchmark the hot paths, append to the repo's history.
+
+Runs the ``benchmarks/bench_micro.py`` suite under pytest-benchmark and
+writes a machine-readable snapshot — per-bench median/stddev/mean/rounds,
+the git SHA the numbers were measured on, and a UTC timestamp — to
+``BENCH_<label>.json``.  Committing one snapshot per PR accumulates a perf
+history that ``--check`` can gate on:
+
+    # record PR 5's numbers
+    PYTHONPATH=src python tools/bench_trajectory.py 5
+
+    # CI: rerun the suite and fail if the 50-agent round-planning bench
+    # regressed more than 2x against the committed baseline, or if the
+    # kernel's same-machine speedup over the scalar reference (the
+    # machine-independent signal) fell below 4x
+    PYTHONPATH=src python tools/bench_trajectory.py ci --out bench-ci.json \
+        --check BENCH_5.json --max-ratio 2.0 --min-speedup 4.0
+
+See docs/performance.md for the file format and how to read it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The bench gated by --check (overridable via --bench).
+GATED_BENCH = "test_round_timing_speed"
+
+#: Pair reported as a same-machine speedup when both are present.
+SPEEDUP_PAIR = ("test_round_timing_speed_scalar", "test_round_timing_speed")
+
+SCHEMA = 1
+
+
+def _git(*args: str) -> str:
+    try:
+        return subprocess.run(
+            ["git", *args], cwd=ROOT, check=True, capture_output=True, text=True
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return ""
+
+
+def run_suite(pytest_args: list[str]) -> dict:
+    """Run the micro suite, return the parsed pytest-benchmark JSON."""
+    with tempfile.TemporaryDirectory(prefix="bench-trajectory-") as tmp:
+        report = Path(tmp) / "benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_micro.py",
+            "-q",
+            f"--benchmark-json={report}",
+            *pytest_args,
+        ]
+        completed = subprocess.run(command, cwd=ROOT)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {completed.returncode})")
+        return json.loads(report.read_text(encoding="utf-8"))
+
+
+def snapshot(label: str, raw: dict) -> dict:
+    """Reduce a pytest-benchmark report to the committed trajectory format."""
+    benches = {}
+    for entry in raw.get("benchmarks", []):
+        stats = entry["stats"]
+        benches[entry["name"]] = {
+            "median_seconds": stats["median"],
+            "stddev_seconds": stats["stddev"],
+            "mean_seconds": stats["mean"],
+            "rounds": stats["rounds"],
+        }
+    machine = raw.get("machine_info", {})
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "git_sha": _git("rev-parse", "HEAD"),
+        "git_dirty": bool(_git("status", "--porcelain")),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": machine.get("python_version"),
+        "machine": machine.get("machine"),
+        "benches": benches,
+    }
+
+
+def check_regression(
+    current: dict, baseline_path: Path, bench: str, max_ratio: float
+) -> int:
+    """Compare one bench's median against a committed baseline snapshot."""
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check: cannot read baseline {baseline_path}: {error}")
+        return 2
+    base = baseline.get("benches", {}).get(bench)
+    now = current["benches"].get(bench)
+    if base is None or now is None:
+        print(f"check: bench {bench!r} missing from baseline or current run")
+        return 2
+    ratio = now["median_seconds"] / base["median_seconds"]
+    verdict = "ok" if ratio <= max_ratio else "REGRESSION"
+    print(
+        f"check: {bench} median {now['median_seconds'] * 1e3:.3f} ms vs baseline "
+        f"{base['median_seconds'] * 1e3:.3f} ms ({baseline_path.name}, "
+        f"sha {baseline.get('git_sha', '?')[:9]}) -> {ratio:.2f}x "
+        f"(limit {max_ratio:.1f}x) {verdict}"
+    )
+    return 0 if ratio <= max_ratio else 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("label", help="snapshot label, e.g. the PR number")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default: BENCH_<label>.json in the repo root)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="committed baseline snapshot to gate against",
+    )
+    parser.add_argument(
+        "--bench", default=GATED_BENCH, help="bench name gated by --check"
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline median exceeds this (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help=(
+            "fail when the scalar/vectorized round-planning speedup measured "
+            "in THIS run falls below this; machine-independent, so it stays "
+            "meaningful when the committed baseline came from other hardware"
+        ),
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    raw = run_suite(args.pytest_args)
+    snap = snapshot(args.label, raw)
+    out = args.out if args.out is not None else ROOT / f"BENCH_{args.label}.json"
+    out.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(snap['benches'])} benches, sha {snap['git_sha'][:9]})")
+
+    status = 0
+    scalar, vectorized = SPEEDUP_PAIR
+    speedup = None
+    if scalar in snap["benches"] and vectorized in snap["benches"]:
+        speedup = (
+            snap["benches"][scalar]["median_seconds"]
+            / snap["benches"][vectorized]["median_seconds"]
+        )
+        print(f"round-planning kernel speedup on this machine: {speedup:.1f}x")
+    if args.min_speedup is not None:
+        if speedup is None:
+            print("check: speedup pair missing from the suite")
+            status = 2
+        elif speedup < args.min_speedup:
+            print(
+                f"check: speedup {speedup:.1f}x below the {args.min_speedup:.1f}x "
+                "floor REGRESSION"
+            )
+            status = 2
+
+    if args.check is not None:
+        status = max(
+            status, check_regression(snap, args.check, args.bench, args.max_ratio)
+        )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -253,8 +253,8 @@ def cache_stability(tmp_path: Path, failures: list[str]) -> None:
     check(RUNNER_MODULE in closure, "runner module is inside its own closure", failures)
 
     # Find a repro module genuinely outside the runner's closure (skip
-    # package __init__ files: the fingerprint deliberately tracks only
-    # explicit imports, so probing a leaf module is the honest check).
+    # package __init__ files: ancestor __init__s are hashed into closures
+    # by design now, so probing a leaf module is the honest check).
     unrelated = None
     for candidate in sorted((src_copy / "repro").rglob("*.py")):
         if candidate.name == "__init__.py":
