@@ -20,6 +20,7 @@ from repro.agents.registry import AgentRegistry
 from repro.agents.resources import ResourceProfile
 from repro.core.fastpath import PairCostModel
 from repro.core.pairing import greedy_pairing, greedy_pairing_reference
+from repro.core.planner import PrunedPlanner
 from repro.core.profiling import profile_architecture
 from repro.core.timing import compute_round_timing
 from repro.core.workload import best_offload
@@ -27,7 +28,7 @@ from repro.data.synthetic import cifar10_like
 from repro.models.proxy import ProxyModelFactory
 from repro.models.resnet import resnet56_spec, resnet110_spec
 from repro.network.link import LinkModel
-from repro.network.topology import full_topology
+from repro.network.topology import full_topology, random_k_topology, ring_topology
 from repro.training.local_loss import LocalLossSplitTrainer
 from repro.utils.units import mbps_to_bytes_per_second
 
@@ -122,3 +123,103 @@ def test_local_loss_split_training_round(benchmark):
 
     result = benchmark(round_of_training)
     assert result.batches > 0
+
+
+# ----------------------------------------------------------------------
+# Scalable-planner scaling curve (PR 6)
+# ----------------------------------------------------------------------
+#: Candidate budget used by every pruned-planner bench.
+PLANNER_TOP_K = 8
+
+#: The scaling grid.  The full topology stops at n=500: the benches time
+#: the planner, not networkx's O(n²) complete-graph construction (the
+#: planner itself handles complete graphs via the O(n·k) global pool).
+PLANNER_SCALING_CASES = [
+    pytest.param(kind, n, id=f"{kind}-{n}")
+    for kind in ("ring", "random-k", "full")
+    for n in (50, 500, 5_000)
+    if not (kind == "full" and n > 500)
+]
+
+
+def _planner_population(n: int) -> list[Agent]:
+    rng = np.random.default_rng(n)
+    return [
+        Agent(
+            agent_id=index,
+            profile=ResourceProfile(
+                float(rng.choice([4.0, 2.0, 1.0, 0.5])),
+                float(rng.choice([10.0, 50.0, 100.0])),
+            ),
+            num_samples=int(rng.integers(200, 3_000)),
+            batch_size=100,
+        )
+        for index in range(n)
+    ]
+
+
+def _planner_link_model(agents: list[Agent], kind: str) -> LinkModel:
+    ids = [agent.agent_id for agent in agents]
+    if kind == "ring":
+        return LinkModel(ring_topology(ids))
+    if kind == "random-k":
+        return LinkModel(random_k_topology(ids, 6, np.random.default_rng(1)))
+    return LinkModel(full_topology(ids))
+
+
+@pytest.mark.parametrize("kind, n", PLANNER_SCALING_CASES)
+def test_planner_round_speed(benchmark, kind, n):
+    """Steady-state pruned-planner round: 1% churn, then plan.
+
+    This is the scaling-curve bench: ``tools/bench_trajectory.py`` fits
+    the exponent of median-vs-n on the random-k column and CI fails if
+    planning cost grows super-linearly beyond tolerance, or if the 5000-
+    agent round is slower than the dense kernel's 500-agent round.
+    """
+    profile = profile_architecture(resnet56_spec(), granularity=9)
+    agents = _planner_population(n)
+    link_model = _planner_link_model(agents, kind)
+    planner = PrunedPlanner(profile, link_model, top_k=PLANNER_TOP_K)
+    planner.plan(agents)  # first-round build happens outside the timer
+    churned = max(1, n // 100)
+    rng = np.random.default_rng(99)
+
+    def dynamics_round():
+        for index in rng.choice(n, size=churned, replace=False):
+            agent = agents[int(index)]
+            agent.update_profile(
+                ResourceProfile(
+                    float(rng.choice([4.0, 2.0, 1.0, 0.5])),
+                    agent.profile.bandwidth_mbps,
+                )
+            )
+        return planner.plan(agents)
+
+    decisions, taus_by_id = benchmark(dynamics_round)
+    assert len(taus_by_id) == n
+    assert decisions
+
+
+def test_planner_cold_build_speed(benchmark):
+    """Worst case: plan 5 000 agents from scratch (no caches at all)."""
+    profile = profile_architecture(resnet56_spec(), granularity=9)
+    agents = _planner_population(5_000)
+    link_model = _planner_link_model(agents, "random-k")
+
+    def cold_plan():
+        planner = PrunedPlanner(profile, link_model, top_k=PLANNER_TOP_K)
+        return planner.plan(agents)
+
+    decisions, _ = benchmark(cold_plan)
+    assert decisions
+
+
+def test_dense_round_speed_500(benchmark):
+    """The dense kernel planning a 500-agent round (comparison partner:
+    the acceptance bar is pruned-5000 faster than dense-500)."""
+    profile = profile_architecture(resnet56_spec(), granularity=9)
+    agents = _planner_population(500)
+    link_model = _planner_link_model(agents, "random-k")
+
+    decisions = benchmark(greedy_pairing, agents, link_model, profile)
+    assert decisions

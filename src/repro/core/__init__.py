@@ -7,8 +7,19 @@ from repro.core.workload import (
     best_offload,
     exact_min_makespan,
 )
-from repro.core.fastpath import PairCostModel
+from repro.core.fastpath import (
+    PairCostModel,
+    SparseBandwidth,
+    agent_vectors,
+    sparse_bandwidth,
+)
 from repro.core.pairing import PairingDecision, greedy_pairing, greedy_pairing_reference
+from repro.core.planner import (
+    PlannerState,
+    PlannerStats,
+    PrunedPlanner,
+    build_planner,
+)
 from repro.core.scheduler import DecentralizedPairingScheduler
 from repro.core.timing import PairTiming, RoundTiming, compute_round_timing
 from repro.core.config import ComDMLConfig
@@ -22,9 +33,16 @@ __all__ = [
     "best_offload",
     "exact_min_makespan",
     "PairCostModel",
+    "SparseBandwidth",
+    "agent_vectors",
+    "sparse_bandwidth",
     "PairingDecision",
     "greedy_pairing",
     "greedy_pairing_reference",
+    "PlannerState",
+    "PlannerStats",
+    "PrunedPlanner",
+    "build_planner",
     "DecentralizedPairingScheduler",
     "PairTiming",
     "RoundTiming",

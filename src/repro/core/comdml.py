@@ -24,6 +24,7 @@ from typing import Optional, Sequence
 from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
 from repro.core.config import ComDMLConfig
+from repro.core.planner import build_planner
 from repro.core.profiling import SplitProfile, profile_architecture
 from repro.core.scheduler import DecentralizedPairingScheduler
 from repro.core.timing import bottleneck_bandwidth, compute_round_timing
@@ -70,6 +71,14 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             else profile_architecture(spec, granularity=self.config.offload_granularity)
         )
         self.link_model = LinkModel(self.topology)
+        self.planner = build_planner(
+            self.profile,
+            self.link_model,
+            mode=self.config.planner,
+            top_k=self.config.planner_top_k,
+            threshold=self.config.planner_threshold,
+            improvement_threshold=self.config.improvement_threshold,
+        )
         self.scheduler = DecentralizedPairingScheduler(
             registry=registry,
             link_model=self.link_model,
@@ -77,6 +86,7 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             participation_fraction=self.config.participation_fraction,
             improvement_threshold=self.config.improvement_threshold,
             rng=seeds.generator("participation"),
+            planner=self.planner,
         )
         self._aggregation_compressor = (
             QuantizationCompressor(bits=self.config.aggregation_compression_bits)
@@ -223,10 +233,14 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
                 rng=attachment.rng_for(agent.agent_id),
                 neighbors=neighbors,
             )
+        if self.planner is not None:
+            self.planner.invalidate([agent.agent_id])
 
     def on_agent_departure(self, agent) -> None:
         """Drop a departed agent's topology links."""
         self.topology.remove_agent(agent.agent_id)
+        if self.planner is not None:
+            self.planner.invalidate([agent.agent_id])
 
 
 def _default_curve_preset():

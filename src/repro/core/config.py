@@ -13,6 +13,17 @@ EXECUTION_MODES = ("sync", "semi-sync", "async")
 #: Valid semi-sync quorum policies (see :mod:`repro.runtime.quorum`).
 QUORUM_POLICIES = ("fixed", "deadline", "adaptive")
 
+#: Valid round-planner selections (see :mod:`repro.core.planner`).
+PLANNER_MODES = ("dense", "pruned", "auto")
+
+
+def normalize_planner_mode(mode: str) -> str:
+    """Canonicalise a planner-mode name (case-insensitive)."""
+    normalized = mode.lower()
+    if normalized not in PLANNER_MODES:
+        raise ValueError(f"planner must be one of {PLANNER_MODES}, got {mode!r}")
+    return normalized
+
 
 def normalize_execution_mode(mode: str) -> str:
     """Canonicalise an execution-mode name (``semi_sync`` → ``semi-sync``)."""
@@ -63,6 +74,18 @@ class ComDMLConfig:
         Candidate split spacing in layers when profiling the architecture.
     improvement_threshold:
         Minimum relative improvement required to form a pair.
+    planner:
+        Round-planner selection (see :mod:`repro.core.planner`): ``"dense"``
+        always runs the exact O(n²·s) kernel, ``"pruned"`` always runs the
+        top-k pruned planner, and ``"auto"`` (default) switches to the
+        pruned planner only for rounds with at least ``planner_threshold``
+        participants — smaller rounds stay byte-identical to the dense
+        path.
+    planner_top_k:
+        Candidate budget per slow agent for the pruned planner (``k ≥ n−1``
+        is decision-identical to the dense kernel).
+    planner_threshold:
+        Participant count at which ``"auto"`` engages the pruned planner.
     churn_fraction / churn_interval_rounds:
         Dynamic resource churn (paper: 20 % of agents every 100 rounds).
     execution_mode:
@@ -110,6 +133,9 @@ class ComDMLConfig:
     aggregation_compression_bits: Optional[int] = None
     offload_granularity: int = 1
     improvement_threshold: float = 0.0
+    planner: str = "auto"
+    planner_top_k: int = 32
+    planner_threshold: int = 256
     churn_fraction: float = 0.0
     churn_interval_rounds: int = 100
     execution_mode: str = "sync"
@@ -128,6 +154,9 @@ class ComDMLConfig:
         check_positive(self.batch_size, "batch_size")
         check_positive(self.local_epochs, "local_epochs")
         check_positive(self.offload_granularity, "offload_granularity")
+        self.planner = normalize_planner_mode(self.planner)
+        check_positive(self.planner_top_k, "planner_top_k")
+        check_positive(self.planner_threshold, "planner_threshold")
         check_probability(self.churn_fraction, "churn_fraction")
         check_positive(self.churn_interval_rounds, "churn_interval_rounds")
         self.execution_mode = normalize_execution_mode(self.execution_mode)

@@ -32,6 +32,7 @@ random populations, profiles, and bandwidth matrices.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,28 +40,59 @@ import numpy as np
 from repro.agents.agent import Agent
 from repro.core.profiling import SplitProfile
 from repro.core.workload import OffloadEstimate, estimate_offload_time
-from repro.sim.costs import DEFAULT_LINK_LATENCY_SECONDS, cpu_share_to_throughput
+from repro.sim.costs import (
+    BASELINE_FLOPS_PER_SECOND,
+    CPU_SCALING_EXPONENT,
+    DEFAULT_LINK_LATENCY_SECONDS,
+)
 from repro.network.link import LinkModel
+from repro.utils.validation import check_positive
+
+
+def _uses_default_links(link_model: LinkModel) -> bool:
+    """Whether ``link_model`` keeps the base bandwidth semantics.
+
+    True for plain :class:`~repro.network.link.LinkModel` instances and for
+    subclasses that override neither :meth:`~LinkModel.bandwidth` nor
+    :meth:`~LinkModel.can_communicate` — exactly the models whose pairwise
+    bandwidth can be assembled vectorized as ``min(access_i, access_j)``
+    masked by the topology adjacency.
+    """
+    cls = type(link_model)
+    return (
+        cls.bandwidth is LinkModel.bandwidth
+        and cls.can_communicate is LinkModel.can_communicate
+    )
 
 
 def bandwidth_matrix(agents: Sequence[Agent], link_model: LinkModel) -> np.ndarray:
     """Effective pairwise bandwidth (bytes/s), 0.0 where no usable link.
 
     Entry ``[i, j]`` equals ``link_model.bandwidth(agents[i], agents[j])``
-    exactly.  For a plain :class:`~repro.network.link.LinkModel` the matrix
-    is assembled vectorized from the topology's adjacency (the effective
-    bandwidth is the min of the two access links, with no arithmetic, so
-    no rounding concerns); any other link model falls back to per-pair
-    calls, preserving subclass overrides.
+    exactly.  For link models with the default bandwidth semantics (plain
+    :class:`~repro.network.link.LinkModel` or subclasses overriding neither
+    ``bandwidth`` nor ``can_communicate``) the matrix is assembled
+    vectorized from the topology's adjacency (the effective bandwidth is
+    the min of the two access links, with no arithmetic, so no rounding
+    concerns).  Link models that *do* override the pairwise semantics fall
+    back to per-pair calls — but only along the topology's edges, O(E)
+    instead of O(n²): off-topology pairs are 0 by the
+    :class:`~repro.network.link.LinkModel` contract.
     """
+    import networkx as nx
+
     n = len(agents)
-    if type(link_model) is LinkModel:
+    ids = [agent.agent_id for agent in agents]
+    if _uses_default_links(link_model):
         try:
             adjacency = np.asarray(
-                _adjacency(link_model, [agent.agent_id for agent in agents]),
-                dtype=bool,
+                _adjacency(link_model, ids), dtype=bool
             )
-        except Exception:
+        except (nx.NetworkXError, KeyError):
+            # A participant is missing from the topology graph — the only
+            # legitimate reason the adjacency assembly can fail.  Per-pair
+            # calls resolve such agents to bandwidth 0.  Anything else
+            # (a real bug) propagates.
             adjacency = None
         if adjacency is not None:
             access = np.array(
@@ -73,11 +105,24 @@ def bandwidth_matrix(agents: Sequence[Agent], link_model: LinkModel) -> np.ndarr
             matrix[~adjacency] = 0.0
             np.fill_diagonal(matrix, 0.0)
             return matrix
+        matrix = np.zeros((n, n), dtype=np.float64)
+        for i, a in enumerate(agents):
+            for j, b in enumerate(agents):
+                if i != j:
+                    matrix[i, j] = link_model.bandwidth(a, b)
+        return matrix
+    # Custom pairwise semantics: one call per ordered topology edge among
+    # the participants (bandwidth may be asymmetric in a subclass).
     matrix = np.zeros((n, n), dtype=np.float64)
-    for i, a in enumerate(agents):
-        for j, b in enumerate(agents):
-            if i != j:
-                matrix[i, j] = link_model.bandwidth(a, b)
+    position = {agent_id: index for index, agent_id in enumerate(ids)}
+    graph = link_model.topology.graph
+    for u, v in graph.edges(ids):
+        i = position.get(u)
+        j = position.get(v)
+        if i is None or j is None or i == j:
+            continue
+        matrix[i, j] = link_model.bandwidth(agents[i], agents[j])
+        matrix[j, i] = link_model.bandwidth(agents[j], agents[i])
     return matrix
 
 
@@ -87,6 +132,220 @@ def _adjacency(link_model: LinkModel, ids: list[int]):
     return nx.to_numpy_array(
         link_model.topology.graph, nodelist=ids, weight=None, dtype=np.float64
     )
+
+
+@dataclass(frozen=True)
+class AgentVectors:
+    """Per-agent planning vectors, extracted once per round.
+
+    The same scalar formulas as :func:`~repro.core.workload` evaluated
+    elementwise, shared between the dense :class:`PairCostModel` kernel and
+    the pruned planner (:mod:`repro.core.planner`) so both produce
+    bit-identical values.
+
+    Attributes
+    ----------
+    throughput:
+        Flop-equivalents per second per agent.
+    batches:
+        The paper's ``Ñ_i`` (batches per round, scaled by local epochs).
+    batch_sizes:
+        Resolved per-agent batch size (the override when given, each
+        agent's own otherwise).
+    flops:
+        Full-model training flops per batch (``full_flops × batch_size``).
+    individual_times:
+        ``τ̂_i`` — the broadcast individual-time list of Algorithm 1.
+    slow_speed:
+        Full-model batches per second (the paper's ``p_i``).
+    solo_times:
+        ``Ñ_i / p_i`` evaluated in the estimate path's operation order.
+    """
+
+    throughput: np.ndarray
+    batches: np.ndarray
+    batch_sizes: np.ndarray
+    flops: np.ndarray
+    individual_times: np.ndarray
+    slow_speed: np.ndarray
+    solo_times: np.ndarray
+
+
+def agent_vectors(
+    agents: Sequence[Agent],
+    profile: SplitProfile,
+    batch_size: Optional[int] = None,
+) -> AgentVectors:
+    """Extract the per-agent vectors the planning kernels broadcast over.
+
+    ``batch_size`` overrides every agent's own batch size and must be
+    positive when given (the config boundary rejects non-positive
+    overrides, so the historical falsy-override ambiguity cannot arise).
+    """
+    if batch_size is not None:
+        check_positive(batch_size, "batch_size")
+    # Inlined cpu_share_to_throughput: the same scalar expression (so the
+    # floats stay bit-identical) without re-validating every agent's
+    # already-validated cpu_share on each of the n calls per round.
+    throughput = np.array(
+        [
+            BASELINE_FLOPS_PER_SECOND
+            * agent.profile.cpu_share**CPU_SCALING_EXPONENT
+            for agent in agents
+        ],
+        dtype=np.float64,
+    )
+    batches = np.array(
+        [float(agent.batches_per_round) for agent in agents], dtype=np.float64
+    )
+    batch_sizes = np.array(
+        [
+            float(batch_size if batch_size is not None else agent.batch_size)
+            for agent in agents
+        ],
+        dtype=np.float64,
+    )
+    flops = profile.full_train_flops_per_sample * batch_sizes
+    individual_times = batches / (throughput / flops)
+    slow_speed = throughput / flops
+    solo_times = batches / slow_speed
+    return AgentVectors(
+        throughput=throughput,
+        batches=batches,
+        batch_sizes=batch_sizes,
+        flops=flops,
+        individual_times=individual_times,
+        slow_speed=slow_speed,
+        solo_times=solo_times,
+    )
+
+
+@dataclass(frozen=True)
+class SparseBandwidth:
+    """CSR neighbor-list view of a round's usable links.
+
+    Row ``i`` holds the participant *positions* reachable from position
+    ``i`` with a usable (> 0 bytes/s) link, ascending, together with the
+    effective bandwidth of each link.  Built from the topology's edge list,
+    so ring / random-k topologies cost O(E) to assemble instead of the
+    O(n²) dense :func:`bandwidth_matrix`.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n + 1,)`` row pointers into ``indices`` / ``data``.
+    indices:
+        Neighbor positions, ascending within each row.
+    data:
+        Effective bandwidth (bytes/s) per stored link; strictly positive.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_links(self) -> int:
+        return len(self.indices)
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(neighbor positions, bandwidths)`` of row ``i``."""
+        start, stop = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:stop], self.data[start:stop]
+
+
+def sparse_bandwidth(
+    agents: Sequence[Agent], link_model: LinkModel
+) -> SparseBandwidth:
+    """Build the CSR neighbor-list bandwidth for a round's participants.
+
+    Stored entries equal ``link_model.bandwidth(agents[i], agents[j])``
+    exactly; pairs with no usable link are simply absent.  For link models
+    with the default semantics the per-edge bandwidth is the vectorized
+    ``min(access_i, access_j)``; custom link models are queried once per
+    ordered edge (O(E) calls).
+    """
+    n = len(agents)
+    ids = [agent.agent_id for agent in agents]
+    position = {agent_id: index for index, agent_id in enumerate(ids)}
+    graph = link_model.topology.graph
+    default_links = _uses_default_links(link_model)
+    access = np.array(
+        [agent.profile.bandwidth_bytes_per_second for agent in agents],
+        dtype=np.float64,
+    )
+
+    if default_links:
+        # C-driven edge extraction + vectorized id -> position mapping; the
+        # Python cost is one fromiter pass over the edge list, everything
+        # after is numpy.
+        edge_view = (
+            graph.edges() if n >= graph.number_of_nodes() else graph.edges(ids)
+        )
+        edges = np.fromiter(
+            (endpoint for edge in edge_view for endpoint in edge),
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        if n == 0 or len(edges) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return SparseBandwidth(
+                indptr=np.zeros(n + 1, dtype=np.int64),
+                indices=empty,
+                data=np.empty(0),
+            )
+        ids_array = np.fromiter(ids, dtype=np.int64, count=n)
+        sort_order = np.argsort(ids_array, kind="stable")
+        sorted_ids = ids_array[sort_order]
+        slots = np.searchsorted(sorted_ids, edges)
+        slots[slots >= n] = 0
+        keep = (sorted_ids[slots] == edges).all(axis=1)
+        endpoint_a = sort_order[slots[keep, 0]]
+        endpoint_b = sort_order[slots[keep, 1]]
+        keep_distinct = endpoint_a != endpoint_b
+        endpoint_a = endpoint_a[keep_distinct]
+        endpoint_b = endpoint_b[keep_distinct]
+        bandwidth = np.minimum(access[endpoint_a], access[endpoint_b])
+        usable = bandwidth > 0.0
+        endpoint_a = endpoint_a[usable]
+        endpoint_b = endpoint_b[usable]
+        bandwidth = bandwidth[usable]
+        row_array = np.concatenate([endpoint_a, endpoint_b])
+        col_array = np.concatenate([endpoint_b, endpoint_a])
+        val_array = np.concatenate([bandwidth, bandwidth])
+    else:
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for u, v in graph.edges(ids):
+            i = position.get(u)
+            j = position.get(v)
+            if i is None or j is None or i == j:
+                continue
+            forward = link_model.bandwidth(agents[i], agents[j])
+            if forward > 0.0:
+                rows.append(i)
+                cols.append(j)
+                vals.append(forward)
+            backward = link_model.bandwidth(agents[j], agents[i])
+            if backward > 0.0:
+                rows.append(j)
+                cols.append(i)
+                vals.append(backward)
+        row_array = np.asarray(rows, dtype=np.int64)
+        col_array = np.asarray(cols, dtype=np.int64)
+        val_array = np.asarray(vals, dtype=np.float64)
+    order = np.lexsort((col_array, row_array))
+    row_array = row_array[order]
+    col_array = col_array[order]
+    val_array = val_array[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, row_array + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return SparseBandwidth(indptr=indptr, indices=col_array, data=val_array)
 
 
 class PairCostModel:
@@ -150,6 +409,8 @@ class PairCostModel:
     ) -> None:
         if (link_model is None) == (bandwidths is None):
             raise ValueError("provide exactly one of link_model or bandwidths")
+        if batch_size is not None:
+            check_positive(batch_size, "batch_size")
         self.agents = list(participants)
         self.profile = profile
         self.batch_size = batch_size
@@ -174,40 +435,22 @@ class PairCostModel:
             self.bandwidths = bandwidth_matrix(self.agents, link_model)
 
         # ------------------------------------------------------------------
-        # Per-agent vectors (same scalar formulas, evaluated elementwise)
+        # Per-agent vectors (same scalar formulas, evaluated elementwise;
+        # batch_size overrides are validated positive above, so τ̂ and the
+        # estimates resolve the override identically)
         # ------------------------------------------------------------------
-        throughput = np.array(
-            [cpu_share_to_throughput(agent.profile.cpu_share) for agent in self.agents],
-            dtype=np.float64,
-        )
-        batches = np.array(
-            [float(agent.batches_per_round) for agent in self.agents], dtype=np.float64
-        )
-        # τ̂ uses `batch_size or agent.batch_size` (the greedy broadcast);
-        # estimates use `batch_size if not None else slow.batch_size`.  The
-        # two resolutions only differ for a falsy override, which the
-        # scalar path rejects anyway, but both are mirrored faithfully.
-        bs_tau = np.array(
-            [float(batch_size or agent.batch_size) for agent in self.agents],
-            dtype=np.float64,
-        )
-        bs_est = np.array(
-            [
-                float(batch_size if batch_size is not None else agent.batch_size)
-                for agent in self.agents
-            ],
-            dtype=np.float64,
-        )
-        full_flops = profile.full_train_flops_per_sample
-        flops_tau = full_flops * bs_tau
-        flops_est = full_flops * bs_est
-        self.individual_times = batches / (throughput / flops_tau)
+        vectors = agent_vectors(self.agents, profile, batch_size)
+        batches = vectors.batches
+        bs_est = vectors.batch_sizes
+        flops_est = vectors.flops
+        throughput = vectors.throughput
+        self.individual_times = vectors.individual_times
         # Slow-side speed p_i and fast-side speed p_j, both under the slow
         # agent's batch size (estimate_offload_time converts per-sample
         # costs with a single batch size per pair).
-        slow_speed = throughput / flops_est
+        slow_speed = vectors.slow_speed
         fast_speed = throughput[None, :] / flops_est[:, None]
-        solo_est = batches / slow_speed
+        solo_est = vectors.solo_times
 
         if shared_busy_times:
             busy = np.broadcast_to(self.individual_times[None, :], (n, n))

@@ -1,0 +1,866 @@
+"""Scalable round planner: candidate pruning, sparse bandwidth, incremental replanning.
+
+The dense :class:`~repro.core.fastpath.PairCostModel` kernel materialises
+the full ``(slow × candidate × split)`` tensor — O(n²·s) time and memory —
+which is exact and fast at paper scale (n ≈ 50) but hopeless at the
+10k–1M-agent populations the campaign engine targets.  This module layers
+three cooperating mechanisms on *top* of that kernel (never instead of it;
+the dense path and the scalar oracle remain the correctness contract):
+
+**Candidate pruning.**  For each slow agent the pair-time evaluation is
+restricted to its ``top_k`` fastest reachable peers — a vectorized
+rank-selection over the broadcast τ̂ vector gathered along the topology's
+neighbor lists — so only a pruned ``(slow × k × split)`` block is ever
+computed.  With ``k ≥ n − 1`` no candidate is dropped and the planner is
+*decision-identical* to the dense kernel (Hypothesis-enforced in
+``tests/test_planner.py``): every elementwise expression mirrors the exact
+operation order of :func:`~repro.core.workload.estimate_offload_time`, the
+split reduction uses strict-``<`` first-minimum tie-breaking, candidate
+lists are kept ascending by participant position so the row argmin breaks
+ties like the dense scan, and each formed pair's
+:class:`~repro.core.workload.OffloadEstimate` is built from the same
+elementwise mirror, reproducing the scalar oracle bit for bit.
+
+**Sparse / blocked bandwidth.**  Adjacency and bandwidth are consumed as
+neighbor lists (the topology graph's native structure, or the CSR
+:class:`~repro.core.fastpath.SparseBandwidth` view) instead of the dense
+``n × n`` :func:`~repro.core.fastpath.bandwidth_matrix`, so ring and
+random-k topologies cost O(E), not O(n²).  Complete graphs — where a
+neighbor list *is* O(n²) — short-circuit to a shared global top-(k+1)
+candidate pool, keeping even full topologies at O(n·k).
+
+**Incremental replanning.**  A :class:`PlannerState` persists each agent's
+τ̂, speed signature, and pruned neighbor-block costs across rounds.  At
+every plan the planner diffs cheap per-agent signatures (plus membership
+and any explicit :meth:`PrunedPlanner.invalidate` calls driven by dynamics
+events) and re-costs only the rows whose inputs actually changed: a dirty
+agent invalidates its own row, its topology neighborhood (its τ̂ feeds
+their candidate selection), and any cached row still referencing it.  A
+round with ``d`` changed agents therefore evaluates O(d·k·s) pair times —
+:class:`PlannerStats` counts them so tests can assert the bound.
+
+Selection is wired through :func:`build_planner` /
+:class:`~repro.core.config.ComDMLConfig` (``planner`` = ``"dense"`` /
+``"pruned"`` / ``"auto"``): the scheduler keeps the byte-identical dense
+path whenever the planner does not engage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.agents.agent import Agent
+from repro.core.config import PLANNER_MODES, normalize_planner_mode
+from repro.core.fastpath import AgentVectors, _uses_default_links, agent_vectors
+from repro.core.pairing import PairingDecision, _solo_decision
+from repro.core.profiling import SplitProfile
+from repro.core.workload import OffloadEstimate
+from repro.network.link import LinkModel
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "PLANNER_MODES",
+    "PlannerState",
+    "PlannerStats",
+    "PrunedPlanner",
+    "build_planner",
+    "normalize_planner_mode",
+]
+
+
+def _signature(agent: Agent) -> tuple:
+    """Everything a planning row depends on about one agent."""
+    return (
+        agent.profile.cpu_share,
+        agent.profile.bandwidth_mbps,
+        agent.num_samples,
+        agent.batch_size,
+        agent.local_epochs,
+    )
+
+
+@dataclass
+class PlannerStats:
+    """Operation counters of a :class:`PrunedPlanner` (for tests and reports).
+
+    ``pairs_evaluated`` counts (slow, candidate, split) cost evaluations —
+    the quantity the incremental-replanning bound O(d·k·s) is stated in.
+    """
+
+    rounds: int = 0
+    full_rebuilds: int = 0
+    rows_recomputed: int = 0
+    rows_reused: int = 0
+    pairs_evaluated: int = 0
+    last_rows_recomputed: int = 0
+    last_rows_reused: int = 0
+    last_pairs_evaluated: int = 0
+
+
+@dataclass
+class PlannerState:
+    """Per-agent planning cache carried across rounds.
+
+    All block arrays are ``(n, k)`` padded: absent candidates hold
+    position/id ``-1``, time ``+inf``, and ``valid`` ``False``.  Candidate
+    columns are ascending by participant position within each row, which
+    is what keeps the greedy row argmin's first-minimum tie-breaking
+    identical to the dense kernel's.
+    """
+
+    ids: tuple[int, ...]
+    k: int
+    signatures: dict[int, tuple]
+    taus: np.ndarray
+    cand_pos: np.ndarray
+    cand_ids: np.ndarray
+    cand_bw: np.ndarray
+    best_times: np.ndarray
+    best_split: np.ndarray
+    valid: np.ndarray
+
+
+class PrunedPlanner:
+    """Top-k pruned, sparse-bandwidth, incrementally replanning scheduler core.
+
+    Parameters
+    ----------
+    profile:
+        Split profile of the architecture being trained.
+    link_model:
+        Source of adjacency and pairwise bandwidths.
+    top_k:
+        Candidate budget per slow agent.  ``k ≥ n − 1`` makes the planner
+        decision-identical to the dense kernel.
+    engage_threshold:
+        Population size at or above which :meth:`engages` returns true;
+        ``None`` engages at any size (the ``"pruned"`` mode).
+    batch_size:
+        Optional positive batch-size override (same semantics as the dense
+        kernel; validated at this boundary).
+    improvement_threshold:
+        Minimum relative improvement over training alone required to pair.
+    """
+
+    def __init__(
+        self,
+        profile: SplitProfile,
+        link_model: LinkModel,
+        *,
+        top_k: int = 32,
+        engage_threshold: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        improvement_threshold: float = 0.0,
+    ) -> None:
+        check_positive(top_k, "top_k")
+        if engage_threshold is not None:
+            check_positive(engage_threshold, "engage_threshold")
+        if batch_size is not None:
+            check_positive(batch_size, "batch_size")
+        self.profile = profile
+        self.link_model = link_model
+        self.top_k = top_k
+        self.engage_threshold = engage_threshold
+        self.batch_size = batch_size
+        self.improvement_threshold = improvement_threshold
+        self.latency_seconds = link_model.latency_seconds
+        self.stats = PlannerStats()
+        self.state: Optional[PlannerState] = None
+        self._pending_dirty: set[int] = set()
+        self._pending_all = False
+        #: Cached CSR link structure: (ids, indptr, link rows, link cols).
+        #: Holds every topology edge between participants regardless of the
+        #: bandwidth at build time — bandwidths are re-read per use, so the
+        #: structure only invalidates on membership / wiring changes.
+        self._links: Optional[
+            tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Selection / invalidation API
+    # ------------------------------------------------------------------
+    def engages(self, population: int) -> bool:
+        """Whether the pruned planner should plan a round of this size."""
+        if self.engage_threshold is None:
+            return True
+        return population >= self.engage_threshold
+
+    def invalidate(self, agent_ids: Sequence[int]) -> None:
+        """Mark agents dirty (profile / bandwidth / wiring changed).
+
+        The planner also diffs per-agent signatures on every plan, so churn
+        that changes a profile value is caught without this call; explicit
+        invalidation covers changes signatures cannot see.
+        """
+        self._pending_dirty.update(int(agent_id) for agent_id in agent_ids)
+
+    def invalidate_all(self) -> None:
+        """Drop the entire cache (next plan is a full rebuild)."""
+        self._pending_all = True
+        self._links = None
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self, participants: Sequence[Agent]
+    ) -> tuple[list[PairingDecision], dict[int, float]]:
+        """Plan one round; returns (decisions, broadcast τ̂ list by id)."""
+        agents = list(participants)
+        n = len(agents)
+        if n == 0:
+            return [], {}
+        vectors = agent_vectors(agents, self.profile, self.batch_size)
+        taus = vectors.individual_times
+        ids = tuple(agent.agent_id for agent in agents)
+        taus_by_id = dict(zip(ids, taus.tolist()))
+        signatures = dict(zip(ids, map(_signature, agents)))
+        k = min(self.top_k, max(n - 1, 0))
+
+        state, dirty_rows = self._realign(agents, ids, signatures, taus, k)
+        self._recompute_rows(state, agents, vectors, dirty_rows)
+
+        self.stats.rounds += 1
+        self.stats.last_rows_recomputed = len(dirty_rows)
+        self.stats.last_rows_reused = n - len(dirty_rows)
+        self.stats.rows_recomputed += len(dirty_rows)
+        self.stats.rows_reused += n - len(dirty_rows)
+        if len(dirty_rows) == n:
+            self.stats.full_rebuilds += 1
+
+        decisions = self._greedy_scan(state, agents, vectors, taus)
+        return decisions, taus_by_id
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def _realign(
+        self,
+        agents: list[Agent],
+        ids: tuple[int, ...],
+        signatures: dict[int, tuple],
+        taus: np.ndarray,
+        k: int,
+    ) -> tuple[PlannerState, list[int]]:
+        """Carry the cache over to this round's participants; find dirty rows."""
+        n = len(agents)
+        previous = self.state
+        if self._pending_all or previous is None or previous.k != k:
+            self._pending_all = False
+            self._pending_dirty.clear()
+            state = _empty_state(ids, k, signatures, taus)
+            self.state = state
+            return state, list(range(n))
+
+        current_ids = set(ids)
+        dirty_ids = {
+            agent_id
+            for agent_id in ids
+            if signatures[agent_id] != previous.signatures.get(agent_id)
+        }
+        if self._pending_dirty:
+            # Explicit invalidation can signal wiring changes the signature
+            # diff cannot see — drop the cached link structure too.
+            self._links = None
+        dirty_ids |= self._pending_dirty & current_ids
+        self._pending_dirty -= current_ids
+        departed = set(previous.ids) - current_ids
+
+        if not dirty_ids and not departed and ids == previous.ids:
+            previous.taus = taus
+            previous.signatures = signatures
+            return previous, []
+
+        row_of = {agent_id: row for row, agent_id in enumerate(ids)}
+        state = _empty_state(ids, k, signatures, taus)
+        if ids == previous.ids:
+            # Same participants in the same order: keep the block arrays.
+            for name in ("cand_pos", "cand_ids", "cand_bw", "best_times",
+                         "best_split", "valid"):
+                setattr(state, name, getattr(previous, name).copy())
+        else:
+            # Membership or order changed: pull retained rows over and
+            # remap cached candidate positions old → new.
+            old_row_of = {agent_id: row for row, agent_id in enumerate(previous.ids)}
+            old_rows = np.array(
+                [old_row_of.get(agent_id, -1) for agent_id in ids], dtype=np.int64
+            )
+            keep = old_rows >= 0
+            for name in ("cand_pos", "cand_ids", "cand_bw", "best_times",
+                         "best_split", "valid"):
+                getattr(state, name)[keep] = getattr(previous, name)[old_rows[keep]]
+            new_pos_of_old = np.full(len(previous.ids), -1, dtype=np.int64)
+            new_pos_of_old[old_rows[keep]] = np.nonzero(keep)[0]
+            remappable = state.cand_pos >= 0
+            state.cand_pos[remappable] = new_pos_of_old[state.cand_pos[remappable]]
+            stale = remappable & (state.cand_pos < 0)
+            state.valid[stale] = False
+            state.best_times[stale] = np.inf
+
+        # Dirty closure: the agent itself, its current topology
+        # neighborhood (its τ̂ feeds their candidate selection), and any
+        # cached row still referencing a dirty or departed id (covers
+        # edges the topology dropped, e.g. a ring splice).
+        dirty_rows: set[int] = set()
+        graph = self.link_model.topology.graph
+        for agent_id in dirty_ids:
+            row = row_of.get(agent_id)
+            if row is not None:
+                dirty_rows.add(row)
+        for agent_id in dirty_ids | departed:
+            if graph.has_node(agent_id):
+                for neighbor in graph.neighbors(agent_id):
+                    row = row_of.get(neighbor)
+                    if row is not None:
+                        dirty_rows.add(row)
+        affected_ids = dirty_ids | departed
+        if affected_ids and state.cand_ids.size:
+            referencing = np.isin(
+                state.cand_ids, np.fromiter(affected_ids, dtype=np.int64)
+            ).any(axis=1)
+            dirty_rows.update(int(row) for row in np.nonzero(referencing)[0])
+
+        self.state = state
+        return state, sorted(dirty_rows)
+
+    # ------------------------------------------------------------------
+    # Candidate selection + pruned block costing
+    # ------------------------------------------------------------------
+    def _candidate_rows(
+        self, state: PlannerState, agents: list[Agent], rows: list[int]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Top-k fastest reachable peers of the given (ascending) rows.
+
+        Returns flat ``(rows, candidate positions, bandwidths)`` arrays
+        grouped by ascending row with ascending candidate positions inside
+        each group — the order the dense kernel's first-minimum argmin
+        tie-breaking relies on.
+        """
+        taus = state.taus
+        k = state.k
+        graph = self.link_model.topology.graph
+        access = np.array(
+            [agent.profile.bandwidth_bytes_per_second for agent in agents],
+            dtype=np.float64,
+        )
+        default_links = _uses_default_links(self.link_model)
+
+        node_count = graph.number_of_nodes()
+        if (
+            default_links
+            and node_count >= 2
+            and graph.number_of_edges() == node_count * (node_count - 1) // 2
+        ):
+            # Complete graph: a neighbor list would be O(n²); use the
+            # shared global top-(k+1) pool instead.
+            return _complete_graph_candidates(taus, access, rows, k)
+
+        if default_links:
+            indptr, link_rows, link_cols = self._link_structure(agents)
+            if len(rows) == len(agents):
+                sel_rows, sel_cols = link_rows, link_cols
+            else:
+                pieces = [
+                    np.arange(indptr[row], indptr[row + 1]) for row in rows
+                ]
+                selected = (
+                    np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+                )
+                sel_rows = link_rows[selected]
+                sel_cols = link_cols[selected]
+            bandwidth = np.minimum(access[sel_rows], access[sel_cols])
+        else:
+            # Custom link-model semantics: query per ordered pair, but only
+            # for the dirty rows' neighborhoods.
+            row_of = {agent.agent_id: row for row, agent in enumerate(agents)}
+            flat_rows: list[int] = []
+            flat_cols: list[int] = []
+            flat_bw: list[float] = []
+            for row in rows:
+                agent = agents[row]
+                if not graph.has_node(agent.agent_id):
+                    continue
+                for neighbor in graph.neighbors(agent.agent_id):
+                    col = row_of.get(neighbor)
+                    if col is None:
+                        continue
+                    value = self.link_model.bandwidth(agent, agents[col])
+                    if value > 0.0:
+                        flat_rows.append(row)
+                        flat_cols.append(col)
+                        flat_bw.append(value)
+            sel_rows = np.asarray(flat_rows, dtype=np.int64)
+            sel_cols = np.asarray(flat_cols, dtype=np.int64)
+            bandwidth = np.asarray(flat_bw, dtype=np.float64)
+            if sel_rows.size:
+                # graph.neighbors order is arbitrary; restore (row, col).
+                order = np.lexsort((sel_cols, sel_rows))
+                sel_rows = sel_rows[order]
+                sel_cols = sel_cols[order]
+                bandwidth = bandwidth[order]
+
+        usable = bandwidth > 0.0
+        if not usable.all():
+            sel_rows = sel_rows[usable]
+            sel_cols = sel_cols[usable]
+            bandwidth = bandwidth[usable]
+        if sel_rows.size == 0:
+            return sel_rows, sel_cols, bandwidth
+
+        counts = np.bincount(sel_rows, minlength=len(agents))
+        if counts.max() > k:
+            # Rank each row's links by candidate τ̂, keeping the k fastest.
+            # Sorting by the packed unique key ``row·n + tau_rank[col]``
+            # equals a stable lexsort on (row, τ̂): tau_rank orders equal
+            # τ̂ values by ascending position, the dense tie-break order.
+            n = np.int64(len(agents))
+            tau_rank = np.empty(len(agents), dtype=np.int64)
+            tau_rank[np.argsort(taus, kind="stable")] = np.arange(len(agents))
+            order = np.argsort(sel_rows * n + tau_rank[sel_cols])
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            ranks = np.arange(sel_rows.size) - starts[sel_rows[order]]
+            kept = order[ranks < k]
+            # The pre-selection arrays were (row, col)-ascending, so sorting
+            # the kept indices restores that order without a second lexsort.
+            kept.sort()
+            sel_rows = sel_rows[kept]
+            sel_cols = sel_cols[kept]
+            bandwidth = bandwidth[kept]
+        return sel_rows, sel_cols, bandwidth
+
+    def _link_structure(
+        self, agents: list[Agent]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR adjacency over the participants (both directions per edge).
+
+        Cached across rounds keyed by the participant id tuple; bandwidths
+        are intentionally NOT part of the structure (they are re-read from
+        the agents at query time), so profile churn never invalidates it.
+        """
+        ids = tuple(agent.agent_id for agent in agents)
+        if self._links is not None and self._links[0] == ids:
+            return self._links[1], self._links[2], self._links[3]
+        n = len(agents)
+        graph = self.link_model.topology.graph
+        adjacency = graph.adj
+        # Iterating the adjacency dict yields each directed link exactly
+        # once per endpoint, already grouped by row; a per-row sort of the
+        # small neighbor lists replaces the global lexsort an edge-list
+        # extraction would need (measurably faster at 10k+ edges).
+        chunks: Optional[list[list[int]]] = None
+        if n == graph.number_of_nodes():
+            try:
+                if ids == tuple(range(n)):
+                    # Ids equal positions (the common contiguous
+                    # labelling): neighbor ids need no translation.
+                    chunks = [sorted(adjacency[agent_id]) for agent_id in ids]
+                else:
+                    lookup = {
+                        agent_id: row for row, agent_id in enumerate(ids)
+                    }.__getitem__
+                    chunks = [
+                        sorted(map(lookup, adjacency[agent_id]))
+                        for agent_id in ids
+                    ]
+            except KeyError:
+                # A participant is not a topology node, or a neighbor is
+                # not a participant — take the filtering path below.
+                chunks = None
+        if chunks is None:
+            lookup = {agent_id: row for row, agent_id in enumerate(ids)}.get
+            chunks = []
+            for agent_id in ids:
+                neighbors = adjacency.get(agent_id)
+                if neighbors:
+                    chunks.append(
+                        sorted(
+                            col
+                            for col in map(lookup, neighbors)
+                            if col is not None
+                        )
+                    )
+                else:
+                    chunks.append([])
+        counts = np.fromiter(map(len, chunks), dtype=np.int64, count=n)
+        total = int(counts.sum())
+        link_cols = np.fromiter(
+            chain.from_iterable(chunks), dtype=np.int64, count=total
+        )
+        link_rows = np.repeat(np.arange(n, dtype=np.int64), counts)
+        distinct = link_rows != link_cols
+        if not distinct.all():
+            link_rows = link_rows[distinct]
+            link_cols = link_cols[distinct]
+            counts = np.bincount(link_rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._links = (ids, indptr, link_rows, link_cols)
+        return indptr, link_rows, link_cols
+
+    def _recompute_rows(
+        self,
+        state: PlannerState,
+        agents: list[Agent],
+        vectors: AgentVectors,
+        rows: list[int],
+    ) -> None:
+        """Re-cost the pruned (slow × k × split) blocks of the given rows."""
+        if not rows:
+            self.stats.last_pairs_evaluated = 0
+            return
+        rows_flat, cols_flat, bw_flat = self._candidate_rows(state, agents, rows)
+        rows_array = np.asarray(rows, dtype=np.int64)
+
+        # Reset the dirtied rows to padding before scattering fresh blocks.
+        state.cand_pos[rows_array] = -1
+        state.cand_ids[rows_array] = -1
+        state.cand_bw[rows_array] = 0.0
+        state.best_times[rows_array] = np.inf
+        state.best_split[rows_array] = -1
+        state.valid[rows_array] = False
+
+        total = int(rows_flat.size)
+        self.stats.last_pairs_evaluated = total * self.profile.num_options
+        self.stats.pairs_evaluated += self.stats.last_pairs_evaluated
+        if total == 0:
+            return
+        # Column offset of each entry within its row group (rows_flat is
+        # grouped by ascending row).
+        counts = np.bincount(rows_flat, minlength=len(agents))
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        offsets = np.arange(total) - starts[rows_flat]
+
+        best_time, best_index = _pair_block_times(
+            self.profile, vectors, rows_flat, cols_flat, bw_flat,
+            self.latency_seconds,
+        )
+        offload_values = self.profile.options_array
+        valid_flat = offload_values[np.maximum(best_index, 0)] > 0
+
+        ids_array = np.array([agent.agent_id for agent in agents], dtype=np.int64)
+        state.cand_pos[rows_flat, offsets] = cols_flat
+        state.cand_ids[rows_flat, offsets] = ids_array[cols_flat]
+        state.cand_bw[rows_flat, offsets] = bw_flat
+        state.best_times[rows_flat, offsets] = best_time
+        state.best_split[rows_flat, offsets] = best_index
+        state.valid[rows_flat, offsets] = valid_flat
+
+    # ------------------------------------------------------------------
+    # Greedy scan (Algorithm 1's Pairing over the pruned blocks)
+    # ------------------------------------------------------------------
+    def _greedy_scan(
+        self,
+        state: PlannerState,
+        agents: list[Agent],
+        vectors: AgentVectors,
+        taus: np.ndarray,
+    ) -> list[PairingDecision]:
+        """Algorithm 1's greedy pairing over the pruned candidate blocks.
+
+        The scan itself runs in pure Python over row lists (per-row numpy
+        calls on k-element arrays cost more than they compute); the chosen
+        pairs' :class:`~repro.core.workload.OffloadEstimate`s are then
+        built in one vectorized batch mirroring the scalar oracle.
+        """
+        n = len(agents)
+        taus_list = taus.tolist()
+        # Stable argsort on -τ̂ = descending τ̂ with ties in first-seen
+        # order, exactly like the dense scheduler's stable reverse sort.
+        order = np.argsort(-taus, kind="stable").tolist()
+        # Invalid / padded candidates become +inf.  Walking each row's
+        # candidates in ascending pair-time order (stable argsort keeps
+        # ascending-position order on ties, the dense first-minimum
+        # tie-break) lets the scan stop at the first alive candidate
+        # instead of re-scanning all k entries per row.
+        times = np.where(state.valid, state.best_times, np.inf)
+        scan_rows = np.argsort(times, axis=1, kind="stable").tolist()
+        times_rows = times.tolist()
+        pos_rows = state.cand_pos.tolist()
+        alive = [True] * n
+        improvement = 1.0 - self.improvement_threshold
+        infinity = float("inf")
+        decisions: list[Optional[PairingDecision]] = []
+        chosen_slow: list[int] = []
+        chosen_col: list[int] = []
+        chosen_fast: list[int] = []
+
+        for i in order:
+            if not alive[i]:
+                continue
+            own_time = taus_list[i]
+            positions = pos_rows[i]
+            row_times = times_rows[i]
+            best_time = infinity
+            best_column = -1
+            for column in scan_rows[i]:
+                time = row_times[column]
+                if time == infinity:
+                    break
+                if alive[positions[column]]:
+                    best_time = time
+                    best_column = column
+                    break
+            if best_time < own_time * improvement:
+                j = positions[best_column]
+                decisions.append(None)
+                chosen_slow.append(i)
+                chosen_col.append(best_column)
+                chosen_fast.append(j)
+                alive[i] = False
+                alive[j] = False
+            else:
+                decisions.append(_solo_decision(agents[i].agent_id, own_time))
+                alive[i] = False
+
+        if chosen_slow:
+            pair_decisions = iter(
+                self._pair_decisions(
+                    state, agents, vectors, taus, chosen_slow, chosen_col, chosen_fast
+                )
+            )
+            for index, decision in enumerate(decisions):
+                if decision is None:
+                    decisions[index] = next(pair_decisions)
+        return decisions
+
+    def _pair_decisions(
+        self,
+        state: PlannerState,
+        agents: list[Agent],
+        vectors: AgentVectors,
+        taus: np.ndarray,
+        slow: list[int],
+        columns: list[int],
+        fast: list[int],
+    ) -> list[PairingDecision]:
+        """Vectorized :func:`~repro.core.workload.estimate_offload_time`.
+
+        Computes every float with the scalar oracle's exact operation
+        order (same IEEE-754 results element for element), batched over
+        the round's formed pairs instead of one oracle call per pair.
+        Chosen splits always offload (> 0 layers), so only the oracle's
+        offloading branch is mirrored.
+        """
+        profile = self.profile
+        slow_idx = np.asarray(slow, dtype=np.int64)
+        col_idx = np.asarray(columns, dtype=np.int64)
+        fast_idx = np.asarray(fast, dtype=np.int64)
+        split_idx = state.best_split[slow_idx, col_idx]
+        layers = profile.options_array[split_idx]
+        bandwidth = state.cand_bw[slow_idx, col_idx]
+        busy = taus[fast_idx]
+
+        slow_batches = vectors.batches[slow_idx]
+        slow_speed = vectors.slow_speed[slow_idx]
+        fast_speed = vectors.throughput[fast_idx] / vectors.flops[slow_idx]
+        slow_factor = profile.slow_time_array[split_idx]
+        fast_factor = profile.fast_time_array[split_idx]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slow_time = np.where(
+                slow_factor > 0, slow_batches * slow_factor / slow_speed, 0.0
+            )
+            fast_offload = np.where(
+                fast_factor > 0, slow_batches * fast_factor / fast_speed, 0.0
+            )
+            intermediate_bytes = (
+                profile.intermediate_bytes_array[split_idx]
+                * vectors.batch_sizes[slow_idx]
+            )
+            communication = slow_batches * (
+                self.latency_seconds + intermediate_bytes / bandwidth
+            ) + (2.0 * profile.offloaded_bytes_array[split_idx]) / bandwidth
+            fast_chain = busy + communication + fast_offload
+            pair_time = np.maximum(slow_time, fast_chain)
+
+        # tolist() once: Python-float lists index an order of magnitude
+        # faster than element-wise numpy access in the build loop below.
+        # Positional construction (field order: slow_id, fast_id,
+        # offloaded_layers, estimate / offloaded_layers, slow_time,
+        # fast_own_time, communication_time, fast_offload_time, pair_time)
+        # skips the kwarg handling on the round's thousands of decisions.
+        return [
+            PairingDecision(
+                agents[i].agent_id,
+                agents[j].agent_id,
+                m,
+                OffloadEstimate(m, st, own, comm, fo, pt),
+            )
+            for i, j, m, st, own, comm, fo, pt in zip(
+                slow,
+                fast,
+                layers.tolist(),
+                slow_time.tolist(),
+                busy.tolist(),
+                communication.tolist(),
+                fast_offload.tolist(),
+                pair_time.tolist(),
+            )
+        ]
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+
+def _empty_state(
+    ids: tuple[int, ...], k: int, signatures: dict[int, tuple], taus: np.ndarray
+) -> PlannerState:
+    n = len(ids)
+    return PlannerState(
+        ids=ids,
+        k=k,
+        signatures=signatures,
+        taus=taus,
+        cand_pos=np.full((n, k), -1, dtype=np.int64),
+        cand_ids=np.full((n, k), -1, dtype=np.int64),
+        cand_bw=np.zeros((n, k), dtype=np.float64),
+        best_times=np.full((n, k), np.inf),
+        best_split=np.full((n, k), -1, dtype=np.int64),
+        valid=np.zeros((n, k), dtype=bool),
+    )
+
+
+def _complete_graph_candidates(
+    taus: np.ndarray, access: np.ndarray, rows: list[int], k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Candidate selection on a complete graph without materialising O(n²).
+
+    Every connected agent can reach every other, so the per-row top-k
+    reduces to one shared global pool: the k+1 connected agents with the
+    smallest τ̂ (one extra so each row can drop itself).  Rows outside the
+    pool share the same k candidates (vectorized broadcast); the at most
+    k+1 pool members each drop themselves (tiny Python loop).
+    """
+    empty = (
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0),
+    )
+    pool = np.nonzero(access > 0.0)[0]
+    if pool.size == 0:
+        return empty
+    if pool.size > k + 1:
+        keep = np.argpartition(taus[pool], k)[: k + 1]
+        pool = pool[keep]
+    pool = np.sort(pool)
+    rows_array = np.asarray(rows, dtype=np.int64)
+    connected = access[rows_array] > 0.0
+    slot = np.searchsorted(pool, rows_array)
+    in_pool = (slot < pool.size) & (pool[np.minimum(slot, pool.size - 1)] == rows_array)
+
+    shared = pool[: min(k, pool.size)]
+    outside = rows_array[connected & ~in_pool]
+    rows_flat = np.repeat(outside, shared.size)
+    cols_flat = np.tile(shared, outside.size)
+
+    member_rows = rows_array[connected & in_pool]
+    if member_rows.size:
+        member_cols = [pool[pool != row][:k] for row in member_rows]
+        rows_flat = np.concatenate(
+            [rows_flat]
+            + [
+                np.full(len(cols), row, dtype=np.int64)
+                for row, cols in zip(member_rows, member_cols)
+            ]
+        )
+        cols_flat = np.concatenate([cols_flat] + member_cols)
+    if rows_flat.size == 0:
+        return empty
+    order = np.lexsort((cols_flat, rows_flat))
+    rows_flat = rows_flat[order]
+    cols_flat = cols_flat[order]
+    return rows_flat, cols_flat, np.minimum(access[rows_flat], access[cols_flat])
+
+
+def _pair_block_times(
+    profile: SplitProfile,
+    vectors: AgentVectors,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    bandwidths: np.ndarray,
+    latency_seconds: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Best split time/index for each (slow=rows[p], fast=cols[p]) pair.
+
+    Mirrors :class:`~repro.core.fastpath.PairCostModel`'s elementwise
+    expressions exactly (same per-agent vectors, same operation order,
+    strict-``<`` first-minimum split reduction), evaluated only on the
+    pruned pair list instead of the full n × n slice — bit-identical
+    times wherever both compute a pair.
+    """
+    batches = vectors.batches
+    busy = vectors.individual_times[cols]
+    fast_speed = vectors.throughput[cols] / vectors.flops[rows]
+    total = len(rows)
+    best_time = np.full(total, np.inf)
+    best_index = np.full(total, -1, dtype=np.int64)
+    slow_factors = profile.slow_time_array
+    fast_factors = profile.fast_time_array
+    intermediate = profile.intermediate_bytes_array
+    offloaded = profile.offloaded_bytes_array
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for index, option in enumerate(profile.offload_options):
+            if option == 0:
+                pair_time = np.maximum(vectors.solo_times[rows], busy)
+            else:
+                slow_factor = slow_factors[index]
+                fast_factor = fast_factors[index]
+                slow_time = (
+                    batches * slow_factor / vectors.slow_speed
+                    if slow_factor > 0
+                    else np.zeros(len(batches))
+                )
+                fast_offload = (
+                    (batches * fast_factor)[rows] / fast_speed
+                    if fast_factor > 0
+                    else np.zeros(total)
+                )
+                intermediate_bytes = (intermediate[index] * vectors.batch_sizes)[rows]
+                communication = batches[rows] * (
+                    latency_seconds + intermediate_bytes / bandwidths
+                ) + (2.0 * offloaded[index]) / bandwidths
+                fast_chain = (busy + communication) + fast_offload
+                pair_time = np.maximum(slow_time[rows], fast_chain)
+            better = pair_time < best_time
+            best_time[better] = pair_time[better]
+            best_index[better] = index
+    return best_time, best_index
+
+
+# ----------------------------------------------------------------------
+# Config-driven selection
+# ----------------------------------------------------------------------
+
+def build_planner(
+    profile: SplitProfile,
+    link_model: LinkModel,
+    *,
+    mode: str = "auto",
+    top_k: int = 32,
+    threshold: int = 256,
+    batch_size: Optional[int] = None,
+    improvement_threshold: float = 0.0,
+) -> Optional[PrunedPlanner]:
+    """Planner selection at the config boundary.
+
+    ``"dense"`` returns ``None`` (the scheduler keeps the exact dense
+    kernel for every round), ``"pruned"`` always engages the pruned
+    planner, and ``"auto"`` engages it only for rounds with at least
+    ``threshold`` participants — small populations stay byte-identical to
+    the dense path.
+    """
+    mode = normalize_planner_mode(mode)
+    if mode == "dense":
+        return None
+    return PrunedPlanner(
+        profile,
+        link_model,
+        top_k=top_k,
+        engage_threshold=None if mode == "pruned" else threshold,
+        batch_size=batch_size,
+        improvement_threshold=improvement_threshold,
+    )

@@ -17,6 +17,7 @@ from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
 from repro.core.fastpath import PairCostModel
 from repro.core.pairing import PairingDecision, greedy_pairing, pairing_makespan
+from repro.core.planner import PrunedPlanner
 from repro.core.profiling import SplitProfile
 from repro.core.workload import individual_training_time
 from repro.network.link import LinkModel
@@ -91,6 +92,7 @@ class DecentralizedPairingScheduler:
         participation_fraction: float = 1.0,
         improvement_threshold: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        planner: Optional[PrunedPlanner] = None,
     ) -> None:
         check_probability(participation_fraction, "participation_fraction")
         self.registry = registry
@@ -98,6 +100,10 @@ class DecentralizedPairingScheduler:
         self.profile = profile
         self.participation_fraction = participation_fraction
         self.improvement_threshold = improvement_threshold
+        #: Optional scalable planner (see :mod:`repro.core.planner`).  When
+        #: set and engaged for a round's population, it replaces the dense
+        #: kernel; otherwise the exact dense path below runs unchanged.
+        self.planner = planner
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = SchedulerStats()
         #: The shared list of individual training times (agent id -> τ̂),
@@ -127,21 +133,28 @@ class DecentralizedPairingScheduler:
 
         One :class:`~repro.core.fastpath.PairCostModel` evaluation per
         round supplies both the broadcast τ̂ list (step 2 of Algorithm 1)
-        and the pair-time tensor the greedy scan reduces over.
+        and the pair-time tensor the greedy scan reduces over.  When a
+        :class:`~repro.core.planner.PrunedPlanner` is attached and engages
+        for this population, it plans the round instead (top-k pruned
+        blocks, incremental across rounds); otherwise the dense path runs
+        exactly as before.
         """
         if participants is None:
             participants = self.select_participants()
-        cost_model = PairCostModel(
-            participants, self.profile, link_model=self.link_model
-        )
-        self.shared_training_times = cost_model.individual_times_by_id()
-        decisions = greedy_pairing(
-            participants=participants,
-            link_model=self.link_model,
-            profile=self.profile,
-            improvement_threshold=self.improvement_threshold,
-            cost_model=cost_model,
-        )
+        if self.planner is not None and self.planner.engages(len(participants)):
+            decisions, self.shared_training_times = self.planner.plan(participants)
+        else:
+            cost_model = PairCostModel(
+                participants, self.profile, link_model=self.link_model
+            )
+            self.shared_training_times = cost_model.individual_times_by_id()
+            decisions = greedy_pairing(
+                participants=participants,
+                link_model=self.link_model,
+                profile=self.profile,
+                improvement_threshold=self.improvement_threshold,
+                cost_model=cost_model,
+            )
         self.stats.rounds += 1
         self.stats.total_pairs += sum(1 for d in decisions if d.is_offloading)
         self.stats.total_solo += sum(1 for d in decisions if not d.is_offloading)

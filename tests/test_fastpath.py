@@ -14,7 +14,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.agents.agent import Agent
 from repro.agents.resources import ResourceProfile
-from repro.core.fastpath import PairCostModel, bandwidth_matrix
+from repro.core.fastpath import PairCostModel, bandwidth_matrix, sparse_bandwidth
 from repro.core.pairing import greedy_pairing, greedy_pairing_reference
 from repro.core.profiling import profile_architecture
 from repro.core.workload import (
@@ -345,3 +345,96 @@ class TestExactSolverEquivalence:
         assert result == _exact_reference(
             agents, PROFILE, pairwise_bandwidth, batch_size=64
         )
+
+
+class _HalvedLinkModel(LinkModel):
+    """Custom pairwise semantics: half the default effective bandwidth."""
+
+    def bandwidth(self, a, b):  # noqa: D102 - contract inherited
+        return super().bandwidth(a, b) / 2.0
+
+
+class TestBandwidthRepresentations:
+    def test_bandwidth_matrix_with_custom_subclass(self, small_registry):
+        """Overridden semantics go through per-edge calls, exactly."""
+        for kind in ("full", "ring", "random"):
+            base = _link_model(small_registry.agents, kind, 5)
+            custom = _HalvedLinkModel(base.topology)
+            matrix = bandwidth_matrix(small_registry.agents, custom)
+            for i, a in enumerate(small_registry.agents):
+                for j, b in enumerate(small_registry.agents):
+                    expected = custom.bandwidth(a, b) if i != j else 0.0
+                    assert matrix[i, j] == expected
+
+    def test_bandwidth_matrix_with_agent_missing_from_topology(
+        self, small_registry
+    ):
+        """A participant the topology does not know resolves to 0 links."""
+        agents = list(small_registry.agents)
+        link_model = LinkModel(
+            full_topology([agent.agent_id for agent in agents[:-1]])
+        )
+        matrix = bandwidth_matrix(agents, link_model)
+        assert (matrix[-1, :] == 0.0).all()
+        assert (matrix[:, -1] == 0.0).all()
+        for i, a in enumerate(agents[:-1]):
+            for j, b in enumerate(agents[:-1]):
+                expected = link_model.bandwidth(a, b) if i != j else 0.0
+                assert matrix[i, j] == expected
+
+    def test_bandwidth_matrix_propagates_unexpected_errors(
+        self, small_registry, small_link_model, monkeypatch
+    ):
+        """Only missing-node failures may demote to the fallback path."""
+        import repro.core.fastpath as fastpath
+
+        def broken_adjacency(link_model, ids):
+            raise RuntimeError("adjacency bug")
+
+        monkeypatch.setattr(fastpath, "_adjacency", broken_adjacency)
+        with pytest.raises(RuntimeError, match="adjacency bug"):
+            bandwidth_matrix(small_registry.agents, small_link_model)
+
+    def test_sparse_bandwidth_matches_link_model(self, small_registry):
+        for kind in ("full", "ring", "random"):
+            link_model = _link_model(small_registry.agents, kind, 9)
+            sparse = sparse_bandwidth(small_registry.agents, link_model)
+            dense = bandwidth_matrix(small_registry.agents, link_model)
+            assert sparse.num_rows == len(small_registry.agents)
+            rebuilt = np.zeros_like(dense)
+            for i in range(sparse.num_rows):
+                cols, values = sparse.row(i)
+                assert (values > 0.0).all()
+                assert (np.diff(cols) > 0).all()  # ascending, no duplicates
+                rebuilt[i, cols] = values
+            assert (rebuilt == dense).all()
+
+    def test_sparse_bandwidth_with_custom_subclass(self, small_registry):
+        base = _link_model(small_registry.agents, "random", 9)
+        custom = _HalvedLinkModel(base.topology)
+        sparse = sparse_bandwidth(small_registry.agents, custom)
+        dense = bandwidth_matrix(small_registry.agents, custom)
+        rebuilt = np.zeros_like(dense)
+        for i in range(sparse.num_rows):
+            cols, values = sparse.row(i)
+            rebuilt[i, cols] = values
+        assert (rebuilt == dense).all()
+
+    def test_sparse_bandwidth_empty_population(self):
+        sparse = sparse_bandwidth([], LinkModel(full_topology([])))
+        assert sparse.num_rows == 0
+        assert sparse.num_links == 0
+
+
+class TestBatchSizeValidation:
+    def test_cost_model_rejects_non_positive_batch_size(
+        self, small_registry, small_link_model
+    ):
+        for bad in (0, -5):
+            with pytest.raises(ValueError, match="batch_size"):
+                PairCostModel(
+                    small_registry.agents,
+                    PROFILE,
+                    link_model=small_link_model,
+                    batch_size=bad,
+                )

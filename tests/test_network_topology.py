@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.network.topology import full_topology, random_topology, ring_topology
+from repro.network.topology import (
+    full_topology,
+    random_k_topology,
+    random_topology,
+    ring_topology,
+)
 
 
 class TestFullTopology:
@@ -75,3 +80,40 @@ class TestRandomTopology:
         topology = random_topology(range(10), 0.5, rng)
         sub = topology.subgraph([0, 1, 2])
         assert set(sub.nodes) == {0, 1, 2}
+
+
+class TestRandomKTopology:
+    def test_edge_count_scales_with_k_not_n_squared(self):
+        topology = random_k_topology(range(400), 4, np.random.default_rng(0))
+        # Spanning chain + up to n·k sampled links (self/duplicate draws
+        # are discarded), far below the 79 800 full-graph edges.
+        assert 399 <= topology.num_edges <= 400 * 5
+        assert topology.num_nodes == 400
+
+    def test_connected_by_default(self):
+        topology = random_k_topology(range(50), 2, np.random.default_rng(1))
+        assert topology.is_connected_graph
+
+    def test_without_connectivity_guarantee(self):
+        topology = random_k_topology(
+            range(50), 2, np.random.default_rng(1), ensure_connected=False
+        )
+        assert topology.num_nodes == 50
+        assert topology.num_edges >= 1
+
+    def test_no_self_links(self):
+        topology = random_k_topology(range(30), 3, np.random.default_rng(2))
+        assert all(u != v for u, v in topology.graph.edges)
+
+    def test_deterministic_given_rng(self):
+        a = random_k_topology(range(40), 3, np.random.default_rng(7))
+        b = random_k_topology(range(40), 3, np.random.default_rng(7))
+        assert set(a.graph.edges) == set(b.graph.edges)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            random_k_topology(range(5), 0, np.random.default_rng(0))
+
+    def test_tiny_populations(self):
+        assert random_k_topology([1], 2, np.random.default_rng(0)).num_edges == 0
+        assert random_k_topology([], 2, np.random.default_rng(0)).num_nodes == 0

@@ -10,11 +10,14 @@ history that ``--check`` can gate on:
     PYTHONPATH=src python tools/bench_trajectory.py 5
 
     # CI: rerun the suite and fail if the 50-agent round-planning bench
-    # regressed more than 2x against the committed baseline, or if the
+    # regressed more than 2x against the committed baseline, if the
     # kernel's same-machine speedup over the scalar reference (the
-    # machine-independent signal) fell below 4x
+    # machine-independent signal) fell below 4x, if the pruned planner's
+    # scaling exponent drifted super-linear, or if its 5000-agent round
+    # got slower than the dense kernel's 500-agent round
     PYTHONPATH=src python tools/bench_trajectory.py ci --out bench-ci.json \
-        --check BENCH_5.json --max-ratio 2.0 --min-speedup 4.0
+        --check BENCH_6.json --max-ratio 2.0 --min-speedup 4.0 \
+        --max-exponent 1.3 --planner-dense-ratio 1.0
 
 See docs/performance.md for the file format and how to read it.
 """
@@ -37,7 +40,45 @@ GATED_BENCH = "test_round_timing_speed"
 #: Pair reported as a same-machine speedup when both are present.
 SPEEDUP_PAIR = ("test_round_timing_speed_scalar", "test_round_timing_speed")
 
+#: Scaling-curve column gated by --max-exponent: the pruned planner's
+#: steady-state round on the random-k topology across populations.
+SCALING_BENCH = "test_planner_round_speed"
+SCALING_TOPOLOGY = "random-k"
+SCALING_POPULATIONS = (50, 500, 5_000)
+
+#: Same-run pair gated by --planner-dense-ratio: the pruned planner's
+#: 5 000-agent steady-state round must stay under this multiple of the
+#: dense kernel's 500-agent round (the ISSUE 6 acceptance bar is 1.0).
+PLANNER_DENSE_PAIR = (
+    "test_planner_round_speed[random-k-5000]",
+    "test_dense_round_speed_500",
+)
+
 SCHEMA = 1
+
+
+def scaling_exponent(benches: dict) -> float | None:
+    """Least-squares slope of log(median) vs log(n) on the scaling column.
+
+    Fitting the exponent rather than eyeballing the constant means the
+    gate catches accidental O(n²) work (exponent drifting towards 2)
+    even on a machine where every bench is uniformly faster or slower
+    than the committed baseline.
+    """
+    import math
+
+    points = []
+    for population in SCALING_POPULATIONS:
+        entry = benches.get(f"{SCALING_BENCH}[{SCALING_TOPOLOGY}-{population}]")
+        if entry is None:
+            return None
+        points.append((math.log(population), math.log(entry["median_seconds"])))
+    if len(points) < 2:
+        return None
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    denominator = sum((x - mean_x) ** 2 for x, _ in points)
+    return sum((x - mean_x) * (y - mean_y) for x, y in points) / denominator
 
 
 def _git(*args: str) -> str:
@@ -152,6 +193,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--max-exponent",
+        type=float,
+        default=None,
+        help=(
+            "fail when the fitted scaling exponent of the pruned planner's "
+            "random-k round (median vs population, log-log least squares) "
+            "measured in THIS run exceeds this; catches super-linear growth "
+            "independently of the machine's absolute speed"
+        ),
+    )
+    parser.add_argument(
+        "--planner-dense-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail when the pruned planner's 5000-agent round takes more than "
+            "this multiple of the dense kernel's 500-agent round in THIS run "
+            "(the acceptance bar is 1.0: 10x the agents in less time)"
+        ),
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -181,6 +243,45 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"check: speedup {speedup:.1f}x below the {args.min_speedup:.1f}x "
                 "floor REGRESSION"
+            )
+            status = 2
+
+    exponent = scaling_exponent(snap["benches"])
+    if exponent is not None:
+        print(
+            f"planner scaling exponent ({SCALING_TOPOLOGY}, "
+            f"n={'/'.join(map(str, SCALING_POPULATIONS))}): {exponent:.2f}"
+        )
+    if args.max_exponent is not None:
+        if exponent is None:
+            print("check: scaling-curve benches missing from the suite")
+            status = 2
+        elif exponent > args.max_exponent:
+            print(
+                f"check: scaling exponent {exponent:.2f} above the "
+                f"{args.max_exponent:.2f} ceiling REGRESSION"
+            )
+            status = 2
+
+    pruned, dense = PLANNER_DENSE_PAIR
+    planner_ratio = None
+    if pruned in snap["benches"] and dense in snap["benches"]:
+        planner_ratio = (
+            snap["benches"][pruned]["median_seconds"]
+            / snap["benches"][dense]["median_seconds"]
+        )
+        print(
+            f"pruned 5000-agent round vs dense 500-agent round: "
+            f"{planner_ratio:.2f}x"
+        )
+    if args.planner_dense_ratio is not None:
+        if planner_ratio is None:
+            print("check: planner/dense comparison benches missing from the suite")
+            status = 2
+        elif planner_ratio > args.planner_dense_ratio:
+            print(
+                f"check: planner/dense ratio {planner_ratio:.2f}x above the "
+                f"{args.planner_dense_ratio:.2f}x limit REGRESSION"
             )
             status = 2
 
