@@ -28,6 +28,7 @@ from repro.network.topology import Topology, full_topology
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.runtime import RuntimeDelegate, TrainingRuntime
 from repro.runtime.strategy import RoundPlan, StrategyDefaults, WorkUnit, solo_decisions
+from repro.runtime.trace import EventTrace
 from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
 from repro.training.curves import LearningCurveModel, curve_preset_for
 from repro.utils.seeding import SeedSequenceFactory
@@ -50,6 +51,7 @@ class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
         accuracy_tracker: Optional[AccuracyTracker] = None,
         profile: Optional[SplitProfile] = None,
         dynamics: Optional[DynamicsSchedule] = None,
+        trace: Optional["EventTrace"] = None,
     ) -> None:
         self.registry = registry
         self.spec = spec
@@ -84,6 +86,7 @@ class BaselineTrainer(StrategyDefaults, RuntimeDelegate):
             accuracy_tracker=tracker,
             churn_rng=seeds.generator(f"{self.method_name}.churn"),
             dynamics=dynamics,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------

@@ -21,6 +21,8 @@ of them accept the campaign execution flags: ``--jobs``, ``--cache-dir``
    comdml campaign show my_sweep.json
    comdml campaign clean
    comdml schedule poisson --horizon 20000 --arrival-rate 0.001 --out sched.json
+   comdml trace record --out run.jsonl --mode semi-sync --max-rounds 10
+   comdml trace verify run.jsonl
 """
 
 from __future__ import annotations
@@ -390,6 +392,55 @@ def _cmd_worker_serve(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# Sealed traces
+# ----------------------------------------------------------------------
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ExperimentRunner
+    from repro.experiments.scenarios import ScenarioConfig
+
+    runner = ExperimentRunner(
+        ScenarioConfig(
+            num_agents=args.agents,
+            dataset=args.dataset,
+            model=args.model,
+            max_rounds=args.max_rounds,
+            execution_mode=args.mode,
+            churn_fraction=args.churn,
+            seed=args.seed,
+        )
+    )
+    history = runner.run_method_sealed(
+        args.method, args.out, segment_events=args.segment_events
+    )
+    print(
+        f"recorded {len(history)} rounds of {args.method} ({args.mode}) "
+        f"to sealed trace {args.out}"
+    )
+    print(f"history digest {history.digest()}")
+    return 0
+
+
+def _cmd_trace_verify(args: argparse.Namespace) -> int:
+    from repro.runtime.audit import verify_sealed_jsonl
+
+    result = verify_sealed_jsonl(args.path)
+    if result.ok:
+        print(
+            f"OK: {args.path} verifies clean "
+            f"({result.events} events, head {result.head})"
+        )
+        return 0
+    print(f"TAMPERED: {args.path}: {result.error}", file=sys.stderr)
+    if result.first_divergent_index is not None:
+        print(
+            f"first divergent event index: {result.first_divergent_index}",
+            file=sys.stderr,
+        )
+    return 1
+
+
+# ----------------------------------------------------------------------
 # Schedule generation
 # ----------------------------------------------------------------------
 
@@ -600,6 +651,47 @@ def build_parser() -> argparse.ArgumentParser:
         "(workers may be started before the campaign)",
     )
     serve_parser.set_defaults(handler=_cmd_worker_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="record and verify tamper-evident sealed event traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record_parser = trace_sub.add_parser(
+        "record", help="run one method with a sealed JSONL trace sink"
+    )
+    record_parser.add_argument("--out", required=True, help="sealed trace path")
+    record_parser.add_argument(
+        "--method", default="ComDML", help="training method to run"
+    )
+    record_parser.add_argument("--agents", type=int, default=10)
+    record_parser.add_argument(
+        "--dataset", choices=("cifar10", "cifar100", "cinic10"), default="cifar10"
+    )
+    record_parser.add_argument(
+        "--model", choices=("resnet56", "resnet110"), default="resnet56"
+    )
+    record_parser.add_argument("--max-rounds", type=int, default=20)
+    record_parser.add_argument(
+        "--mode", choices=("sync", "semi-sync", "async"), default="sync"
+    )
+    record_parser.add_argument(
+        "--churn", type=float, default=0.0, help="churn fraction"
+    )
+    record_parser.add_argument(
+        "--segment-events",
+        type=int,
+        default=None,
+        help="events per sealed segment (default: config value)",
+    )
+    record_parser.add_argument("--seed", type=int, default=0)
+    record_parser.set_defaults(handler=_cmd_trace_record)
+    verify_parser = trace_sub.add_parser(
+        "verify",
+        help="re-derive a sealed trace's hash chain; exit 1 on tampering "
+        "with the exact first divergent event index",
+    )
+    verify_parser.add_argument("path", help="sealed JSONL trace to verify")
+    verify_parser.set_defaults(handler=_cmd_trace_verify)
 
     schedule = subparsers.add_parser(
         "schedule", help="generate dynamics schedules (save/load as JSON)"

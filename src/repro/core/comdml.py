@@ -37,6 +37,7 @@ from repro.network.topology import Topology, full_topology
 from repro.runtime.dynamics import DynamicsSchedule
 from repro.runtime.runtime import RuntimeDelegate, TrainingRuntime
 from repro.runtime.strategy import RoundPlan, StrategyDefaults, WorkUnit
+from repro.runtime.trace import EventTrace
 from repro.sim.costs import transfer_time_seconds
 from repro.training.accuracy import AccuracyTracker, CurveAccuracyTracker
 from repro.training.curves import LearningCurveModel
@@ -57,6 +58,7 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
         accuracy_tracker: Optional[AccuracyTracker] = None,
         profile: Optional[SplitProfile] = None,
         dynamics: Optional[DynamicsSchedule] = None,
+        trace: Optional[EventTrace] = None,
     ) -> None:
         self.registry = registry
         self.spec = spec
@@ -111,6 +113,7 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             accuracy_tracker=tracker,
             churn_rng=seeds.generator("churn"),
             dynamics=dynamics,
+            trace=trace,
         )
 
     # ------------------------------------------------------------------

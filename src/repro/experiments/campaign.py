@@ -514,6 +514,17 @@ class CampaignCache:
 # Execution
 # ----------------------------------------------------------------------
 
+def cell_payload_digest(payload: Any) -> str:
+    """sha256 of a cell payload's canonical JSON form.
+
+    Computed once per cell as results stream in (cache hits included), so
+    summary construction consumes digests instead of re-serialising every
+    payload after the fact.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class CellResult:
     """Outcome of one campaign cell."""
@@ -524,6 +535,9 @@ class CellResult:
     status: str  # "hit" or "miss"
     payload: Any
     elapsed_seconds: float
+    #: Canonical digest of ``payload``, stamped when the result is created;
+    #: the campaign summary folds these through its audit chain.
+    payload_digest: str = ""
 
     @property
     def cached(self) -> bool:
@@ -680,6 +694,7 @@ class CampaignExecutor:
                     status="hit",
                     payload=entry["payload"],
                     elapsed_seconds=elapsed,
+                    payload_digest=cell_payload_digest(entry["payload"]),
                 )
                 event_counts["cell_cached"] += 1
                 emit(CellCached(index=index, key=key, elapsed_seconds=elapsed))
@@ -730,6 +745,7 @@ class CampaignExecutor:
                     status="miss",
                     payload=event.payload,
                     elapsed_seconds=event.elapsed_seconds,
+                    payload_digest=cell_payload_digest(event.payload),
                 )
             elif isinstance(event, CellFailed):
                 logger.warning(

@@ -31,7 +31,9 @@ import json
 import sys
 from typing import TYPE_CHECKING, Any, Mapping, Optional, Sequence, TextIO
 
+from repro.runtime.audit import ChainState
 from repro.runtime.dynamics import DYNAMICS_KINDS
+from repro.runtime.sinks import CallbackSink
 from repro.runtime.trace import EventTrace, TraceEvent
 from repro.training.metrics import RunHistory
 
@@ -162,11 +164,65 @@ def format_agent_timeline(
     return f"agent {agent_id} timeline\n{table}"
 
 
-def dynamics_annotation(trace: EventTrace) -> str:
+class StreamingTraceSummary:
+    """Incremental trace consumer: summary figures without event retention.
+
+    Attach via :meth:`sink` as an extra pipeline sink and the summary
+    accumulates kind counts and per-round dynamics tallies *as the run
+    executes* — memory stays O(rounds), so a capped (or even empty)
+    in-memory view no longer limits reporting.  The rendering helpers
+    (:func:`dynamics_annotation`, :func:`format_dynamics_summary`) accept a
+    summary anywhere they accept a trace.
+    """
+
+    #: Kinds tallied per round (matches the dynamics summary table).
+    TRACKED = DYNAMICS_TRACE_KINDS + (
+        "unit_repriced",
+        "unit_abandoned",
+        "straggler_dropped",
+    )
+
+    def __init__(self) -> None:
+        self.events = 0
+        self._kind_counts: dict[str, int] = {}
+        self.per_round: dict[int, dict[str, int]] = {}
+        self._trace: Optional[EventTrace] = None
+
+    def consume(self, event: TraceEvent) -> None:
+        """Fold one event into the running summary."""
+        self.events += 1
+        self._kind_counts[event.kind] = self._kind_counts.get(event.kind, 0) + 1
+        if event.kind in self.TRACKED:
+            counts = self.per_round.setdefault(
+                event.round_index, {kind: 0 for kind in self.TRACKED}
+            )
+            counts[event.kind] += 1
+
+    def sink(self, name: str = "summary") -> CallbackSink:
+        """The pipeline sink that feeds this summary."""
+        return CallbackSink(self.consume, name=name)
+
+    def bind(self, trace: EventTrace) -> "StreamingTraceSummary":
+        """Remember the pipeline so :attr:`dropped_events` reflects it."""
+        self._trace = trace
+        return self
+
+    @property
+    def dropped_events(self) -> int:
+        """Drop count of the bound pipeline (0 when unbound)."""
+        return self._trace.dropped_events if self._trace is not None else 0
+
+    def kind_counts(self) -> dict[str, int]:
+        """Histogram of consumed event kinds."""
+        return dict(self._kind_counts)
+
+
+def dynamics_annotation(trace: "EventTrace | StreamingTraceSummary") -> str:
     """Compact arrival/churn/departure summary, e.g. ``"2 arr · 1 dep · 3 churn"``.
 
-    Returns ``"-"`` when the trace holds no dynamics events, so the string
-    can be used directly as a table cell.
+    Accepts an event trace or a :class:`StreamingTraceSummary`.  Returns
+    ``"-"`` when there are no dynamics events, so the string can be used
+    directly as a table cell.
     """
     counts = trace.kind_counts()
     parts = []
@@ -180,22 +236,42 @@ def dynamics_annotation(trace: EventTrace) -> str:
     return " · ".join(parts) if parts else "-"
 
 
-def format_dynamics_summary(trace: EventTrace) -> str:
-    """Per-round table of dynamics events and their casualties.
-
-    One row per round that saw an arrival, departure, churn, re-cost,
-    abandoned unit or dropped straggler — the observability surface for
-    :class:`~repro.runtime.dynamics.DynamicsSchedule` runs.
-    """
+def _per_round_dynamics(
+    trace: "EventTrace | StreamingTraceSummary",
+) -> dict[int, dict[str, int]]:
+    """Per-round dynamics tallies from a trace or a streaming summary."""
+    if isinstance(trace, StreamingTraceSummary):
+        return trace.per_round
     per_round: dict[int, dict[str, int]] = {}
-    tracked = DYNAMICS_TRACE_KINDS + ("unit_repriced", "unit_abandoned", "straggler_dropped")
+    tracked = StreamingTraceSummary.TRACKED
     for event in trace:
         if event.kind not in tracked:
             continue
         counts = per_round.setdefault(event.round_index, {k: 0 for k in tracked})
         counts[event.kind] += 1
+    return per_round
+
+
+def format_dynamics_summary(trace: "EventTrace | StreamingTraceSummary") -> str:
+    """Per-round table of dynamics events and their casualties.
+
+    One row per round that saw an arrival, departure, churn, re-cost,
+    abandoned unit or dropped straggler — the observability surface for
+    :class:`~repro.runtime.dynamics.DynamicsSchedule` runs.  Accepts an
+    event trace or a bound :class:`StreamingTraceSummary`.  When the trace
+    pipeline dropped events (capacity, filters), the count is stated below
+    the table — truncation is never silent.
+    """
+    per_round = _per_round_dynamics(trace)
+    dropped = getattr(trace, "dropped_events", 0)
+    suffix = (
+        f"\n({dropped} trace events dropped by capacity/filters; "
+        "tallies reflect retained events only)"
+        if dropped
+        else ""
+    )
     if not per_round:
-        return "(no dynamics events)"
+        return "(no dynamics events)" + suffix
     rows = [
         {
             "round": round_index,
@@ -208,7 +284,7 @@ def format_dynamics_summary(trace: EventTrace) -> str:
         }
         for round_index, counts in sorted(per_round.items())
     ]
-    return format_table(rows)
+    return format_table(rows) + suffix
 
 
 # ----------------------------------------------------------------------
@@ -232,30 +308,39 @@ def campaign_summary(result: "CampaignResult") -> dict[str, Any]:
     """The *deterministic* summary of a campaign's results.
 
     Contains only facts that are a pure function of the spec and the
-    runner code — cell keys and payload digests, plus an overall campaign
-    digest folding them together — and none of how the run happened
-    (backend, jobs, cache state, timing: see :func:`execution_report`).
-    The CI backend matrix asserts these bytes are identical across
-    ``serial``/``thread``/``process``/``worker-pool``.
+    runner code — cell keys and payload digests, folded through the audit
+    hash chain of :mod:`repro.runtime.audit` — and none of how the run
+    happened (backend, jobs, cache state, timing: see
+    :func:`execution_report`).  The CI backend matrix asserts these bytes
+    are identical across ``serial``/``thread``/``process``/``worker-pool``.
+
+    Each ``per_cell`` row carries its payload digest (streamed from the
+    executor as results arrive, re-derived here as a fallback) plus the
+    chain head after folding it in; ``digest`` is the final head, so
+    :func:`repro.runtime.audit.verify_campaign_summary` localises any
+    tampering to the exact first divergent cell.
     """
     axes = [axis for axis, _ in result.spec.axes]
-    per_cell = [
-        {
-            "index": cell.index,
-            "cell": cell_label(cell.params, axes),
-            "key": cell.key,
-            "payload_digest": payload_digest(cell.payload),
-        }
-        for cell in result.cells
-    ]
-    overall = hashlib.sha256(
-        "".join(row["payload_digest"] for row in per_cell).encode("utf-8")
-    ).hexdigest()
+    chain = ChainState()
+    per_cell = []
+    for cell in result.cells:
+        digest = getattr(cell, "payload_digest", None) or payload_digest(
+            cell.payload
+        )
+        per_cell.append(
+            {
+                "index": cell.index,
+                "cell": cell_label(cell.params, axes),
+                "key": cell.key,
+                "payload_digest": digest,
+                "chain": chain.update(digest),
+            }
+        )
     return {
         "name": result.spec.name,
         "runner": result.spec.runner,
         "cells": len(result.cells),
-        "digest": overall,
+        "digest": chain.head,
         "per_cell": per_cell,
     }
 

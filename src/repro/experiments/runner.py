@@ -12,6 +12,7 @@ learning-curve efficiency keys.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional
 
 from repro.baselines.allreduce_dml import AllReduceDML
@@ -22,6 +23,8 @@ from repro.baselines.gossip import GossipLearning
 from repro.core.comdml import ComDML
 from repro.experiments.scenarios import Scenario, ScenarioConfig, build_scenario
 from repro.runtime.dynamics import DynamicsSchedule
+from repro.runtime.sinks import JSONLSink
+from repro.runtime.trace import EventTrace
 from repro.training.accuracy import AccuracyTracker
 from repro.training.metrics import RunHistory
 
@@ -58,6 +61,7 @@ class ExperimentRunner:
         method: str,
         accuracy_tracker: Optional[AccuracyTracker] = None,
         dynamics: Optional[DynamicsSchedule] = None,
+        trace: Optional[EventTrace] = None,
     ):
         """Instantiate a training method for this scenario.
 
@@ -92,6 +96,7 @@ class ExperimentRunner:
             accuracy_tracker=tracker,
             profile=self.scenario.profile,
             dynamics=dynamics,
+            trace=trace,
         )
 
     def run_method(
@@ -109,11 +114,43 @@ class ExperimentRunner:
         method: str,
         accuracy_tracker: Optional[AccuracyTracker] = None,
         dynamics: Optional[DynamicsSchedule] = None,
+        trace: Optional[EventTrace] = None,
     ):
         """Run one method and return ``(history, event_trace)``."""
-        trainer = self.build_method(method, accuracy_tracker, dynamics)
+        trainer = self.build_method(method, accuracy_tracker, dynamics, trace)
         history = trainer.run()
         return history, trainer.runtime.trace
+
+    def run_method_sealed(
+        self,
+        method: str,
+        jsonl_path: str | Path,
+        accuracy_tracker: Optional[AccuracyTracker] = None,
+        dynamics: Optional[DynamicsSchedule] = None,
+        segment_events: Optional[int] = None,
+    ) -> RunHistory:
+        """Run one method with a sealed JSONL trace sink, closing it after.
+
+        The run's full event stream lands in ``jsonl_path`` as a
+        hash-chained, sealed trace (see :mod:`repro.runtime.audit`) that
+        ``comdml trace verify`` accepts; the in-memory view keeps the
+        scenario's configured cap.  Returns the run history.
+        """
+        config = self.scenario.comdml_config
+        sink = JSONLSink(
+            jsonl_path,
+            segment_events=segment_events
+            if segment_events is not None
+            else config.trace_segment_events,
+        )
+        trace = EventTrace(max_events=config.trace_max_events, sinks=(sink,))
+        try:
+            history, _ = self.run_method_with_trace(
+                method, accuracy_tracker, dynamics, trace
+            )
+        finally:
+            trace.close()
+        return history
 
     def compare(self, methods: Optional[list[str]] = None) -> dict[str, RunHistory]:
         """Run several methods on identical copies of the scenario."""

@@ -7,10 +7,33 @@ modes (``sync`` / ``semi-sync`` / ``async``),
 :mod:`repro.runtime.dynamics` for mid-round scenario dynamics (staggered
 arrivals, in-flight churn, departures), and :mod:`repro.runtime.quorum`
 for the pluggable semi-sync quorum policies.
+
+Tracing is a streaming pipeline: events pass through composable filter
+stages (:mod:`repro.runtime.filters`) into pluggable sinks
+(:mod:`repro.runtime.sinks`) with explicit per-stage drop accounting, and
+sealed file traces carry the hash-chained audit records of
+:mod:`repro.runtime.audit` (verifiable via ``comdml trace verify``).
 """
 
 from repro.core.config import EXECUTION_MODES, QUORUM_POLICIES
+from repro.runtime.audit import (
+    ChainState,
+    VerificationResult,
+    canonical_json,
+    history_audit_record,
+    verify_campaign_summary,
+    verify_history_record,
+    verify_sealed_jsonl,
+)
 from repro.runtime.dynamics import DynamicsEvent, DynamicsSchedule
+from repro.runtime.filters import (
+    AdaptiveSamplingFilter,
+    KindFilter,
+    LevelFilter,
+    TokenBucketFilter,
+    TraceFilter,
+    event_level,
+)
 from repro.runtime.quorum import (
     AdaptiveQuorum,
     DeadlineQuorum,
@@ -29,7 +52,21 @@ from repro.runtime.strategy import (
     participation_fraction,
     solo_decisions,
 )
-from repro.runtime.trace import EventTrace, TraceEvent
+from repro.runtime.sinks import (
+    CallbackSink,
+    JSONLSink,
+    MemorySink,
+    SQLiteSink,
+    TraceSink,
+    load_sqlite_trace,
+    make_sink,
+)
+from repro.runtime.trace import (
+    EventTrace,
+    PipelineStats,
+    TraceEvent,
+    build_event_trace,
+)
 
 __all__ = [
     "EXECUTION_MODES",
@@ -52,4 +89,26 @@ __all__ = [
     "solo_decisions",
     "EventTrace",
     "TraceEvent",
+    "PipelineStats",
+    "build_event_trace",
+    "TraceFilter",
+    "LevelFilter",
+    "KindFilter",
+    "TokenBucketFilter",
+    "AdaptiveSamplingFilter",
+    "event_level",
+    "TraceSink",
+    "MemorySink",
+    "CallbackSink",
+    "JSONLSink",
+    "SQLiteSink",
+    "load_sqlite_trace",
+    "make_sink",
+    "ChainState",
+    "VerificationResult",
+    "canonical_json",
+    "history_audit_record",
+    "verify_history_record",
+    "verify_campaign_summary",
+    "verify_sealed_jsonl",
 ]

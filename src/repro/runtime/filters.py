@@ -1,0 +1,197 @@
+"""Composable filter stages of the streaming trace pipeline.
+
+Filters sit between :meth:`~repro.runtime.trace.EventTrace.record` and the
+sinks: each stage either admits an event to the next stage or rejects it.
+A rejection is never silent — the pipeline counts it against the stage's
+name, and every sink's drop accounting includes upstream filter rejections,
+so ``emitted == delivered + dropped`` holds per sink at all times.
+
+All stages are deterministic functions of the *simulated* event stream
+(timestamps and arrival order), never of wall-clock time or randomness, so
+a filtered run is exactly reproducible:
+
+* :class:`LevelFilter` — keeps events whose kind maps to at least a
+  minimum level (engine internals are ``DEBUG``, per-unit events ``INFO``,
+  round boundaries and population dynamics ``IMPORTANT``);
+* :class:`KindFilter` — allow/deny lists over event kinds (stateless, so
+  it commutes with :class:`LevelFilter` and with other kind filters);
+* :class:`TokenBucketFilter` — classic rate limiter refilled by simulated
+  seconds;
+* :class:`AdaptiveSamplingFilter` — stride sampler that tightens
+  (doubles its stride) while the observed event rate exceeds its target
+  and relaxes again when load subsides.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.trace import TraceEvent
+
+#: Trace levels, fapilog-style: higher = more important.
+DEBUG = 10
+INFO = 20
+IMPORTANT = 30
+
+#: Event kinds above the default ``INFO`` level: round boundaries,
+#: aggregation barriers, quorum closures, and population dynamics.
+_IMPORTANT_KINDS = frozenset(
+    {
+        "round_start",
+        "round_end",
+        "aggregation",
+        "quorum_reached",
+        "quorum_deadline",
+        "arrival",
+        "departure",
+        "churn",
+    }
+)
+
+#: Event kinds below the default level: engine internals (opt-in via
+#: ``ComDMLConfig.trace_engine_events``).
+_DEBUG_KINDS = frozenset({"engine_event"})
+
+
+def event_level(kind: str) -> int:
+    """Trace level of an event kind (unknown kinds default to ``INFO``)."""
+    if kind in _IMPORTANT_KINDS:
+        return IMPORTANT
+    if kind in _DEBUG_KINDS:
+        return DEBUG
+    return INFO
+
+
+class TraceFilter:
+    """One pipeline stage: admit or reject each event, deterministically."""
+
+    #: Stage name used in per-stage drop accounting.
+    name = "filter"
+
+    def admit(self, event: "TraceEvent") -> bool:
+        """Whether the event proceeds to the next stage."""
+        raise NotImplementedError
+
+
+class LevelFilter(TraceFilter):
+    """Admit events whose kind's level is at least ``min_level``."""
+
+    def __init__(self, min_level: int) -> None:
+        self.min_level = int(min_level)
+        self.name = f"level>={self.min_level}"
+
+    def admit(self, event: "TraceEvent") -> bool:
+        return event_level(event.kind) >= self.min_level
+
+
+class KindFilter(TraceFilter):
+    """Admit events by kind: optional allow-list minus a deny-list."""
+
+    def __init__(
+        self,
+        allow: Optional[Iterable[str]] = None,
+        deny: Iterable[str] = (),
+    ) -> None:
+        self.allow = frozenset(allow) if allow is not None else None
+        self.deny = frozenset(deny)
+        label = []
+        if self.allow is not None:
+            label.append(f"allow={','.join(sorted(self.allow))}")
+        if self.deny:
+            label.append(f"deny={','.join(sorted(self.deny))}")
+        self.name = f"kind[{';'.join(label) or 'all'}]"
+
+    def admit(self, event: "TraceEvent") -> bool:
+        if event.kind in self.deny:
+            return False
+        return self.allow is None or event.kind in self.allow
+
+
+class TokenBucketFilter(TraceFilter):
+    """Rate-limit events to ``rate`` per simulated second with bursts.
+
+    The bucket refills along the *event timestamps* (the trace is
+    chronological), so two identical runs are limited identically.
+    """
+
+    name = "rate-limit"
+
+    def __init__(self, rate: float, burst: float = 64.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_timestamp: Optional[float] = None
+
+    def admit(self, event: "TraceEvent") -> bool:
+        if self._last_timestamp is not None:
+            elapsed = max(0.0, event.timestamp - self._last_timestamp)
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last_timestamp = event.timestamp
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class AdaptiveSamplingFilter(TraceFilter):
+    """Stride sampling that tightens under sustained load and recovers.
+
+    Events are bucketed into fixed windows of simulated time.  At each
+    window boundary the observed rate of the *previous* window is compared
+    against ``target_rate``: above it the stride doubles (keep every
+    2nd/4th/8th… event), at half the target or below it halves back
+    towards 1 (keep everything).  Within a window, admission is the
+    deterministic ``position % stride == 0`` — no randomness, so a
+    replayed run samples identically.  Rejected events are accounted as
+    drops by the pipeline, never skipped silently.
+    """
+
+    name = "adaptive-sampling"
+
+    def __init__(
+        self,
+        target_rate: float,
+        window_seconds: float = 1.0,
+        max_stride: int = 1024,
+    ) -> None:
+        if target_rate <= 0:
+            raise ValueError(f"target_rate must be positive, got {target_rate}")
+        if window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {window_seconds}"
+            )
+        if max_stride < 1:
+            raise ValueError(f"max_stride must be >= 1, got {max_stride}")
+        self.target_rate = float(target_rate)
+        self.window_seconds = float(window_seconds)
+        self.max_stride = int(max_stride)
+        self.stride = 1
+        self._window: Optional[int] = None
+        self._offered_in_window = 0
+        self._position = 0
+
+    def _roll_window(self, window: int) -> None:
+        observed_rate = self._offered_in_window / self.window_seconds
+        if observed_rate > self.target_rate:
+            self.stride = min(self.max_stride, self.stride * 2)
+        elif observed_rate <= self.target_rate / 2:
+            self.stride = max(1, self.stride // 2)
+        self._window = window
+        self._offered_in_window = 0
+        self._position = 0
+
+    def admit(self, event: "TraceEvent") -> bool:
+        window = int(event.timestamp // self.window_seconds)
+        if self._window is None:
+            self._window = window
+        elif window != self._window:
+            self._roll_window(window)
+        self._offered_in_window += 1
+        admitted = self._position % self.stride == 0
+        self._position += 1
+        return admitted

@@ -57,7 +57,7 @@ from repro.runtime.strategy import (
     WorkUnit,
     participation_fraction,
 )
-from repro.runtime.trace import EventTrace
+from repro.runtime.trace import EventTrace, build_event_trace
 from repro.sim.engine import SimulationEngine
 from repro.sim.events import Event
 from repro.training.accuracy import AccuracyTracker
@@ -155,9 +155,9 @@ class TrainingRuntime:
         self.config = config
         self.accuracy_tracker = accuracy_tracker
         self.engine = engine if engine is not None else SimulationEngine()
-        self.trace = (
-            trace if trace is not None else EventTrace(config.trace_max_events)
-        )
+        self.trace = trace if trace is not None else build_event_trace(config)
+        if config.trace_engine_events:
+            self.engine.subscribe(self._observe_engine_event)
         self.history = RunHistory(method=strategy.method_name)
         self.churn = (
             ResourceChurn(
@@ -208,6 +208,21 @@ class TrainingRuntime:
     def learning_rate(self) -> float:
         """Current learning rate of the shared plateau schedule."""
         return self._lr_schedule.learning_rate
+
+    # ------------------------------------------------------------------
+    def _observe_engine_event(self, event: Event) -> None:
+        """Mirror one processed engine event into the trace (DEBUG level).
+
+        Opt-in via ``ComDMLConfig.trace_engine_events``; with a level
+        filter at ``INFO`` or above these are counted as filter drops, so
+        the raw engine feed never inflates the in-memory view silently.
+        """
+        self.trace.record(
+            event.timestamp,
+            self._current_round,
+            "engine_event",
+            detail={"engine_kind": event.kind},
+        )
 
     # ------------------------------------------------------------------
     def _plan(self, round_index: int) -> RoundPlan:
@@ -982,6 +997,7 @@ class TrainingRuntime:
         seed loops).
         """
         mode = self.config.execution_mode
+        self._current_round = round_index
         if self.dynamics:
             if mode == "sync":
                 return self._run_round_sync_dynamic(round_index)
@@ -1013,4 +1029,7 @@ class TrainingRuntime:
                     self.engine.now,
                 )
                 break
+        # Push any buffered trace events to their sinks; files stay open
+        # (and unsealed) so callers can keep recording or close explicitly.
+        self.trace.flush()
         return self.history

@@ -1,0 +1,327 @@
+"""Pluggable sinks of the streaming trace pipeline.
+
+A sink is where admitted trace events land: the in-memory store behind the
+legacy :class:`~repro.runtime.trace.EventTrace` API, an append-only sealed
+JSONL file, a SQLite table, or an arbitrary callback (the hook streaming
+consumers like
+:class:`~repro.experiments.reporting.StreamingTraceSummary` plug into).
+Every sink keeps its own explicit accounting — ``delivered`` events stored
+and ``dropped`` events lost at the sink itself (capacity, write failure) —
+which the pipeline combines with upstream filter/buffer drops so that
+``emitted == delivered + dropped`` holds per sink at any point in time.
+
+File-backed sinks are *deferred*: the pipeline may stage their events in
+its bounded buffer and deliver in batches, so the simulation loop never
+blocks on I/O for each event.  In-memory and callback sinks are delivered
+synchronously.
+
+Sinks are constructed directly or from a compact spec string via
+:func:`make_sink` — ``"memory"``, ``"memory:5000"``, ``"jsonl:trace.jsonl"``,
+``"sqlite:trace.db"`` — which is what configuration surfaces use.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.runtime.audit import (
+    ChainState,
+    event_line,
+    final_seal_line,
+    segment_seal_line,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.runtime.trace import TraceEvent
+
+
+def event_payload(event: "TraceEvent") -> dict[str, Any]:
+    """Plain-dict (JSON-serialisable) form of one trace event."""
+    return {
+        "timestamp": event.timestamp,
+        "round_index": event.round_index,
+        "kind": event.kind,
+        "agent_ids": list(event.agent_ids),
+        "detail": event.detail,
+    }
+
+
+class TraceSink:
+    """Destination for admitted trace events, with explicit accounting."""
+
+    #: Sink name used in accounting tables and config errors.
+    name = "sink"
+    #: Deferred sinks may be batched behind the pipeline's bounded buffer.
+    deferred = False
+
+    def __init__(self) -> None:
+        #: Events this sink stored/forwarded successfully.
+        self.delivered = 0
+        #: Events lost at this sink itself (capacity, write failure).
+        self.dropped = 0
+
+    def emit(self, event: "TraceEvent") -> bool:
+        """Store one event; returns ``True`` iff it was delivered.
+
+        Implementations must update :attr:`delivered`/:attr:`dropped`
+        themselves — an event that returns from ``emit`` is accounted,
+        one way or the other.
+        """
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered state to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources and seal/commit durable state."""
+
+
+class MemorySink(TraceSink):
+    """Bounded in-memory event store — the legacy ``EventTrace`` backing.
+
+    Mirrors the original semantics exactly: at capacity, *new* events are
+    dropped (and counted), never old ones evicted, so the stored prefix of
+    a capped trace is identical to the uncapped trace's prefix.
+    """
+
+    name = "memory"
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        super().__init__()
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        self.max_events = max_events
+        self.events: list["TraceEvent"] = []
+
+    def emit(self, event: "TraceEvent") -> bool:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return False
+        self.events.append(event)
+        self.delivered += 1
+        return True
+
+
+class CallbackSink(TraceSink):
+    """Forward each event to a callable (streaming consumers, tests)."""
+
+    def __init__(
+        self, callback: Callable[["TraceEvent"], Any], name: str = "callback"
+    ) -> None:
+        super().__init__()
+        self.callback = callback
+        self.name = name
+
+    def emit(self, event: "TraceEvent") -> bool:
+        self.callback(event)
+        self.delivered += 1
+        return True
+
+
+class JSONLSink(TraceSink):
+    """Append-only sealed JSONL file: one chained event per line.
+
+    Each line carries the event's index, canonical body, and the audit
+    chain head after folding it in (see :mod:`repro.runtime.audit`).
+    Every ``segment_events`` events a segment seal records the chain state,
+    and :meth:`close` writes the final seal — ``comdml trace verify``
+    re-derives the whole chain and reports the exact first divergent event
+    on any tampering.
+    """
+
+    name = "jsonl"
+    deferred = True
+
+    def __init__(
+        self,
+        path: str | Path,
+        segment_events: Optional[int] = 4096,
+    ) -> None:
+        super().__init__()
+        if segment_events is not None and segment_events <= 0:
+            raise ValueError(
+                f"segment_events must be positive, got {segment_events}"
+            )
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.segment_events = segment_events
+        self.chain = ChainState()
+        self._segment = 0
+        self._segment_start = 0
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._closed = False
+
+    def emit(self, event: "TraceEvent") -> bool:
+        if self._closed:
+            self.dropped += 1
+            return False
+        index = self.chain.index
+        try:
+            head = self.chain.update(event_payload(event))
+            self._handle.write(event_line(index, event_payload(event), head) + "\n")
+        except (OSError, ValueError):
+            self.dropped += 1
+            return False
+        self.delivered += 1
+        if (
+            self.segment_events is not None
+            and self.chain.index - self._segment_start >= self.segment_events
+        ):
+            self._write_segment_seal()
+        return True
+
+    def _write_segment_seal(self) -> None:
+        self._handle.write(
+            segment_seal_line(
+                self._segment,
+                self._segment_start,
+                self.chain.index - self._segment_start,
+                self.chain.head,
+            )
+            + "\n"
+        )
+        self._segment += 1
+        self._segment_start = self.chain.index
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Write the final seal and close the file (idempotent)."""
+        if self._closed:
+            return
+        if self.chain.index > self._segment_start:
+            self._write_segment_seal()
+        self._handle.write(final_seal_line(self.chain.index, self.chain.head) + "\n")
+        self._handle.close()
+        self._closed = True
+
+
+class SQLiteSink(TraceSink):
+    """Trace events in a SQLite table (queryable post-hoc at any scale)."""
+
+    name = "sqlite"
+    deferred = True
+
+    #: Rows per implicit transaction; committed on flush/close as well.
+    COMMIT_EVERY = 1024
+
+    def __init__(self, path: str | Path, table: str = "trace_events") -> None:
+        super().__init__()
+        if not table.isidentifier():
+            raise ValueError(f"table must be an identifier, got {table!r}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.table = table
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {table} ("
+            "  idx INTEGER PRIMARY KEY,"
+            "  timestamp REAL NOT NULL,"
+            "  round_index INTEGER NOT NULL,"
+            "  kind TEXT NOT NULL,"
+            "  agent_ids TEXT NOT NULL,"
+            "  detail TEXT"
+            ")"
+        )
+        self._pending = 0
+        self._closed = False
+
+    def emit(self, event: "TraceEvent") -> bool:
+        if self._closed:
+            self.dropped += 1
+            return False
+        from repro.runtime.audit import canonical_json
+
+        try:
+            self._connection.execute(
+                f"INSERT INTO {self.table} "
+                "(idx, timestamp, round_index, kind, agent_ids, detail) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    self.delivered,
+                    event.timestamp,
+                    event.round_index,
+                    event.kind,
+                    canonical_json(list(event.agent_ids)),
+                    canonical_json(event.detail)
+                    if event.detail is not None
+                    else None,
+                ),
+            )
+        except sqlite3.Error:
+            self.dropped += 1
+            return False
+        self.delivered += 1
+        self._pending += 1
+        if self._pending >= self.COMMIT_EVERY:
+            self._connection.commit()
+            self._pending = 0
+        return True
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._connection.commit()
+            self._pending = 0
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._connection.commit()
+        self._connection.close()
+        self._closed = True
+
+
+def load_sqlite_trace(
+    path: str | Path, table: str = "trace_events"
+) -> list[dict[str, Any]]:
+    """Read a :class:`SQLiteSink` table back as plain event dicts."""
+    import json
+
+    if not table.isidentifier():
+        raise ValueError(f"table must be an identifier, got {table!r}")
+    with sqlite3.connect(str(path)) as connection:
+        rows = connection.execute(
+            f"SELECT timestamp, round_index, kind, agent_ids, detail "
+            f"FROM {table} ORDER BY idx"
+        ).fetchall()
+    return [
+        {
+            "timestamp": timestamp,
+            "round_index": round_index,
+            "kind": kind,
+            "agent_ids": json.loads(agent_ids),
+            "detail": json.loads(detail) if detail is not None else None,
+        }
+        for timestamp, round_index, kind, agent_ids, detail in rows
+    ]
+
+
+# ----------------------------------------------------------------------
+# Spec-string construction
+# ----------------------------------------------------------------------
+
+def make_sink(spec: str) -> TraceSink:
+    """Build a sink from a compact spec string.
+
+    ``"memory"`` / ``"memory:<max_events>"`` / ``"jsonl:<path>"`` /
+    ``"sqlite:<path>"`` — the form configuration files and CLIs use.
+    """
+    kind, _, argument = spec.partition(":")
+    if kind == "memory":
+        return MemorySink(int(argument) if argument else None)
+    if kind == "jsonl":
+        if not argument:
+            raise ValueError("jsonl sink needs a path: 'jsonl:<path>'")
+        return JSONLSink(argument)
+    if kind == "sqlite":
+        if not argument:
+            raise ValueError("sqlite sink needs a path: 'sqlite:<path>'")
+        return SQLiteSink(argument)
+    raise ValueError(
+        f"unknown sink spec {spec!r}; expected memory[:N], jsonl:<path> "
+        "or sqlite:<path>"
+    )

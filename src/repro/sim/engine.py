@@ -38,6 +38,7 @@ class SimulationEngine:
         self.clock = clock if clock is not None else SimClock()
         self.queue = EventQueue()
         self._handlers: dict[str, list[Callable[[Event], None]]] = {}
+        self._observers: list[Callable[[Event], None]] = []
         self._processed = 0
 
     @property
@@ -84,6 +85,15 @@ class SimulationEngine:
         """Register a handler for all events of the given kind."""
         self._handlers.setdefault(kind, []).append(handler)
 
+    def subscribe(self, observer: Callable[[Event], None]) -> None:
+        """Register an observer called for *every* processed event.
+
+        Observers run after the event's own callback and kind handlers —
+        they watch the stream (e.g. the trace pipeline's opt-in
+        ``engine_event`` debug feed) and must not schedule into the past.
+        """
+        self._observers.append(observer)
+
     def step(self) -> Optional[Event]:
         """Process the next event (advancing the clock); ``None`` if empty."""
         if not self.queue:
@@ -94,6 +104,8 @@ class SimulationEngine:
             event.callback(event)
         for handler in self._handlers.get(event.kind, []):
             handler(event)
+        for observer in self._observers:
+            observer(event)
         self._processed += 1
         return event
 

@@ -122,6 +122,18 @@ class RunHistory:
         )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
+    def audit_record(self) -> dict:
+        """Hash-chained audit record of the run (tamper-localising digest).
+
+        Where :meth:`digest` is one flat hash over everything, the audit
+        record folds each round through a SHA-256 chain, so verification
+        (:func:`repro.runtime.audit.verify_history_record`) pinpoints the
+        exact first divergent round of a tampered copy.
+        """
+        from repro.runtime.audit import history_audit_record
+
+        return history_audit_record(self)
+
     def summary(self) -> dict:
         """Compact dictionary summary for reports."""
         return {
