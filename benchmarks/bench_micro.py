@@ -15,12 +15,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.conftest import attach_peak_memory
 from repro.agents.agent import Agent
 from repro.agents.registry import AgentRegistry
 from repro.agents.resources import ResourceProfile
 from repro.core.fastpath import PairCostModel
 from repro.core.pairing import greedy_pairing, greedy_pairing_reference
 from repro.core.planner import PrunedPlanner
+from repro.core.shard import ShardedPlanner
 from repro.core.profiling import profile_architecture
 from repro.core.timing import compute_round_timing
 from repro.core.workload import best_offload
@@ -134,24 +136,53 @@ PLANNER_TOP_K = 8
 #: The scaling grid.  The full topology stops at n=500: the benches time
 #: the planner, not networkx's O(n²) complete-graph construction (the
 #: planner itself handles complete graphs via the O(n·k) global pool).
+#: The sparse topologies extend to n=50 000, the first sharded-runtime
+#: population (the 500 000 point lives in the ``scale500k``-marked
+#: sharded benches below).  Population is the OUTER loop so every small
+#: case — including the gated random-k-5000 point — runs before the
+#: 50 000-agent cases dirty the process's memory state: the
+#: --planner-dense-ratio gate compares medians within one run, and
+#: hundreds of MB of allocator churn between the two benches skews the
+#: pair by double-digit percentages.
 PLANNER_SCALING_CASES = [
     pytest.param(kind, n, id=f"{kind}-{n}")
+    for n in (50, 500, 5_000, 50_000)
     for kind in ("ring", "random-k", "full")
-    for n in (50, 500, 5_000)
     if not (kind == "full" and n > 500)
 ]
 
 
 def _planner_population(n: int) -> list[Agent]:
+    """A heterogeneous n-agent population.
+
+    Populations on the historical grid (n ≤ 5 000) keep the original
+    per-agent draw order so their workloads — and the committed
+    trajectory medians measured on them — stay comparable across
+    snapshots.  Larger populations draw vectorized (the scalar loop's
+    three RNG calls per agent are prohibitive at 500 000).
+    """
     rng = np.random.default_rng(n)
+    if n <= 5_000:
+        return [
+            Agent(
+                agent_id=index,
+                profile=ResourceProfile(
+                    float(rng.choice([4.0, 2.0, 1.0, 0.5])),
+                    float(rng.choice([10.0, 50.0, 100.0])),
+                ),
+                num_samples=int(rng.integers(200, 3_000)),
+                batch_size=100,
+            )
+            for index in range(n)
+        ]
+    cpu_shares = rng.choice(np.array([4.0, 2.0, 1.0, 0.5]), size=n)
+    bandwidths = rng.choice(np.array([10.0, 50.0, 100.0]), size=n)
+    samples = rng.integers(200, 3_000, size=n)
     return [
         Agent(
             agent_id=index,
-            profile=ResourceProfile(
-                float(rng.choice([4.0, 2.0, 1.0, 0.5])),
-                float(rng.choice([10.0, 50.0, 100.0])),
-            ),
-            num_samples=int(rng.integers(200, 3_000)),
+            profile=ResourceProfile(float(cpu_shares[index]), float(bandwidths[index])),
+            num_samples=int(samples[index]),
             batch_size=100,
         )
         for index in range(n)
@@ -165,6 +196,23 @@ def _planner_link_model(agents: list[Agent], kind: str) -> LinkModel:
     if kind == "random-k":
         return LinkModel(random_k_topology(ids, 6, np.random.default_rng(1)))
     return LinkModel(full_topology(ids))
+
+
+def test_dense_round_speed_500(benchmark):
+    """The dense kernel planning a 500-agent round (comparison partner:
+    the acceptance bar is pruned-5000 faster than dense-500).
+
+    Defined ahead of the scaling curve so it runs before the
+    50 000-agent cases for the same reason the grid puts population
+    outermost: the --planner-dense-ratio gate pairs this bench with
+    random-k-5000 and both must see a comparably clean process.
+    """
+    profile = profile_architecture(resnet56_spec(), granularity=9)
+    agents = _planner_population(500)
+    link_model = _planner_link_model(agents, "random-k")
+
+    decisions = benchmark(greedy_pairing, agents, link_model, profile)
+    assert decisions
 
 
 @pytest.mark.parametrize("kind, n", PLANNER_SCALING_CASES)
@@ -196,6 +244,7 @@ def test_planner_round_speed(benchmark, kind, n):
         return planner.plan(agents)
 
     decisions, taus_by_id = benchmark(dynamics_round)
+    attach_peak_memory(benchmark, dynamics_round)
     assert len(taus_by_id) == n
     assert decisions
 
@@ -214,12 +263,87 @@ def test_planner_cold_build_speed(benchmark):
     assert decisions
 
 
-def test_dense_round_speed_500(benchmark):
-    """The dense kernel planning a 500-agent round (comparison partner:
-    the acceptance bar is pruned-5000 faster than dense-500)."""
+# ----------------------------------------------------------------------
+# Sharded-runtime scaling (PR 8): 50k–500k agents
+# ----------------------------------------------------------------------
+#: Worker count of the sharded benches.  Explicit rather than "auto" so
+#: the bench measures the same configuration on every host (on a
+#: single-core box "auto" resolves to 1 and would silently bench the
+#: plain pruned path).
+SHARDED_BENCH_SHARDS = 2
+
+SHARDED_POPULATIONS = [
+    pytest.param(50_000, id="50000"),
+    pytest.param(500_000, id="500000", marks=pytest.mark.scale500k),
+]
+
+
+@pytest.mark.parametrize("n", SHARDED_POPULATIONS)
+def test_sharded_planner_round_speed(benchmark, n):
+    """Steady-state sharded round: 1% churn, coalesced replan over the pool.
+
+    Same workload shape as ``test_planner_round_speed`` so the trajectory
+    tool can report a same-run sharded-vs-single-process ratio at 50 000
+    agents (gated by ``--shard-ratio``).  The 500 000-agent point carries
+    the ``scale500k`` marker: it is the tentpole's headline population but
+    too slow for every CI run.
+    """
     profile = profile_architecture(resnet56_spec(), granularity=9)
-    agents = _planner_population(500)
+    agents = _planner_population(n)
+    link_model = _planner_link_model(agents, "random-k")
+    planner = ShardedPlanner(
+        profile,
+        link_model,
+        top_k=PLANNER_TOP_K,
+        shards=SHARDED_BENCH_SHARDS,
+        shard_min_population=0,
+    )
+    try:
+        planner.plan(agents)  # pool spin-up + cold build outside the timer
+        churned = max(1, n // 100)
+        rng = np.random.default_rng(99)
+
+        def dynamics_round():
+            indices = rng.choice(n, size=churned, replace=False)
+            cpu_shares = rng.choice(np.array([4.0, 2.0, 1.0, 0.5]), size=churned)
+            for index, cpu in zip(indices, cpu_shares):
+                agent = agents[int(index)]
+                agent.update_profile(
+                    ResourceProfile(float(cpu), agent.profile.bandwidth_mbps)
+                )
+            return planner.plan(agents)
+
+        decisions, taus_by_id = benchmark(dynamics_round)
+        attach_peak_memory(benchmark, dynamics_round)
+        benchmark.extra_info["sharded_rounds"] = planner.shard_stats.sharded_rounds
+        benchmark.extra_info["worker_failures"] = planner.shard_stats.worker_failures
+        assert len(taus_by_id) == n
+        assert decisions
+        assert planner.shard_stats.sharded_rounds >= 1
+        assert planner.shard_stats.worker_failures == 0
+    finally:
+        planner.close()
+
+
+def test_sharded_planner_cold_build_speed(benchmark):
+    """Worst case at 50 000 agents: pool spin-up, parallel CSR build from
+    the raw topology, and a first full plan — no warm state at all."""
+    profile = profile_architecture(resnet56_spec(), granularity=9)
+    agents = _planner_population(50_000)
     link_model = _planner_link_model(agents, "random-k")
 
-    decisions = benchmark(greedy_pairing, agents, link_model, profile)
+    def cold_plan():
+        planner = ShardedPlanner(
+            profile,
+            link_model,
+            top_k=PLANNER_TOP_K,
+            shards=SHARDED_BENCH_SHARDS,
+            shard_min_population=0,
+        )
+        try:
+            return planner.plan(agents)
+        finally:
+            planner.close()
+
+    decisions, _ = benchmark.pedantic(cold_plan, rounds=3, iterations=1)
     assert decisions

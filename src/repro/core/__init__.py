@@ -20,6 +20,7 @@ from repro.core.planner import (
     PrunedPlanner,
     build_planner,
 )
+from repro.core.shard import ShardStats, ShardedPlanner, stale_segment_names
 from repro.core.scheduler import DecentralizedPairingScheduler
 from repro.core.timing import PairTiming, RoundTiming, compute_round_timing
 from repro.core.config import ComDMLConfig
@@ -43,6 +44,9 @@ __all__ = [
     "PlannerStats",
     "PrunedPlanner",
     "build_planner",
+    "ShardStats",
+    "ShardedPlanner",
+    "stale_segment_names",
     "DecentralizedPairingScheduler",
     "PairTiming",
     "RoundTiming",

@@ -80,7 +80,13 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             top_k=self.config.planner_top_k,
             threshold=self.config.planner_threshold,
             improvement_threshold=self.config.improvement_threshold,
+            shards=self.config.planner_shards,
         )
+        #: Agent ids whose planner rows went stale since the last plan.
+        #: Arrival/departure bursts coalesce here and flush as ONE
+        #: invalidation at plan time, so d events cost one O(d·k·s)
+        #: re-cost pass instead of d separate dirty-closure scans.
+        self._pending_invalidations: set[int] = set()
         self.scheduler = DecentralizedPairingScheduler(
             registry=registry,
             link_model=self.link_model,
@@ -127,6 +133,7 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
         self, round_index: int, participants: Sequence[Agent]
     ) -> RoundPlan:
         """Pair the participants and price the round from the pairing plan."""
+        self._flush_invalidations()
         decisions = self.scheduler.plan_round(participants)
         timing = compute_round_timing(
             decisions,
@@ -237,13 +244,19 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
                 neighbors=neighbors,
             )
         if self.planner is not None:
-            self.planner.invalidate([agent.agent_id])
+            self._pending_invalidations.add(agent.agent_id)
 
     def on_agent_departure(self, agent) -> None:
         """Drop a departed agent's topology links."""
         self.topology.remove_agent(agent.agent_id)
         if self.planner is not None:
-            self.planner.invalidate([agent.agent_id])
+            self._pending_invalidations.add(agent.agent_id)
+
+    def _flush_invalidations(self) -> None:
+        """Hand the coalesced dynamics dirty set to the planner, once."""
+        if self.planner is not None and self._pending_invalidations:
+            self.planner.invalidate(sorted(self._pending_invalidations))
+        self._pending_invalidations.clear()
 
 
 def _default_curve_preset():

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 from repro.utils.validation import check_positive, check_probability
 
@@ -13,8 +13,9 @@ EXECUTION_MODES = ("sync", "semi-sync", "async")
 #: Valid semi-sync quorum policies (see :mod:`repro.runtime.quorum`).
 QUORUM_POLICIES = ("fixed", "deadline", "adaptive")
 
-#: Valid round-planner selections (see :mod:`repro.core.planner`).
-PLANNER_MODES = ("dense", "pruned", "auto")
+#: Valid round-planner selections (see :mod:`repro.core.planner` and
+#: :mod:`repro.core.shard`).
+PLANNER_MODES = ("dense", "pruned", "auto", "sharded")
 
 
 def normalize_planner_mode(mode: str) -> str:
@@ -23,6 +24,27 @@ def normalize_planner_mode(mode: str) -> str:
     if normalized not in PLANNER_MODES:
         raise ValueError(f"planner must be one of {PLANNER_MODES}, got {mode!r}")
     return normalized
+
+
+def normalize_planner_shards(shards: Union[int, str]) -> Union[int, str]:
+    """Validate a ``planner_shards`` setting: ``"auto"`` or a positive int.
+
+    The concrete worker count ``"auto"`` resolves to is decided by
+    :func:`repro.core.shard.resolve_shard_count` (CPU-count dependent);
+    this boundary only rejects nonsense values.
+    """
+    if isinstance(shards, str):
+        normalized = shards.lower()
+        if normalized != "auto":
+            raise ValueError(
+                f"planner_shards must be 'auto' or a positive integer, "
+                f"got {shards!r}"
+            )
+        return normalized
+    count = int(shards)
+    if count < 1:
+        raise ValueError(f"planner_shards must be >= 1, got {shards!r}")
+    return count
 
 
 def normalize_execution_mode(mode: str) -> str:
@@ -77,8 +99,10 @@ class ComDMLConfig:
     planner:
         Round-planner selection (see :mod:`repro.core.planner`): ``"dense"``
         always runs the exact O(n²·s) kernel, ``"pruned"`` always runs the
-        top-k pruned planner, and ``"auto"`` (default) switches to the
-        pruned planner only for rounds with at least ``planner_threshold``
+        top-k pruned planner, ``"sharded"`` runs the process-parallel
+        shared-memory planner (:mod:`repro.core.shard`; decision-identical
+        to ``"pruned"``), and ``"auto"`` (default) switches to the pruned
+        planner only for rounds with at least ``planner_threshold``
         participants — smaller rounds stay byte-identical to the dense
         path.
     planner_top_k:
@@ -86,6 +110,11 @@ class ComDMLConfig:
         is decision-identical to the dense kernel).
     planner_threshold:
         Participant count at which ``"auto"`` engages the pruned planner.
+    planner_shards:
+        Worker count of the ``"sharded"`` planner: a positive integer, or
+        ``"auto"`` (default) for a CPU-count-derived pool.  The pool only
+        engages above the planner's population threshold; a resolved count
+        below 2 keeps planning in-process.  Ignored by the other modes.
     churn_fraction / churn_interval_rounds:
         Dynamic resource churn (paper: 20 % of agents every 100 rounds).
     execution_mode:
@@ -161,6 +190,7 @@ class ComDMLConfig:
     planner: str = "auto"
     planner_top_k: int = 32
     planner_threshold: int = 256
+    planner_shards: Union[int, str] = "auto"
     churn_fraction: float = 0.0
     churn_interval_rounds: int = 100
     execution_mode: str = "sync"
@@ -192,6 +222,7 @@ class ComDMLConfig:
         self.planner = normalize_planner_mode(self.planner)
         check_positive(self.planner_top_k, "planner_top_k")
         check_positive(self.planner_threshold, "planner_threshold")
+        self.planner_shards = normalize_planner_shards(self.planner_shards)
         check_probability(self.churn_fraction, "churn_fraction")
         check_positive(self.churn_interval_rounds, "churn_interval_rounds")
         self.execution_mode = normalize_execution_mode(self.execution_mode)

@@ -41,15 +41,17 @@ round with ``d`` changed agents therefore evaluates O(d·k·s) pair times —
 
 Selection is wired through :func:`build_planner` /
 :class:`~repro.core.config.ComDMLConfig` (``planner`` = ``"dense"`` /
-``"pruned"`` / ``"auto"``): the scheduler keeps the byte-identical dense
-path whenever the planner does not engage.
+``"pruned"`` / ``"auto"`` / ``"sharded"``): the scheduler keeps the
+byte-identical dense path whenever the planner does not engage.  The
+``"sharded"`` mode layers the process-parallel shared-memory runtime of
+:mod:`repro.core.shard` on top of this planner's exact block math.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -64,12 +66,29 @@ from repro.utils.validation import check_positive
 
 __all__ = [
     "PLANNER_MODES",
+    "BlockArrays",
     "PlannerState",
     "PlannerStats",
     "PrunedPlanner",
     "build_planner",
     "normalize_planner_mode",
 ]
+
+
+class BlockArrays(NamedTuple):
+    """The six ``(n, k)`` candidate-block arrays as one addressable bundle.
+
+    Both :class:`PlannerState` (in-process planning) and the shard workers'
+    shared-memory output segments present their blocks through this view, so
+    the reset/scatter helpers below write either target with the same code.
+    """
+
+    cand_pos: np.ndarray
+    cand_ids: np.ndarray
+    cand_bw: np.ndarray
+    best_times: np.ndarray
+    best_split: np.ndarray
+    valid: np.ndarray
 
 
 def _signature(agent: Agent) -> tuple:
@@ -122,6 +141,17 @@ class PlannerState:
     best_times: np.ndarray
     best_split: np.ndarray
     valid: np.ndarray
+
+    def blocks(self) -> BlockArrays:
+        """The block arrays bundled for the shared reset/scatter helpers."""
+        return BlockArrays(
+            self.cand_pos,
+            self.cand_ids,
+            self.cand_bw,
+            self.best_times,
+            self.best_split,
+            self.valid,
+        )
 
 
 class PrunedPlanner:
@@ -202,6 +232,19 @@ class PrunedPlanner:
         """Drop the entire cache (next plan is a full rebuild)."""
         self._pending_all = True
         self._links = None
+
+    def close(self) -> None:
+        """Release planner resources (no-op for the in-process planner).
+
+        Exists so callers can treat every planner uniformly; the sharded
+        subclass tears down its worker pool and shared-memory segments here.
+        """
+
+    def __enter__(self) -> "PrunedPlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Planning
@@ -364,14 +407,9 @@ class PrunedPlanner:
             if len(rows) == len(agents):
                 sel_rows, sel_cols = link_rows, link_cols
             else:
-                pieces = [
-                    np.arange(indptr[row], indptr[row + 1]) for row in rows
-                ]
-                selected = (
-                    np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+                sel_rows, sel_cols = _csr_row_links(
+                    indptr, link_cols, np.asarray(rows, dtype=np.int64)
                 )
-                sel_rows = link_rows[selected]
-                sel_cols = link_cols[selected]
             bandwidth = np.minimum(access[sel_rows], access[sel_cols])
         else:
             # Custom link-model semantics: query per ordered pair, but only
@@ -403,34 +441,7 @@ class PrunedPlanner:
                 sel_cols = sel_cols[order]
                 bandwidth = bandwidth[order]
 
-        usable = bandwidth > 0.0
-        if not usable.all():
-            sel_rows = sel_rows[usable]
-            sel_cols = sel_cols[usable]
-            bandwidth = bandwidth[usable]
-        if sel_rows.size == 0:
-            return sel_rows, sel_cols, bandwidth
-
-        counts = np.bincount(sel_rows, minlength=len(agents))
-        if counts.max() > k:
-            # Rank each row's links by candidate τ̂, keeping the k fastest.
-            # Sorting by the packed unique key ``row·n + tau_rank[col]``
-            # equals a stable lexsort on (row, τ̂): tau_rank orders equal
-            # τ̂ values by ascending position, the dense tie-break order.
-            n = np.int64(len(agents))
-            tau_rank = np.empty(len(agents), dtype=np.int64)
-            tau_rank[np.argsort(taus, kind="stable")] = np.arange(len(agents))
-            order = np.argsort(sel_rows * n + tau_rank[sel_cols])
-            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-            ranks = np.arange(sel_rows.size) - starts[sel_rows[order]]
-            kept = order[ranks < k]
-            # The pre-selection arrays were (row, col)-ascending, so sorting
-            # the kept indices restores that order without a second lexsort.
-            kept.sort()
-            sel_rows = sel_rows[kept]
-            sel_cols = sel_cols[kept]
-            bandwidth = bandwidth[kept]
-        return sel_rows, sel_cols, bandwidth
+        return _top_k_by_tau(sel_rows, sel_cols, bandwidth, taus, len(agents), k)
 
     def _link_structure(
         self, agents: list[Agent]
@@ -514,40 +525,23 @@ class PrunedPlanner:
             return
         rows_flat, cols_flat, bw_flat = self._candidate_rows(state, agents, rows)
         rows_array = np.asarray(rows, dtype=np.int64)
-
-        # Reset the dirtied rows to padding before scattering fresh blocks.
-        state.cand_pos[rows_array] = -1
-        state.cand_ids[rows_array] = -1
-        state.cand_bw[rows_array] = 0.0
-        state.best_times[rows_array] = np.inf
-        state.best_split[rows_array] = -1
-        state.valid[rows_array] = False
+        blocks = state.blocks()
+        _reset_rows(blocks, rows_array)
 
         total = int(rows_flat.size)
         self.stats.last_pairs_evaluated = total * self.profile.num_options
         self.stats.pairs_evaluated += self.stats.last_pairs_evaluated
         if total == 0:
             return
-        # Column offset of each entry within its row group (rows_flat is
-        # grouped by ascending row).
-        counts = np.bincount(rows_flat, minlength=len(agents))
-        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        offsets = np.arange(total) - starts[rows_flat]
-
         best_time, best_index = _pair_block_times(
             self.profile, vectors, rows_flat, cols_flat, bw_flat,
             self.latency_seconds,
         )
-        offload_values = self.profile.options_array
-        valid_flat = offload_values[np.maximum(best_index, 0)] > 0
-
         ids_array = np.array([agent.agent_id for agent in agents], dtype=np.int64)
-        state.cand_pos[rows_flat, offsets] = cols_flat
-        state.cand_ids[rows_flat, offsets] = ids_array[cols_flat]
-        state.cand_bw[rows_flat, offsets] = bw_flat
-        state.best_times[rows_flat, offsets] = best_time
-        state.best_split[rows_flat, offsets] = best_index
-        state.valid[rows_flat, offsets] = valid_flat
+        _scatter_rows(
+            blocks, rows_flat, cols_flat, bw_flat, best_time, best_index,
+            ids_array, self.profile.options_array, len(agents),
+        )
 
     # ------------------------------------------------------------------
     # Greedy scan (Algorithm 1's Pairing over the pruned blocks)
@@ -724,6 +718,121 @@ def _empty_state(
     )
 
 
+def _csr_row_links(
+    indptr: np.ndarray, link_cols: np.ndarray, rows_array: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat ``(rows, cols)`` links of the given ascending rows from CSR.
+
+    Within a CSR row every stored entry belongs to that row, so the row
+    vector is a plain repeat — no ``link_rows`` gather needed.  Shard
+    workers call this on their row chunk; the in-process path calls it on
+    the dirty-row list.  Both therefore produce identical selections.
+    """
+    if rows_array.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    counts = indptr[rows_array + 1] - indptr[rows_array]
+    pieces = [
+        np.arange(indptr[row], indptr[row + 1]) for row in rows_array.tolist()
+    ]
+    selected = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+    sel_rows = np.repeat(rows_array, counts)
+    sel_cols = link_cols[selected]
+    return sel_rows, sel_cols
+
+
+def _top_k_by_tau(
+    sel_rows: np.ndarray,
+    sel_cols: np.ndarray,
+    bandwidth: np.ndarray,
+    taus: np.ndarray,
+    n: int,
+    k: int,
+    tau_rank: Optional[np.ndarray] = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Drop unusable links, then keep each row's ``k`` fastest candidates.
+
+    ``tau_rank`` may be passed precomputed (the sharded runtime computes it
+    once in the parent and ships it through shared memory); when omitted it
+    is derived lazily, and both derivations are the same deterministic
+    stable argsort of ``taus`` — so the selection is identical either way.
+    """
+    usable = bandwidth > 0.0
+    if not usable.all():
+        sel_rows = sel_rows[usable]
+        sel_cols = sel_cols[usable]
+        bandwidth = bandwidth[usable]
+    if sel_rows.size == 0:
+        return sel_rows, sel_cols, bandwidth
+
+    counts = np.bincount(sel_rows, minlength=n)
+    if counts.max() > k:
+        # Rank each row's links by candidate τ̂, keeping the k fastest.
+        # Sorting by the packed unique key ``row·n + tau_rank[col]``
+        # equals a stable lexsort on (row, τ̂): tau_rank orders equal
+        # τ̂ values by ascending position, the dense tie-break order.
+        if tau_rank is None:
+            tau_rank = tau_rank_of(taus)
+        order = np.argsort(sel_rows * np.int64(n) + tau_rank[sel_cols])
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        ranks = np.arange(sel_rows.size) - starts[sel_rows[order]]
+        kept = order[ranks < k]
+        # The pre-selection arrays were (row, col)-ascending, so sorting
+        # the kept indices restores that order without a second lexsort.
+        kept.sort()
+        sel_rows = sel_rows[kept]
+        sel_cols = sel_cols[kept]
+        bandwidth = bandwidth[kept]
+    return sel_rows, sel_cols, bandwidth
+
+
+def tau_rank_of(taus: np.ndarray) -> np.ndarray:
+    """Rank of each agent's τ̂ (stable: equal τ̂ rank by ascending position)."""
+    tau_rank = np.empty(len(taus), dtype=np.int64)
+    tau_rank[np.argsort(taus, kind="stable")] = np.arange(len(taus))
+    return tau_rank
+
+
+def _reset_rows(blocks: BlockArrays, rows_array: np.ndarray) -> None:
+    """Reset the given rows to candidate-block padding."""
+    blocks.cand_pos[rows_array] = -1
+    blocks.cand_ids[rows_array] = -1
+    blocks.cand_bw[rows_array] = 0.0
+    blocks.best_times[rows_array] = np.inf
+    blocks.best_split[rows_array] = -1
+    blocks.valid[rows_array] = False
+
+
+def _scatter_rows(
+    blocks: BlockArrays,
+    rows_flat: np.ndarray,
+    cols_flat: np.ndarray,
+    bw_flat: np.ndarray,
+    best_time: np.ndarray,
+    best_index: np.ndarray,
+    ids_array: np.ndarray,
+    options_array: np.ndarray,
+    n: int,
+) -> None:
+    """Scatter flat per-pair results into the ``(n, k)`` block arrays.
+
+    ``rows_flat`` must be grouped by ascending row (the selection helpers
+    guarantee it); each entry lands at its offset within its row group.
+    """
+    total = int(rows_flat.size)
+    # Column offset of each entry within its row group.
+    counts = np.bincount(rows_flat, minlength=n)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.arange(total) - starts[rows_flat]
+    valid_flat = options_array[np.maximum(best_index, 0)] > 0
+    blocks.cand_pos[rows_flat, offsets] = cols_flat
+    blocks.cand_ids[rows_flat, offsets] = ids_array[cols_flat]
+    blocks.cand_bw[rows_flat, offsets] = bw_flat
+    blocks.best_times[rows_flat, offsets] = best_time
+    blocks.best_split[rows_flat, offsets] = best_index
+    blocks.valid[rows_flat, offsets] = valid_flat
+
+
 def _complete_graph_candidates(
     taus: np.ndarray, access: np.ndarray, rows: list[int], k: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -844,18 +953,35 @@ def build_planner(
     threshold: int = 256,
     batch_size: Optional[int] = None,
     improvement_threshold: float = 0.0,
+    shards="auto",
 ) -> Optional[PrunedPlanner]:
     """Planner selection at the config boundary.
 
     ``"dense"`` returns ``None`` (the scheduler keeps the exact dense
     kernel for every round), ``"pruned"`` always engages the pruned
-    planner, and ``"auto"`` engages it only for rounds with at least
+    planner, ``"auto"`` engages it only for rounds with at least
     ``threshold`` participants — small populations stay byte-identical to
-    the dense path.
+    the dense path — and ``"sharded"`` engages the process-parallel
+    :class:`~repro.core.shard.ShardedPlanner` at the same threshold
+    (``shards`` sets its worker count; its pool additionally waits for the
+    population to clear the sharding floor, below which it plans exactly
+    like ``"pruned"``).
     """
     mode = normalize_planner_mode(mode)
     if mode == "dense":
         return None
+    if mode == "sharded":
+        from repro.core.shard import ShardedPlanner
+
+        return ShardedPlanner(
+            profile,
+            link_model,
+            top_k=top_k,
+            engage_threshold=threshold,
+            batch_size=batch_size,
+            improvement_threshold=improvement_threshold,
+            shards=shards,
+        )
     return PrunedPlanner(
         profile,
         link_model,

@@ -1,0 +1,834 @@
+"""Sharded planning runtime: shared-memory state + process-parallel blocks.
+
+:class:`~repro.core.planner.PrunedPlanner` made 5000-agent rounds cheap,
+but both its candidate-block evaluation and its CSR construction run in a
+single process — the wall on the way to 100k–1M-agent populations.  The
+paper's pairing decision is embarrassingly row-parallel: given the
+broadcast τ̂ vector, each slow agent's top-k candidate block is
+independent of every other row.  :class:`ShardedPlanner` exploits exactly
+that structure, layered **on top of** the pruned planner (never instead of
+it — the in-process path remains the correctness contract):
+
+**Process-parallel candidate blocks.**  The dirty rows of each plan are
+partitioned into contiguous shards evaluated by a persistent
+``multiprocessing`` worker pool.  Workers run the *same* module-level
+selection and costing helpers as the in-process path
+(:func:`~repro.core.planner._csr_row_links`,
+:func:`~repro.core.planner._top_k_by_tau`,
+:func:`~repro.core.planner._pair_block_times`,
+:func:`~repro.core.planner._scatter_rows`), so sharded plans are
+byte-identical to single-process plans by construction — the four-way
+Hypothesis contract (sharded ≡ pruned ≡ dense ≡ scalar oracle at
+``k ≥ n − 1``) enforces it.
+
+**Versioned shared-memory segments.**  Workers read the τ̂ / agent-vector
+matrix, the CSR neighbor structure (``indptr`` / ``indices``), the access
+bandwidth vector, and the :class:`~repro.core.profiling.SplitProfile`
+arrays from ``multiprocessing.shared_memory`` segments, and write their
+padded ``(n, k)`` output rows into shared output segments — nothing is
+pickled per round beyond a tiny task tuple.  Segments are built once and
+updated **in place** on arrival waves and churn; they reallocate (bumping
+a single layout version that tells workers to re-attach) only when a
+shape actually changes (population, candidate budget, or edge count).
+
+**Parallel CSR construction.**  Single-process CSR build is the scaling
+wall at 500k agents, so the build itself is sharded: the parent extracts
+the flat edge-id array from the topology graph, and each worker maps its
+contiguous row range's edges to participant positions (dropping departed
+or non-participant endpoints via the membership filter), sorts its
+directed links, and returns a chunk; the parent merges the chunks into
+one CSR structure.
+
+**Lifecycle.**  The pool and segments start lazily on the first plan that
+is actually shardable (default links, not a complete graph, population at
+least ``shard_min_population``, ``shards ≥ 2``).  :meth:`close` — also
+driven by a ``weakref.finalize`` guard and interpreter exit — stops the
+workers and unlinks every segment; any worker failure tears the pool down,
+unlinks everything, and falls back to the inherited single-process path
+for the rest of the planner's life (decisions stay correct either way).
+No segment with the :data:`SHARD_SHM_PREFIX` name prefix survives a clean
+run — CI's bench-smoke job and the shard tests both assert it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+import uuid
+import warnings
+import weakref
+from dataclasses import dataclass
+from itertools import chain
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.agents.agent import Agent
+from repro.core.fastpath import VECTOR_FIELDS, AgentVectors, _uses_default_links
+from repro.core.planner import (
+    BlockArrays,
+    PlannerState,
+    PrunedPlanner,
+    _csr_row_links,
+    _pair_block_times,
+    _reset_rows,
+    _scatter_rows,
+    _top_k_by_tau,
+    tau_rank_of,
+)
+from repro.core.profiling import SplitProfile
+from repro.network.link import LinkModel
+
+__all__ = [
+    "DEFAULT_SHARD_MIN_POPULATION",
+    "SHARD_SHM_PREFIX",
+    "ShardStats",
+    "ShardedPlanner",
+    "resolve_shard_count",
+    "stale_segment_names",
+]
+
+#: Name prefix of every shared-memory segment the sharded runtime creates.
+#: Leak checks (tests, ``tools/bench_trajectory.py --fail-on-shm-leak``)
+#: scan ``/dev/shm`` for it.
+SHARD_SHM_PREFIX = "comdml-shard-"
+
+#: Population below which :class:`ShardedPlanner` stays in-process by
+#: default: under ~2k agents a round plan is already sub-millisecond and
+#: IPC would dominate.  Tests pass ``shard_min_population=0`` to force the
+#: pool on at any size.
+DEFAULT_SHARD_MIN_POPULATION = 2048
+
+#: Cap on the worker count ``shards="auto"`` resolves to.
+MAX_AUTO_SHARDS = 4
+
+#: Row index of the access-bandwidth vector inside the ``"vals"`` segment
+#: (the rows before it are the :data:`~repro.core.fastpath.VECTOR_FIELDS`
+#: packing of :class:`~repro.core.fastpath.AgentVectors`).
+_ACCESS_ROW = len(VECTOR_FIELDS)
+
+#: True in processes that forked from a parent that set it — forked
+#: workers share the parent's resource tracker, so the spawn-only
+#: unregister workaround must not run there (it would desynchronise the
+#: shared tracker's registry).  Spawned workers re-import this module and
+#: see the default ``False``.
+_USING_FORK = False
+
+
+def resolve_shard_count(shards: Union[int, str]) -> int:
+    """Resolve a ``planner_shards`` setting to a concrete worker count.
+
+    ``"auto"`` picks ``min(cpu_count, MAX_AUTO_SHARDS)`` — on a single-core
+    host that is 1, which disables the pool entirely (the planner then
+    behaves exactly like :class:`~repro.core.planner.PrunedPlanner`).
+    """
+    if isinstance(shards, str):
+        if shards.lower() != "auto":
+            raise ValueError(
+                f"shards must be 'auto' or a positive integer, got {shards!r}"
+            )
+        return max(1, min(MAX_AUTO_SHARDS, os.cpu_count() or 1))
+    count = int(shards)
+    if count < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    return count
+
+
+def stale_segment_names() -> list[str]:
+    """Names of leaked sharded-planner segments still present in /dev/shm.
+
+    Empty on platforms without a /dev/shm filesystem; used by the shard
+    tests and the bench-trajectory leak gate.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():
+        return []
+    return sorted(path.name for path in shm_dir.glob(SHARD_SHM_PREFIX + "*"))
+
+
+@dataclass
+class ShardStats:
+    """Operation counters of a :class:`ShardedPlanner` (beyond PlannerStats).
+
+    ``sharded_rounds`` counts plans whose dirty rows were evaluated by the
+    worker pool (tests assert it to prove the pool actually ran, since a
+    silent fallback would still produce correct decisions).
+    """
+
+    sharded_rounds: int = 0
+    inline_rounds: int = 0
+    parallel_csr_builds: int = 0
+    worker_failures: int = 0
+    segment_reallocations: int = 0
+
+
+class _WorkerError(RuntimeError):
+    """A shard worker reported a failure or died mid-task."""
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segments (parent side)
+# ----------------------------------------------------------------------
+
+class _Segment:
+    """One owned shared-memory segment with an ndarray view over it."""
+
+    __slots__ = ("shm", "array")
+
+    def __init__(self, name: str, shape: tuple, dtype) -> None:
+        nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        self.shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self.shm.buf)
+
+    def spec(self) -> tuple[str, tuple, str]:
+        """(name, shape, dtype) — what a worker needs to attach."""
+        return (self.shm.name, self.array.shape, self.array.dtype.str)
+
+    def destroy(self) -> None:
+        """Drop the view, close the mapping, and unlink the segment."""
+        self.array = None
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - a stray view keeps the map
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class _Worker:
+    """One pool worker: a process plus its duplex task pipe."""
+
+    __slots__ = ("process", "conn")
+
+    def __init__(self, ctx, index: int) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name=f"comdml-shard-worker-{index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+
+class _Runtime:
+    """Mutable owner of the pool and segments, shared with the finalizer.
+
+    Kept separate from the planner so ``weakref.finalize`` can tear it
+    down without resurrecting the planner object.
+    """
+
+    def __init__(self, shards: int) -> None:
+        self.token = uuid.uuid4().hex[:8]
+        self.shards = shards
+        self.version = 0
+        self.segments: dict[str, _Segment] = {}
+        self.workers: list[_Worker] = []
+        #: The planner ``_links`` tuple whose CSR currently lives in the
+        #: segments — identity-compared, so a rebuild with unchanged
+        #: membership (a wiring-change invalidate) still republishes.
+        self.published_links: Optional[tuple] = None
+
+    def _name(self, key: str) -> str:
+        return f"{SHARD_SHM_PREFIX}{os.getpid()}-{self.token}-{key}"
+
+    def ensure(self, key: str, shape: tuple, dtype) -> _Segment:
+        """The segment for ``key``, reallocated iff the shape/dtype changed.
+
+        Reallocation bumps the layout version exactly once per change, so
+        workers re-attach only when a shape genuinely moved — steady-state
+        rounds reuse the same mappings with zero per-plan attach cost.
+        """
+        segment = self.segments.get(key)
+        wanted = np.dtype(dtype)
+        if (
+            segment is not None
+            and segment.array.shape == tuple(shape)
+            and segment.array.dtype == wanted
+        ):
+            return segment
+        if segment is not None:
+            segment.destroy()
+        segment = _Segment(self._name(key), tuple(shape), wanted)
+        self.segments[key] = segment
+        self.version += 1
+        return segment
+
+    def drop(self, key: str) -> None:
+        segment = self.segments.pop(key, None)
+        if segment is not None:
+            segment.destroy()
+            self.version += 1
+
+    def layout(self) -> dict:
+        return {
+            "version": self.version,
+            "segments": {
+                key: segment.spec() for key, segment in self.segments.items()
+            },
+        }
+
+    def out_blocks(self) -> BlockArrays:
+        return _blocks_from(
+            {key: segment.array for key, segment in self.segments.items()}
+        )
+
+    def teardown(self) -> None:
+        """Stop the workers and unlink every segment (idempotent)."""
+        for worker in self.workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+        self.workers.clear()
+        for segment in self.segments.values():
+            segment.destroy()
+        self.segments.clear()
+        self.published_links = None
+
+
+def _finalize_runtime(runtime: _Runtime) -> None:
+    runtime.teardown()
+
+
+def _blocks_from(arrays: dict) -> BlockArrays:
+    """The output segments viewed as the planner's six block arrays."""
+    outi = arrays["outi"]
+    outf = arrays["outf"]
+    return BlockArrays(
+        cand_pos=outi[0],
+        cand_ids=outi[1],
+        cand_bw=outf[0],
+        best_times=outf[1],
+        best_split=outi[2],
+        valid=arrays["outb"],
+    )
+
+
+class _ProfileView:
+    """Duck-typed :class:`SplitProfile` facade over shared-memory arrays.
+
+    Presents exactly the attributes the shared planner helpers read, so a
+    worker's :func:`~repro.core.planner._pair_block_times` call runs the
+    same code on the same float64 values as the in-process path.
+    """
+
+    __slots__ = (
+        "slow_time_array",
+        "fast_time_array",
+        "intermediate_bytes_array",
+        "offloaded_bytes_array",
+        "options_array",
+        "offload_options",
+    )
+
+    def __init__(self, floats: np.ndarray, options: np.ndarray) -> None:
+        self.slow_time_array = floats[0]
+        self.fast_time_array = floats[1]
+        self.intermediate_bytes_array = floats[2]
+        self.offloaded_bytes_array = floats[3]
+        self.options_array = options
+        self.offload_options = tuple(int(value) for value in options.tolist())
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def _attach(layout: dict, cache: dict) -> dict:
+    """Attach (or reuse) the segments named by ``layout``.
+
+    ``cache`` maps ``"version"`` to the attached layout version, ``"shms"``
+    to the open handles, and ``"arrays"`` to the ndarray views.  Stale
+    attachments are dropped (views first, then handles) whenever the
+    version moved.
+    """
+    if cache.get("version") == layout["version"]:
+        return cache["arrays"]
+    cache["arrays"] = {}
+    for shm in cache.get("shms", ()):
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray view
+            pass
+    shms = []
+    arrays = {}
+    for key, (name, shape, dtype_str) in layout["segments"].items():
+        shm = shared_memory.SharedMemory(name=name)
+        if not _USING_FORK:  # pragma: no cover - spawn-only platforms
+            # A spawned worker has its own resource tracker, which would
+            # otherwise unlink (and warn about) the parent's segments when
+            # this worker exits.  Forked workers share the parent's tracker
+            # and must leave the registry alone.
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        arrays[key] = np.ndarray(
+            tuple(shape), dtype=np.dtype(dtype_str), buffer=shm.buf
+        )
+        shms.append(shm)
+    cache["version"] = layout["version"]
+    cache["shms"] = shms
+    cache["arrays"] = arrays
+    return arrays
+
+
+def _plan_chunk(arrays: dict, lo: int, hi: int, k: int, latency: float) -> tuple:
+    """Evaluate one contiguous shard of dirty rows into the output blocks."""
+    rows_chunk = arrays["rows"][lo:hi]
+    vals = arrays["vals"]
+    n = vals.shape[1]
+    vectors = AgentVectors.from_rows(vals)
+    access = vals[_ACCESS_ROW]
+    taus = vectors.individual_times
+    meta = arrays["meta"]
+    sel_rows, sel_cols = _csr_row_links(arrays["indptr"], arrays["cols"], rows_chunk)
+    bandwidth = np.minimum(access[sel_rows], access[sel_cols])
+    sel_rows, sel_cols, bandwidth = _top_k_by_tau(
+        sel_rows, sel_cols, bandwidth, taus, n, k, tau_rank=meta[1]
+    )
+    blocks = _blocks_from(arrays)
+    _reset_rows(blocks, rows_chunk)
+    if sel_rows.size:
+        profile = _ProfileView(arrays["proff"], arrays["profi"])
+        best_time, best_index = _pair_block_times(
+            profile, vectors, sel_rows, sel_cols, bandwidth, latency
+        )
+        _scatter_rows(
+            blocks, sel_rows, sel_cols, bandwidth, best_time, best_index,
+            meta[0], profile.options_array, n,
+        )
+    return ("ok", int(sel_rows.size))
+
+
+def _csr_chunk(arrays: dict, lo: int, hi: int) -> tuple:
+    """Directed CSR links whose source row falls in ``[lo, hi)``.
+
+    Maps the flat edge-id array to participant positions (the membership
+    filter drops edges touching departed or non-participant nodes), keeps
+    both directions of each surviving edge whose source lands in this
+    shard's row range, and returns them sorted by ``(row, col)`` — the
+    order the parent's chunk merge and the candidate selection rely on.
+    """
+    ids_array = arrays["meta"][0]
+    edges = arrays["edges"]
+    n = ids_array.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if edges.shape[0] == 0:
+        return ("ok", empty, empty)
+    order = np.argsort(ids_array, kind="stable")
+    sorted_ids = ids_array[order]
+    slots = np.searchsorted(sorted_ids, edges)
+    np.clip(slots, 0, n - 1, out=slots)
+    matched = sorted_ids[slots] == edges
+    positions = order[slots]
+    valid = matched.all(axis=1)
+    source = positions[valid, 0]
+    target = positions[valid, 1]
+    distinct = source != target
+    source = source[distinct]
+    target = target[distinct]
+    in_source = (source >= lo) & (source < hi)
+    in_target = (target >= lo) & (target < hi)
+    rows = np.concatenate([source[in_source], target[in_target]])
+    cols = np.concatenate([target[in_source], source[in_target]])
+    sort = np.lexsort((cols, rows))
+    return ("ok", np.ascontiguousarray(rows[sort]), np.ascontiguousarray(cols[sort]))
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: attach segments per the task's layout, compute, reply."""
+    cache: dict = {"version": None, "shms": [], "arrays": {}}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            try:
+                arrays = _attach(message[1], cache)
+                if message[0] == "plan":
+                    reply = _plan_chunk(arrays, *message[2:])
+                elif message[0] == "csr":
+                    reply = _csr_chunk(arrays, *message[2:])
+                else:
+                    reply = ("err", f"unknown command {message[0]!r}")
+            except Exception:
+                reply = ("err", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        cache["arrays"] = {}
+        for shm in cache["shms"]:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - stray view
+                pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+# ----------------------------------------------------------------------
+# The sharded planner
+# ----------------------------------------------------------------------
+
+class ShardedPlanner(PrunedPlanner):
+    """Process-parallel :class:`~repro.core.planner.PrunedPlanner`.
+
+    Parameters beyond the base class:
+
+    shards:
+        Worker count, or ``"auto"`` (``min(cpu_count, MAX_AUTO_SHARDS)``).
+        A resolved count below 2 disables the pool entirely — the planner
+        then *is* the pruned planner.
+    shard_min_population:
+        Population below which plans stay in-process even with a pool
+        configured (IPC would dominate).  Tests pass 0 to force sharding
+        at any size.
+
+    The pool engages only for plans it can shard exactly: default link
+    semantics (the bandwidth-min rule workers can evaluate from the access
+    vector) on a non-complete graph.  Complete graphs keep the O(n·k)
+    global-pool shortcut, and custom link models keep the per-pair query
+    path — both inherited unchanged.
+    """
+
+    def __init__(
+        self,
+        profile: SplitProfile,
+        link_model: LinkModel,
+        *,
+        top_k: int = 32,
+        engage_threshold: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        improvement_threshold: float = 0.0,
+        shards: Union[int, str] = "auto",
+        shard_min_population: int = DEFAULT_SHARD_MIN_POPULATION,
+    ) -> None:
+        super().__init__(
+            profile,
+            link_model,
+            top_k=top_k,
+            engage_threshold=engage_threshold,
+            batch_size=batch_size,
+            improvement_threshold=improvement_threshold,
+        )
+        self.shards = resolve_shard_count(shards)
+        if shard_min_population < 0:
+            raise ValueError(
+                f"shard_min_population must be >= 0, got {shard_min_population}"
+            )
+        self.shard_min_population = shard_min_population
+        self.shard_stats = ShardStats()
+        self._runtime: Optional[_Runtime] = None
+        self._finalizer = None
+        self._pool_failed = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the worker pool and unlink every shared-memory segment."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._runtime = None
+
+    def segment_names(self) -> list[str]:
+        """Names of the currently live shared-memory segments (for tests)."""
+        if self._runtime is None:
+            return []
+        return [
+            segment.shm.name for segment in self._runtime.segments.values()
+        ]
+
+    def _pool(self, population: int) -> Optional[_Runtime]:
+        """The live runtime if sharding applies at this population size."""
+        if (
+            self.shards < 2
+            or self._pool_failed
+            or population < 2
+            or population < self.shard_min_population
+        ):
+            return None
+        if self._runtime is None:
+            try:
+                method = (
+                    "fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else None
+                )
+                ctx = multiprocessing.get_context(method)
+                if method == "fork":
+                    global _USING_FORK
+                    _USING_FORK = True
+                    # Start the resource tracker *before* forking: forked
+                    # workers then inherit (and share) its pipe instead of
+                    # each spawning a private tracker that would try to
+                    # "clean up" the parent's segments when they exit.
+                    resource_tracker.ensure_running()
+                runtime = _Runtime(self.shards)
+                runtime.workers = [
+                    _Worker(ctx, index) for index in range(self.shards)
+                ]
+            except Exception as error:  # pragma: no cover - fork failure
+                self._abandon_pool(f"worker pool failed to start: {error!r}")
+                return None
+            self._runtime = runtime
+            self._finalizer = weakref.finalize(self, _finalize_runtime, runtime)
+        return self._runtime
+
+    def _abandon_pool(self, detail: str) -> None:
+        """Tear the pool down and stay single-process from here on."""
+        self.shard_stats.worker_failures += 1
+        self._pool_failed = True
+        self.close()
+        warnings.warn(
+            f"sharded planner fell back to single-process planning: {detail}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded CSR construction
+    # ------------------------------------------------------------------
+    def _link_structure(
+        self, agents: list[Agent]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        ids = tuple(agent.agent_id for agent in agents)
+        if self._links is not None and self._links[0] == ids:
+            return self._links[1], self._links[2], self._links[3]
+        runtime = self._pool(len(agents))
+        if runtime is None:
+            return super()._link_structure(agents)
+        try:
+            result = self._parallel_links(runtime, agents, ids)
+        except Exception:
+            self._abandon_pool(
+                f"parallel CSR build failed:\n{traceback.format_exc()}"
+            )
+            return super()._link_structure(agents)
+        self.shard_stats.parallel_csr_builds += 1
+        return result
+
+    def _parallel_links(
+        self, runtime: _Runtime, agents: list[Agent], ids: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-shard edge scans in the workers, merged into one CSR."""
+        n = len(agents)
+        graph = self.link_model.topology.graph
+        edges = _edge_ids(graph, ids, n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if edges.shape[0] == 0:
+            empty = np.empty(0, dtype=np.int64)
+            self._links = (ids, indptr, empty, empty)
+            return indptr, empty, empty
+        before = runtime.version
+        meta = runtime.ensure("meta", (2, n), np.int64)
+        np.copyto(meta.array[0], np.asarray(ids, dtype=np.int64))
+        edge_segment = runtime.ensure("edges", edges.shape, np.int64)
+        np.copyto(edge_segment.array, edges)
+        if runtime.version != before:
+            self.shard_stats.segment_reallocations += 1
+        replies = self._dispatch(
+            runtime,
+            [
+                ("csr", lo, hi)
+                for lo, hi in _shard_bounds(n, runtime.shards)
+                if hi > lo
+            ],
+        )
+        runtime.drop("edges")
+        link_rows = np.concatenate([reply[1] for reply in replies])
+        link_cols = np.concatenate([reply[2] for reply in replies])
+        counts = np.bincount(link_rows, minlength=n)
+        np.cumsum(counts, out=indptr[1:])
+        self._links = (ids, indptr, link_rows, link_cols)
+        return indptr, link_rows, link_cols
+
+    # ------------------------------------------------------------------
+    # Sharded row recomputation
+    # ------------------------------------------------------------------
+    def _recompute_rows(
+        self,
+        state: PlannerState,
+        agents: list[Agent],
+        vectors: AgentVectors,
+        rows: list[int],
+    ) -> None:
+        runtime = None
+        if rows and state.k >= 1 and self._shardable(agents):
+            runtime = self._pool(len(agents))
+        if runtime is None:
+            if rows:
+                self.shard_stats.inline_rounds += 1
+            super()._recompute_rows(state, agents, vectors, rows)
+            return
+        try:
+            self._recompute_sharded(runtime, state, agents, vectors, rows)
+        except Exception:
+            if not self._pool_failed:
+                self._abandon_pool(
+                    f"sharded row recompute failed:\n{traceback.format_exc()}"
+                )
+            super()._recompute_rows(state, agents, vectors, rows)
+            return
+        self.shard_stats.sharded_rounds += 1
+
+    def _shardable(self, agents: list[Agent]) -> bool:
+        """Whether this plan's candidate selection is the CSR fast path.
+
+        Mirrors the branch conditions of ``_candidate_rows``: workers can
+        only reproduce the default-link bandwidth rule, and complete
+        graphs already plan in O(n·k) through the global-pool shortcut.
+        """
+        if not _uses_default_links(self.link_model):
+            return False
+        graph = self.link_model.topology.graph
+        node_count = graph.number_of_nodes()
+        if (
+            node_count >= 2
+            and graph.number_of_edges() == node_count * (node_count - 1) // 2
+        ):
+            return False
+        return True
+
+    def _recompute_sharded(
+        self,
+        runtime: _Runtime,
+        state: PlannerState,
+        agents: list[Agent],
+        vectors: AgentVectors,
+        rows: list[int],
+    ) -> None:
+        """One sharded re-cost pass over the coalesced dirty rows."""
+        n = len(agents)
+        k = state.k
+        indptr, _link_rows, link_cols = self._link_structure(agents)
+        if self._runtime is None or self._pool_failed:
+            # The CSR build abandoned the pool mid-plan; the caller's
+            # fallback recomputes in-process.
+            raise _WorkerError("pool lost during CSR build")
+
+        before = runtime.version
+        profile = self.profile
+        floats = runtime.ensure("proff", (4, profile.num_options), np.float64)
+        np.copyto(floats.array[0], profile.slow_time_array)
+        np.copyto(floats.array[1], profile.fast_time_array)
+        np.copyto(floats.array[2], profile.intermediate_bytes_array)
+        np.copyto(floats.array[3], profile.offloaded_bytes_array)
+        options = runtime.ensure("profi", (profile.num_options,), np.int64)
+        np.copyto(options.array, profile.options_array)
+
+        vals = runtime.ensure("vals", (_ACCESS_ROW + 1, n), np.float64)
+        vectors.to_rows(vals.array)
+        access = np.array(
+            [agent.profile.bandwidth_bytes_per_second for agent in agents],
+            dtype=np.float64,
+        )
+        np.copyto(vals.array[_ACCESS_ROW], access)
+        meta = runtime.ensure("meta", (2, n), np.int64)
+        ids_array = np.array([agent.agent_id for agent in agents], dtype=np.int64)
+        np.copyto(meta.array[0], ids_array)
+        np.copyto(meta.array[1], tau_rank_of(state.taus))
+
+        if runtime.published_links is not self._links:
+            indptr_segment = runtime.ensure("indptr", (n + 1,), np.int64)
+            np.copyto(indptr_segment.array, indptr)
+            cols_segment = runtime.ensure("cols", link_cols.shape, np.int64)
+            if link_cols.size:
+                np.copyto(cols_segment.array, link_cols)
+            runtime.published_links = self._links
+
+        rows_segment = runtime.ensure("rows", (n,), np.int64)
+        rows_array = np.asarray(rows, dtype=np.int64)
+        np.copyto(rows_segment.array[: rows_array.size], rows_array)
+        runtime.ensure("outi", (3, n, k), np.int64)
+        runtime.ensure("outf", (2, n, k), np.float64)
+        runtime.ensure("outb", (n, k), np.bool_)
+        if runtime.version != before:
+            self.shard_stats.segment_reallocations += 1
+
+        replies = self._dispatch(
+            runtime,
+            [
+                ("plan", lo, hi, int(k), self.latency_seconds)
+                for lo, hi in _shard_bounds(rows_array.size, runtime.shards)
+                if hi > lo
+            ],
+        )
+        total = sum(reply[1] for reply in replies)
+
+        out = runtime.out_blocks()
+        for target, source in zip(state.blocks(), out):
+            target[rows_array] = source[rows_array]
+        self.stats.last_pairs_evaluated = total * profile.num_options
+        self.stats.pairs_evaluated += self.stats.last_pairs_evaluated
+
+    def _dispatch(self, runtime: _Runtime, tasks: list[tuple]) -> list[tuple]:
+        """Send one task per worker and gather the replies in shard order."""
+        layout = runtime.layout()
+        active: list[_Worker] = []
+        try:
+            for worker, task in zip(runtime.workers, tasks):
+                worker.conn.send((task[0], layout, *task[1:]))
+                active.append(worker)
+            replies = [worker.conn.recv() for worker in active]
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise _WorkerError(f"shard worker died: {error!r}") from error
+        failures = [reply[1] for reply in replies if reply[0] != "ok"]
+        if failures:
+            raise _WorkerError("\n".join(failures))
+        return replies
+
+
+def _shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``[lo, hi)`` ranges covering ``range(total)``."""
+    return [
+        (total * index // shards, total * (index + 1) // shards)
+        for index in range(shards)
+    ]
+
+
+def _edge_ids(graph, ids: tuple[int, ...], n: int) -> np.ndarray:
+    """The topology's edges as a flat ``(E, 2)`` array of agent ids.
+
+    Extracted fresh on every CSR rebuild: rebuilds only happen when
+    membership or wiring changed, and an edge cache would go stale exactly
+    then (e.g. a ring splice removes the wrap edge).
+    """
+    if n >= graph.number_of_nodes():
+        count = graph.number_of_edges()
+        flat = np.fromiter(
+            chain.from_iterable(graph.edges()), dtype=np.int64, count=2 * count
+        )
+    else:
+        # Restrict the scan to participant-incident edges; NetworkX yields
+        # each such edge exactly once.
+        flat = np.fromiter(
+            chain.from_iterable(graph.edges(ids)), dtype=np.int64
+        )
+    return flat.reshape(-1, 2)

@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
 from repro.core.comdml import ComDML
 from repro.core.config import ComDMLConfig
 from repro.models.resnet import resnet56_spec
@@ -104,3 +106,55 @@ class TestComDMLRound:
         comdml_round = comdml_history.records[0].duration_seconds
         baseline_round = baseline_history.records[0].duration_seconds
         assert comdml_round < baseline_round
+
+
+class TestInvalidationBatching:
+    """Dynamics events coalesce into ONE planner invalidation per plan."""
+
+    def test_dynamics_burst_flushes_once_at_plan_time(self, small_registry):
+        comdml = make_comdml(small_registry, planner="pruned")
+        agents = [small_registry.get(agent_id) for agent_id in small_registry.ids]
+        comdml.plan_round(0, agents)
+
+        calls = []
+        original = comdml.planner.invalidate
+
+        def recording_invalidate(ids):
+            calls.append(list(ids))
+            return original(ids)
+
+        comdml.planner.invalidate = recording_invalidate
+
+        departed_one, departed_two = agents[-1], agents[-2]
+        comdml.on_agent_departure(departed_one)
+        arriving = Agent(
+            agent_id=99,
+            profile=ResourceProfile(1.0, 50.0),
+            num_samples=600,
+            batch_size=100,
+        )
+        small_registry.add(arriving)
+        comdml.on_agent_arrival(arriving, neighbors=[agents[0].agent_id])
+        comdml.on_agent_departure(departed_two)
+
+        # A burst of three events touches the planner zero times...
+        assert calls == []
+        expected_ids = sorted(
+            {departed_one.agent_id, departed_two.agent_id, arriving.agent_id}
+        )
+        assert comdml._pending_invalidations == set(expected_ids)
+
+        # ...and flushes as exactly one coalesced invalidation at plan time.
+        participants = agents[:-2] + [arriving]
+        plan = comdml.plan_round(1, participants)
+        assert calls == [expected_ids]
+        assert comdml._pending_invalidations == set()
+        assert plan.num_pairs >= 0
+
+    def test_flush_without_planner_is_a_noop(self, small_registry):
+        comdml = make_comdml(small_registry, planner="dense")
+        assert comdml.planner is None
+        agents = [small_registry.get(agent_id) for agent_id in small_registry.ids]
+        comdml.on_agent_departure(agents[-1])
+        assert comdml._pending_invalidations == set()
+        comdml.plan_round(0, agents[:-1])

@@ -22,6 +22,7 @@ from repro.core.pairing import greedy_pairing, greedy_pairing_reference
 from repro.core.planner import PrunedPlanner, build_planner
 from repro.core.profiling import profile_architecture
 from repro.core.scheduler import DecentralizedPairingScheduler
+from repro.core.shard import ShardedPlanner
 from repro.core.workload import individual_training_time
 from repro.models.resnet import resnet56_spec
 from repro.network.link import LinkModel
@@ -75,7 +76,7 @@ def _full_budget_planner(agents, link_model, **kwargs) -> PrunedPlanner:
 
 
 # ----------------------------------------------------------------------
-# Tentpole property: pruned ≡ dense ≡ scalar with a full candidate budget
+# Tentpole property: sharded ≡ pruned ≡ dense ≡ scalar at full budget
 # ----------------------------------------------------------------------
 class TestPrunedDenseEquivalence:
     @given(
@@ -85,7 +86,7 @@ class TestPrunedDenseEquivalence:
         seed=st.integers(min_value=0, max_value=100),
     )
     @settings(max_examples=80, deadline=None)
-    def test_three_way_decision_identity(
+    def test_four_way_decision_identity(
         self, population, topology_kind, threshold, seed
     ):
         agents = _build_agents(population)
@@ -101,6 +102,19 @@ class TestPrunedDenseEquivalence:
             agents, link_model, PROFILE, improvement_threshold=threshold
         )
         assert pruned == dense == scalar
+        sharded_planner = ShardedPlanner(
+            PROFILE,
+            link_model,
+            top_k=max(len(agents) - 1, 1),
+            improvement_threshold=threshold,
+            shards=2,
+            shard_min_population=0,
+        )
+        try:
+            sharded, _ = sharded_planner.plan(agents)
+            assert sharded == pruned
+        finally:
+            sharded_planner.close()
 
     @given(
         population=st.lists(AGENT_STRATEGY, min_size=2, max_size=10),

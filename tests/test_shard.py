@@ -1,0 +1,355 @@
+"""Tests for the sharded planning runtime (`repro.core.shard`).
+
+Three contracts are enforced.  First, *shard-count invariance*: plans
+produced with 1, 2, or 4 shards are byte-identical to the single-process
+pruned planner, with consistent ``PlannerStats`` accounting, on full
+rebuilds and on incremental replans after churn.  Second, *shared-memory
+hygiene*: every segment is unlinked when the planner closes and when a
+worker crashes mid-run — no stale ``/dev/shm`` entries survive.  Third,
+*graceful degradation*: complete graphs, custom link models, small
+populations, and dead pools all fall back to the inherited in-process
+path with unchanged decisions.
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agents.agent import Agent
+from repro.agents.resources import ResourceProfile
+from repro.core.planner import PrunedPlanner, build_planner
+from repro.core.profiling import profile_architecture
+from repro.core.shard import (
+    DEFAULT_SHARD_MIN_POPULATION,
+    MAX_AUTO_SHARDS,
+    ShardedPlanner,
+    resolve_shard_count,
+    stale_segment_names,
+)
+from repro.models.resnet import resnet56_spec
+from repro.network.link import LinkModel
+from repro.network.topology import (
+    full_topology,
+    random_k_topology,
+    ring_topology,
+)
+
+PROFILE = profile_architecture(resnet56_spec(), granularity=9)
+
+AGENT_STRATEGY = st.tuples(
+    st.sampled_from([4.0, 2.0, 1.0, 0.5, 0.2, 0.7]),          # cpu share
+    st.sampled_from([0.0, 10.0, 20.0, 50.0, 100.0]),          # bandwidth (0 = offline)
+    st.integers(min_value=0, max_value=3_000),                # samples
+    st.sampled_from([50, 100, 128]),                          # batch size
+)
+
+
+def _build_agents(population) -> list[Agent]:
+    return [
+        Agent(
+            agent_id=index,
+            profile=ResourceProfile(cpu, bandwidth),
+            num_samples=samples,
+            batch_size=batch,
+        )
+        for index, (cpu, bandwidth, samples, batch) in enumerate(population)
+    ]
+
+
+def _link_model(agents, topology_kind: str, seed: int = 0) -> LinkModel:
+    ids = [agent.agent_id for agent in agents]
+    if topology_kind == "ring":
+        return LinkModel(ring_topology(ids))
+    if topology_kind == "random-k":
+        return LinkModel(random_k_topology(ids, 3, np.random.default_rng(seed)))
+    return LinkModel(full_topology(ids))
+
+
+def _sharded(agents, link_model, shards, **kwargs) -> ShardedPlanner:
+    """A sharded planner with a full candidate budget that always engages."""
+    return ShardedPlanner(
+        PROFILE,
+        link_model,
+        top_k=max(len(agents) - 1, 1),
+        shards=shards,
+        shard_min_population=0,
+        **kwargs,
+    )
+
+
+def _reference(agents, link_model, **kwargs) -> PrunedPlanner:
+    return PrunedPlanner(
+        PROFILE, link_model, top_k=max(len(agents) - 1, 1), **kwargs
+    )
+
+
+class _FixedLatencyLinkModel(LinkModel):
+    """A custom link model the workers cannot evaluate from τ̂ vectors."""
+
+    def bandwidth(self, slow, fast):  # pragma: no cover - trivial override
+        return 0.9 * super().bandwidth(slow, fast)
+
+
+# ----------------------------------------------------------------------
+# Shard-count invariance: 1/2/4 shards ≡ single-process pruned planner
+# ----------------------------------------------------------------------
+class TestShardInvariance:
+    @given(
+        population=st.lists(AGENT_STRATEGY, min_size=4, max_size=12),
+        topology_kind=st.sampled_from(["ring", "random-k"]),
+        shards=st.sampled_from([1, 2, 4]),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_shard_count_never_changes_decisions(
+        self, population, topology_kind, shards, seed
+    ):
+        agents = _build_agents(population)
+        link_model = _link_model(agents, topology_kind, seed)
+        reference = _reference(agents, link_model)
+        expected, expected_taus = reference.plan(agents)
+        planner = _sharded(agents, link_model, shards)
+        try:
+            actual, actual_taus = planner.plan(agents)
+            assert actual == expected
+            assert actual_taus == expected_taus
+            assert (
+                planner.stats.last_pairs_evaluated
+                == reference.stats.last_pairs_evaluated
+            )
+            assert planner.stats.pairs_evaluated == reference.stats.pairs_evaluated
+            if shards >= 2 and len(agents) >= 2:
+                assert planner.shard_stats.sharded_rounds >= 1
+            else:
+                assert planner.shard_stats.sharded_rounds == 0
+        finally:
+            planner.close()
+
+    def test_incremental_replan_matches_after_churn(self):
+        agents = _build_agents(
+            [(4.0, 100.0, 1_000, 100), (2.0, 50.0, 800, 100)] * 4
+        )
+        link_model = _link_model(agents, "random-k", seed=7)
+        planner = _sharded(agents, link_model, shards=2)
+        reference = _reference(agents, link_model)
+        try:
+            planner.plan(agents)
+            reference.plan(agents)
+            agents[3].profile = ResourceProfile(0.2, 10.0)
+            planner.invalidate([agents[3].agent_id])
+            reference.invalidate([agents[3].agent_id])
+            actual, _ = planner.plan(agents)
+            expected, _ = reference.plan(agents)
+            assert actual == expected
+            assert (
+                planner.stats.last_rows_recomputed
+                == reference.stats.last_rows_recomputed
+            )
+            assert planner.shard_stats.sharded_rounds == 2
+        finally:
+            planner.close()
+
+    def test_parallel_csr_build_matches_serial(self):
+        agents = _build_agents(
+            [(1.0, 50.0, 500, 100), (2.0, 20.0, 700, 100)] * 5
+        )
+        link_model = _link_model(agents, "random-k", seed=3)
+        planner = _sharded(agents, link_model, shards=2)
+        reference = _reference(agents, link_model)
+        try:
+            planner.plan(agents)
+            reference.plan(agents)
+            assert planner.shard_stats.parallel_csr_builds >= 1
+            for mine, theirs in zip(planner._links, reference._links):
+                np.testing.assert_array_equal(mine, theirs)
+        finally:
+            planner.close()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory lifecycle: nothing survives close() or a worker crash
+# ----------------------------------------------------------------------
+class TestSharedMemoryLifecycle:
+    def test_close_unlinks_every_segment(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 8)
+        link_model = _link_model(agents, "ring")
+        planner = _sharded(agents, link_model, shards=2)
+        planner.plan(agents)
+        names = planner.segment_names()
+        assert names, "pooled plan should have published shm segments"
+        planner.close()
+        assert planner.segment_names() == []
+        assert stale_segment_names() == []
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 6)
+        planner = _sharded(agents, _link_model(agents, "ring"), shards=2)
+        planner.plan(agents)
+        planner.close()
+        planner.close()
+        assert stale_segment_names() == []
+
+    def test_context_manager_closes(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 6)
+        with _sharded(agents, _link_model(agents, "ring"), shards=2) as planner:
+            planner.plan(agents)
+            assert planner.segment_names()
+        assert stale_segment_names() == []
+
+    def test_garbage_collection_reclaims_segments(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 6)
+        planner = _sharded(agents, _link_model(agents, "ring"), shards=2)
+        planner.plan(agents)
+        del planner
+        gc.collect()
+        assert stale_segment_names() == []
+
+    def test_worker_crash_falls_back_with_identical_plan(self):
+        agents = _build_agents(
+            [(4.0, 100.0, 1_000, 100), (0.5, 20.0, 900, 100)] * 4
+        )
+        link_model = _link_model(agents, "ring")
+        planner = _sharded(agents, link_model, shards=2)
+        reference = _reference(agents, link_model)
+        try:
+            planner.plan(agents)
+            reference.plan(agents)
+            planner._runtime.workers[0].process.kill()
+            planner._runtime.workers[0].process.join(timeout=5)
+            agents[0].profile = ResourceProfile(0.2, 10.0)
+            planner.invalidate([agents[0].agent_id])
+            reference.invalidate([agents[0].agent_id])
+            with pytest.warns(RuntimeWarning, match="fell back"):
+                actual, _ = planner.plan(agents)
+            expected, _ = reference.plan(agents)
+            assert actual == expected
+            assert planner.shard_stats.worker_failures == 1
+            assert planner._pool_failed
+            assert planner.segment_names() == []
+            assert stale_segment_names() == []
+            # The fallback is permanent and silent from here on.
+            actual, _ = planner.plan(agents)
+            assert actual == expected
+            assert planner.shard_stats.worker_failures == 1
+        finally:
+            planner.close()
+
+
+# ----------------------------------------------------------------------
+# Fallbacks: cases the pool must leave to the inherited exact paths
+# ----------------------------------------------------------------------
+class TestFallbacks:
+    def test_complete_graph_keeps_global_pool_shortcut(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 8)
+        link_model = _link_model(agents, "full")
+        planner = _sharded(agents, link_model, shards=2)
+        try:
+            actual, _ = planner.plan(agents)
+            expected, _ = _reference(agents, link_model).plan(agents)
+            assert actual == expected
+            assert planner.shard_stats.sharded_rounds == 0
+            assert planner.shard_stats.inline_rounds >= 1
+        finally:
+            planner.close()
+
+    def test_custom_link_model_stays_in_process(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 8)
+        link_model = _FixedLatencyLinkModel(
+            ring_topology([agent.agent_id for agent in agents])
+        )
+        planner = ShardedPlanner(
+            PROFILE, link_model, top_k=7, shards=2, shard_min_population=0
+        )
+        try:
+            actual, _ = planner.plan(agents)
+            expected, _ = PrunedPlanner(PROFILE, link_model, top_k=7).plan(agents)
+            assert actual == expected
+            assert planner.shard_stats.sharded_rounds == 0
+        finally:
+            planner.close()
+
+    def test_default_population_floor_keeps_small_plans_inline(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 8)
+        link_model = _link_model(agents, "ring")
+        planner = ShardedPlanner(PROFILE, link_model, top_k=7, shards=2)
+        try:
+            assert planner.shard_min_population == DEFAULT_SHARD_MIN_POPULATION
+            actual, _ = planner.plan(agents)
+            expected, _ = PrunedPlanner(PROFILE, link_model, top_k=7).plan(agents)
+            assert actual == expected
+            assert planner.shard_stats.sharded_rounds == 0
+            assert planner.segment_names() == []
+        finally:
+            planner.close()
+
+    def test_single_shard_never_builds_a_pool(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 8)
+        planner = _sharded(agents, _link_model(agents, "ring"), shards=1)
+        try:
+            planner.plan(agents)
+            assert planner._runtime is None
+            assert planner.segment_names() == []
+        finally:
+            planner.close()
+
+    def test_empty_round_plans_empty(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 4)
+        planner = _sharded(agents, _link_model(agents, "ring"), shards=2)
+        try:
+            decisions, taus = planner.plan([])
+            assert decisions == []
+            assert taus == {}
+        finally:
+            planner.close()
+
+
+# ----------------------------------------------------------------------
+# Validation and wiring through build_planner / the config boundary
+# ----------------------------------------------------------------------
+class TestValidationAndWiring:
+    def test_resolve_shard_count(self):
+        assert resolve_shard_count(3) == 3
+        assert 1 <= resolve_shard_count("auto") <= MAX_AUTO_SHARDS
+        assert resolve_shard_count("AUTO") == resolve_shard_count("auto")
+        with pytest.raises(ValueError):
+            resolve_shard_count(0)
+        with pytest.raises(ValueError):
+            resolve_shard_count(-2)
+        with pytest.raises(ValueError):
+            resolve_shard_count("bogus")
+
+    def test_planner_rejects_invalid_arguments(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 2)
+        link_model = _link_model(agents, "ring")
+        with pytest.raises(ValueError):
+            ShardedPlanner(PROFILE, link_model, shards=0)
+        with pytest.raises(ValueError):
+            ShardedPlanner(PROFILE, link_model, shard_min_population=-1)
+
+    def test_build_planner_sharded_mode(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 4)
+        link_model = _link_model(agents, "ring")
+        planner = build_planner(
+            PROFILE, link_model, mode="sharded", top_k=8, shards=3
+        )
+        try:
+            assert isinstance(planner, ShardedPlanner)
+            assert planner.shards == 3
+            assert planner.top_k == 8
+        finally:
+            planner.close()
+
+    def test_base_planner_close_is_a_noop_context_manager(self):
+        agents = _build_agents([(1.0, 50.0, 500, 100)] * 4)
+        link_model = _link_model(agents, "ring")
+        with PrunedPlanner(PROFILE, link_model, top_k=3) as planner:
+            planner.plan(agents)
+        planner.close()

@@ -13,13 +13,19 @@ history that ``--check`` can gate on:
     # regressed more than 2x against the committed baseline, if the
     # kernel's same-machine speedup over the scalar reference (the
     # machine-independent signal) fell below 4x, if the pruned planner's
-    # scaling exponent drifted super-linear, or if its 5000-agent round
-    # got slower than the dense kernel's 500-agent round
+    # scaling exponent drifted super-linear, if its 5000-agent round
+    # got slower than the dense kernel's 500-agent round, if the sharded
+    # planner's 50k round blew past its single-process partner, or if a
+    # planner shared-memory segment leaked into /dev/shm.  --quick skips
+    # the scale500k-marked half-million-agent benches.
     PYTHONPATH=src python tools/bench_trajectory.py ci --out bench-ci.json \
-        --check BENCH_6.json --max-ratio 2.0 --min-speedup 4.0 \
-        --max-exponent 1.3 --planner-dense-ratio 1.0
+        --check BENCH_8.json --max-ratio 2.0 --min-speedup 4.0 \
+        --max-exponent 1.3 --planner-dense-ratio 1.0 --shard-ratio 2.0 \
+        --fail-on-shm-leak --quick
 
-See docs/performance.md for the file format and how to read it.
+Snapshot schema 2 adds per-bench ``extra`` columns (peak traced bytes and
+high-water RSS from the scaling benches, sharded-round counters).  See
+docs/performance.md for the file format and how to read it.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ SPEEDUP_PAIR = ("test_round_timing_speed_scalar", "test_round_timing_speed")
 #: steady-state round on the random-k topology across populations.
 SCALING_BENCH = "test_planner_round_speed"
 SCALING_TOPOLOGY = "random-k"
-SCALING_POPULATIONS = (50, 500, 5_000)
+SCALING_POPULATIONS = (50, 500, 5_000, 50_000)
 
 #: Same-run pair gated by --planner-dense-ratio: the pruned planner's
 #: 5 000-agent steady-state round must stay under this multiple of the
@@ -54,7 +60,22 @@ PLANNER_DENSE_PAIR = (
     "test_dense_round_speed_500",
 )
 
-SCHEMA = 1
+#: Same-run pair gated by --shard-ratio: the sharded planner's 50k-agent
+#: steady-state round against the single-process pruned planner on the
+#: identical workload.  On multi-core hosts the ratio should sit below
+#: 1.0; the CI gate is lenient (2.0) because single-core runners pay the
+#: IPC overhead without any parallel speedup to show for it.
+SHARD_PAIR = (
+    "test_sharded_planner_round_speed[50000]",
+    "test_planner_round_speed[random-k-50000]",
+)
+
+#: Prefix of the sharded planner's /dev/shm segments (mirrors
+#: ``repro.core.shard.SHARD_SHM_PREFIX`` without importing the package,
+#: which this tool deliberately avoids).
+SHM_PREFIX = "comdml-shard-"
+
+SCHEMA = 2
 
 
 def scaling_exponent(benches: dict) -> float | None:
@@ -91,7 +112,14 @@ def _git(*args: str) -> str:
 
 
 def run_suite(pytest_args: list[str]) -> dict:
-    """Run the micro suite, return the parsed pytest-benchmark JSON."""
+    """Run the micro suite, return the parsed pytest-benchmark JSON.
+
+    GC is disabled inside timed rounds (``--benchmark-disable-gc``):
+    collector pauses otherwise land in a few rounds of the allocation-
+    heavy planner benches and inflate their medians by double-digit
+    percentages run-to-run, which is noise for a trajectory whose gates
+    compare medians — schema-2 snapshots are all recorded this way.
+    """
     with tempfile.TemporaryDirectory(prefix="bench-trajectory-") as tmp:
         report = Path(tmp) / "benchmark.json"
         command = [
@@ -101,6 +129,7 @@ def run_suite(pytest_args: list[str]) -> dict:
             "benchmarks/bench_micro.py",
             "-q",
             f"--benchmark-json={report}",
+            "--benchmark-disable-gc",
             *pytest_args,
         ]
         completed = subprocess.run(command, cwd=ROOT)
@@ -114,12 +143,16 @@ def snapshot(label: str, raw: dict) -> dict:
     benches = {}
     for entry in raw.get("benchmarks", []):
         stats = entry["stats"]
-        benches[entry["name"]] = {
+        row = {
             "median_seconds": stats["median"],
             "stddev_seconds": stats["stddev"],
             "mean_seconds": stats["mean"],
             "rounds": stats["rounds"],
         }
+        extra = entry.get("extra_info") or {}
+        if extra:
+            row["extra"] = extra
+        benches[entry["name"]] = row
     machine = raw.get("machine_info", {})
     return {
         "schema": SCHEMA,
@@ -214,13 +247,41 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--shard-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail when the sharded planner's 50k-agent round takes more than "
+            "this multiple of the single-process pruned planner's round on "
+            "the identical workload in THIS run (use a lenient bound like "
+            "2.0 on single-core runners, where the pool pays IPC overhead "
+            "without parallel speedup)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-shm-leak",
+        action="store_true",
+        help=(
+            "fail when a sharded-planner shared-memory segment "
+            f"({SHM_PREFIX}*) survives in /dev/shm after the suite"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the scale500k-marked half-million-agent benches",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
     )
     args = parser.parse_args(argv)
 
-    raw = run_suite(args.pytest_args)
+    pytest_args = list(args.pytest_args)
+    if args.quick:
+        pytest_args += ["-m", "not scale500k"]
+    raw = run_suite(pytest_args)
     snap = snapshot(args.label, raw)
     out = args.out if args.out is not None else ROOT / f"BENCH_{args.label}.json"
     out.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n", encoding="utf-8")
@@ -284,6 +345,41 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.planner_dense_ratio:.2f}x limit REGRESSION"
             )
             status = 2
+
+    sharded, single = SHARD_PAIR
+    shard_ratio = None
+    if sharded in snap["benches"] and single in snap["benches"]:
+        shard_ratio = (
+            snap["benches"][sharded]["median_seconds"]
+            / snap["benches"][single]["median_seconds"]
+        )
+        print(
+            f"sharded 50k-agent round vs single-process round: "
+            f"{shard_ratio:.2f}x"
+        )
+    if args.shard_ratio is not None:
+        if shard_ratio is None:
+            print("check: sharded/single-process comparison benches missing")
+            status = 2
+        elif shard_ratio > args.shard_ratio:
+            print(
+                f"check: sharded/single ratio {shard_ratio:.2f}x above the "
+                f"{args.shard_ratio:.2f}x limit REGRESSION"
+            )
+            status = 2
+
+    if args.fail_on_shm_leak:
+        shm_dir = Path("/dev/shm")
+        leaked = (
+            sorted(path.name for path in shm_dir.glob(SHM_PREFIX + "*"))
+            if shm_dir.is_dir()
+            else []
+        )
+        if leaked:
+            print(f"check: leaked shared-memory segments in /dev/shm: {leaked}")
+            status = 2
+        else:
+            print("check: no sharded-planner segments left in /dev/shm ok")
 
     if args.check is not None:
         status = max(
