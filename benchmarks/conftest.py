@@ -23,6 +23,10 @@ def pytest_configure(config):
         "markers",
         "scale500k: half-million-agent benches (slow; deselect with -m 'not scale500k')",
     )
+    config.addinivalue_line(
+        "markers",
+        "scale1m: million-agent benches (slowest; deselect with -m 'not scale1m')",
+    )
 
 
 def run_once(benchmark, function, *args, **kwargs):

@@ -81,6 +81,8 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
             threshold=self.config.planner_threshold,
             improvement_threshold=self.config.improvement_threshold,
             shards=self.config.planner_shards,
+            balance=self.config.planner_balance,
+            compaction_threshold=self.config.planner_csr_compaction,
         )
         #: Agent ids whose planner rows went stale since the last plan.
         #: Arrival/departure bursts coalesce here and flush as ONE
@@ -252,10 +254,35 @@ class ComDML(StrategyDefaults, RuntimeDelegate):
         if self.planner is not None:
             self._pending_invalidations.add(agent.agent_id)
 
+    def planner_report(self) -> Optional[dict]:
+        """Operation counters of this run's planner, or ``None`` without one.
+
+        The :class:`~repro.core.planner.PlannerStats` counters (rows
+        recomputed/reused, CSR edits/rebuilds/compactions), plus — when the
+        sharded planner is active — its :class:`~repro.core.shard.ShardStats`
+        under a ``"shards"`` key (per-shard cost split and spread).  Campaign
+        cells attach this to their payload so
+        :func:`repro.experiments.reporting.execution_report` can aggregate
+        planner behaviour, shard imbalance included, across the sweep.
+        """
+        if self.planner is None:
+            return None
+        report = self.planner.stats.report()
+        shard_stats = getattr(self.planner, "shard_stats", None)
+        if shard_stats is not None:
+            report["shards"] = shard_stats.report()
+        return report
+
     def _flush_invalidations(self) -> None:
-        """Hand the coalesced dynamics dirty set to the planner, once."""
+        """Hand the coalesced dynamics dirty set to the planner, once.
+
+        Arrivals and departures are wiring changes, so this flushes
+        through :meth:`~repro.core.planner.PrunedPlanner.invalidate_topology`
+        — the planner applies the topology journal's O(Δ) edits to its
+        CSR structure eagerly, off the next plan's critical path.
+        """
         if self.planner is not None and self._pending_invalidations:
-            self.planner.invalidate(sorted(self._pending_invalidations))
+            self.planner.invalidate_topology(sorted(self._pending_invalidations))
         self._pending_invalidations.clear()
 
 

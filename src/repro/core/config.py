@@ -115,6 +115,16 @@ class ComDMLConfig:
         ``"auto"`` (default) for a CPU-count-derived pool.  The pool only
         engages above the planner's population threshold; a resolved count
         below 2 keeps planning in-process.  Ignored by the other modes.
+    planner_balance:
+        Shard-boundary policy of the ``"sharded"`` planner: ``"cost"``
+        (default) cuts shard boundaries at equal prefix sums of estimated
+        per-row cost (candidate links × split options), ``"rows"`` at
+        equal row counts.  Decisions are identical either way; only the
+        work distribution across workers differs.
+    planner_csr_compaction:
+        Staged-delta volume, as a fraction of the incremental CSR's base
+        structure, at which the topology engine folds tombstones and
+        delta lists back into a fresh base (see :mod:`repro.core.csr`).
     churn_fraction / churn_interval_rounds:
         Dynamic resource churn (paper: 20 % of agents every 100 rounds).
     execution_mode:
@@ -191,6 +201,8 @@ class ComDMLConfig:
     planner_top_k: int = 32
     planner_threshold: int = 256
     planner_shards: Union[int, str] = "auto"
+    planner_balance: str = "cost"
+    planner_csr_compaction: float = 0.25
     churn_fraction: float = 0.0
     churn_interval_rounds: int = 100
     execution_mode: str = "sync"
@@ -223,6 +235,12 @@ class ComDMLConfig:
         check_positive(self.planner_top_k, "planner_top_k")
         check_positive(self.planner_threshold, "planner_threshold")
         self.planner_shards = normalize_planner_shards(self.planner_shards)
+        if self.planner_balance not in ("cost", "rows"):
+            raise ValueError(
+                "planner_balance must be 'cost' or 'rows', "
+                f"got {self.planner_balance!r}"
+            )
+        check_positive(self.planner_csr_compaction, "planner_csr_compaction")
         check_probability(self.churn_fraction, "churn_fraction")
         check_positive(self.churn_interval_rounds, "churn_interval_rounds")
         self.execution_mode = normalize_execution_mode(self.execution_mode)

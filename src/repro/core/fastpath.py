@@ -46,6 +46,7 @@ from repro.sim.costs import (
     DEFAULT_LINK_LATENCY_SECONDS,
 )
 from repro.network.link import LinkModel
+from repro.utils.units import BITS_PER_BYTE
 from repro.utils.validation import check_positive
 
 
@@ -196,40 +197,126 @@ VECTOR_FIELDS = (
 )
 
 
-def agent_vectors(
-    agents: Sequence[Agent],
+@dataclass(frozen=True)
+class AgentAttrs:
+    """Raw per-agent attribute columns, extracted in one pass per round.
+
+    One Python sweep over the agents yields every input the planner needs
+    — the planning vectors (:func:`agent_vectors_from_attrs`), the change
+    -detection signature matrix, and the access-bandwidth vector — so the
+    per-round Python cost is a handful of attribute list comprehensions
+    instead of one pass per derived quantity.
+
+    Attributes
+    ----------
+    cpu_share / bandwidth_mbps:
+        The :class:`~repro.agents.resources.ResourceProfile` columns
+        (float64).
+    num_samples / batch_size / local_epochs:
+        The workload columns (int64).
+    """
+
+    cpu_share: np.ndarray
+    bandwidth_mbps: np.ndarray
+    num_samples: np.ndarray
+    batch_size: np.ndarray
+    local_epochs: np.ndarray
+
+    def signature_matrix(self) -> np.ndarray:
+        """``(n, 5)`` float64 change-detection matrix.
+
+        Two rounds' matrices compare equal elementwise exactly when every
+        scalar input of an agent's planning row is unchanged — the same
+        contract the historical per-agent signature tuples had.
+        """
+        return np.column_stack(
+            (
+                self.cpu_share,
+                self.bandwidth_mbps,
+                self.num_samples.astype(np.float64),
+                self.batch_size.astype(np.float64),
+                self.local_epochs.astype(np.float64),
+            )
+        )
+
+    def access_bandwidth(self) -> np.ndarray:
+        """Per-agent access-link speed in bytes/s.
+
+        Elementwise identical to
+        :meth:`~repro.agents.resources.ResourceProfile.bandwidth_bytes_per_second`
+        (same multiply-then-divide operation order as
+        :func:`~repro.utils.units.mbps_to_bytes_per_second`).
+        """
+        return self.bandwidth_mbps * 1_000_000 / BITS_PER_BYTE
+
+
+def agent_attrs(agents: Sequence[Agent]) -> AgentAttrs:
+    """Extract the raw per-agent attribute columns for one round."""
+    n = len(agents)
+    profiles = [agent.profile for agent in agents]
+    return AgentAttrs(
+        cpu_share=np.fromiter(
+            (profile.cpu_share for profile in profiles),
+            dtype=np.float64,
+            count=n,
+        ),
+        bandwidth_mbps=np.fromiter(
+            (profile.bandwidth_mbps for profile in profiles),
+            dtype=np.float64,
+            count=n,
+        ),
+        num_samples=np.fromiter(
+            (agent.num_samples for agent in agents), dtype=np.int64, count=n
+        ),
+        batch_size=np.fromiter(
+            (agent.batch_size for agent in agents), dtype=np.int64, count=n
+        ),
+        local_epochs=np.fromiter(
+            (agent.local_epochs for agent in agents), dtype=np.int64, count=n
+        ),
+    )
+
+
+def agent_vectors_from_attrs(
+    attrs: AgentAttrs,
     profile: SplitProfile,
     batch_size: Optional[int] = None,
 ) -> AgentVectors:
-    """Extract the per-agent vectors the planning kernels broadcast over.
+    """:func:`agent_vectors` computed from pre-extracted attribute columns.
 
-    ``batch_size`` overrides every agent's own batch size and must be
-    positive when given (the config boundary rejects non-positive
-    overrides, so the historical falsy-override ambiguity cannot arise).
+    Every derived float matches the scalar path bit for bit: the integer
+    batch arithmetic is exact in int64 before the (exact, < 2⁵³) float64
+    conversion, and the throughput expression keeps the scalar ``x ** e``
+    power whenever the exponent is not the (IEEE-exact) identity case.
     """
     if batch_size is not None:
         check_positive(batch_size, "batch_size")
-    # Inlined cpu_share_to_throughput: the same scalar expression (so the
-    # floats stay bit-identical) without re-validating every agent's
-    # already-validated cpu_share on each of the n calls per round.
-    throughput = np.array(
-        [
-            BASELINE_FLOPS_PER_SECOND
-            * agent.profile.cpu_share**CPU_SCALING_EXPONENT
-            for agent in agents
-        ],
-        dtype=np.float64,
+    if CPU_SCALING_EXPONENT == 1.0:
+        # pow(x, 1.0) == x exactly in IEEE-754, so the broadcast multiply
+        # is bit-identical to the scalar expression.
+        throughput = BASELINE_FLOPS_PER_SECOND * attrs.cpu_share
+    else:
+        # numpy's float_power/** disagrees with C ``pow`` in the last ulp
+        # for general exponents — keep the scalar power per element.
+        throughput = np.array(
+            [
+                BASELINE_FLOPS_PER_SECOND * share**CPU_SCALING_EXPONENT
+                for share in attrs.cpu_share.tolist()
+            ],
+            dtype=np.float64,
+        )
+    # Agent.num_batches / batches_per_round in exact integer arithmetic:
+    # 0 when the agent holds no samples, else ceil-div floored at 1.
+    num_batches = np.where(
+        attrs.num_samples == 0,
+        0,
+        np.maximum(1, -(-attrs.num_samples // attrs.batch_size)),
     )
-    batches = np.array(
-        [float(agent.batches_per_round) for agent in agents], dtype=np.float64
-    )
-    batch_sizes = np.array(
-        [
-            float(batch_size if batch_size is not None else agent.batch_size)
-            for agent in agents
-        ],
-        dtype=np.float64,
-    )
+    batches = (num_batches * attrs.local_epochs).astype(np.float64)
+    if batch_size is not None:
+        batch_sizes = np.full(len(attrs.batch_size), float(batch_size))
+    else:
+        batch_sizes = attrs.batch_size.astype(np.float64)
     flops = profile.full_train_flops_per_sample * batch_sizes
     individual_times = batches / (throughput / flops)
     slow_speed = throughput / flops
@@ -243,6 +330,20 @@ def agent_vectors(
         slow_speed=slow_speed,
         solo_times=solo_times,
     )
+
+
+def agent_vectors(
+    agents: Sequence[Agent],
+    profile: SplitProfile,
+    batch_size: Optional[int] = None,
+) -> AgentVectors:
+    """Extract the per-agent vectors the planning kernels broadcast over.
+
+    ``batch_size`` overrides every agent's own batch size and must be
+    positive when given (the config boundary rejects non-positive
+    overrides, so the historical falsy-override ambiguity cannot arise).
+    """
+    return agent_vectors_from_attrs(agent_attrs(agents), profile, batch_size)
 
 
 @dataclass(frozen=True)

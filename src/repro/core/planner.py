@@ -49,16 +49,23 @@ byte-identical dense path whenever the planner does not engage.  The
 
 from __future__ import annotations
 
+import gc
+from contextlib import contextmanager
 from dataclasses import dataclass
-from itertools import chain
-from typing import NamedTuple, Optional, Sequence
+from typing import Callable, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from repro.agents.agent import Agent
 from repro.core.config import PLANNER_MODES, normalize_planner_mode
-from repro.core.fastpath import AgentVectors, _uses_default_links, agent_vectors
-from repro.core.pairing import PairingDecision, _solo_decision
+from repro.core.csr import CsrTranslation, IncrementalCsr
+from repro.core.fastpath import (
+    AgentVectors,
+    _uses_default_links,
+    agent_attrs,
+    agent_vectors_from_attrs,
+)
+from repro.core.pairing import PairingDecision
 from repro.core.profiling import SplitProfile
 from repro.core.workload import OffloadEstimate
 from repro.network.link import LinkModel
@@ -73,6 +80,86 @@ __all__ = [
     "build_planner",
     "normalize_planner_mode",
 ]
+
+
+@contextmanager
+def _gc_paused():
+    """Pause generational GC over an allocation burst.
+
+    The greedy scan builds one decision object pair per formed pair; at
+    hundreds of thousands of agents those allocations trip gen-0
+    collections every few hundred objects, and each collection re-scans a
+    live heap that holds the whole population.  None of the objects built
+    here are garbage, so the collections can only waste time — pause
+    collection for the burst and restore the collector's prior state
+    after (nothing is re-enabled for callers that run with GC off).
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _fast_pair_decision(
+    slow_id: int,
+    fast_id: int,
+    layers: int,
+    slow_time: float,
+    fast_own_time: float,
+    communication: float,
+    fast_offload: float,
+    pair_time: float,
+) -> PairingDecision:
+    """Build one pair decision without the frozen-dataclass ``__init__``.
+
+    ``PairingDecision`` and ``OffloadEstimate`` are frozen, so their
+    generated ``__init__`` routes every field through
+    ``object.__setattr__`` — measurably the planner's hottest call at
+    scale (two objects per formed pair).  Filling the instance
+    ``__dict__`` wholesale produces an identical object (same fields,
+    equality, and hash; neither class defines ``__post_init__`` or
+    ``__slots__``) at half the cost.  ``test_fast_decision_paths_match``
+    pins the equivalence.
+    """
+    estimate = object.__new__(OffloadEstimate)
+    estimate.__dict__.update(
+        offloaded_layers=layers,
+        slow_time=slow_time,
+        fast_own_time=fast_own_time,
+        communication_time=communication,
+        fast_offload_time=fast_offload,
+        pair_time=pair_time,
+    )
+    decision = object.__new__(PairingDecision)
+    decision.__dict__.update(
+        slow_id=slow_id,
+        fast_id=fast_id,
+        offloaded_layers=layers,
+        estimate=estimate,
+    )
+    return decision
+
+
+def _fast_solo_decision(agent_id: int, own_time: float) -> PairingDecision:
+    """:func:`repro.core.pairing._solo_decision` on the fast build path."""
+    estimate = object.__new__(OffloadEstimate)
+    estimate.__dict__.update(
+        offloaded_layers=0,
+        slow_time=own_time,
+        fast_own_time=0.0,
+        communication_time=0.0,
+        fast_offload_time=0.0,
+        pair_time=own_time,
+    )
+    decision = object.__new__(PairingDecision)
+    decision.__dict__.update(
+        slow_id=agent_id, fast_id=None, offloaded_layers=0, estimate=estimate
+    )
+    return decision
 
 
 class BlockArrays(NamedTuple):
@@ -91,23 +178,16 @@ class BlockArrays(NamedTuple):
     valid: np.ndarray
 
 
-def _signature(agent: Agent) -> tuple:
-    """Everything a planning row depends on about one agent."""
-    return (
-        agent.profile.cpu_share,
-        agent.profile.bandwidth_mbps,
-        agent.num_samples,
-        agent.batch_size,
-        agent.local_epochs,
-    )
-
-
 @dataclass
 class PlannerStats:
     """Operation counters of a :class:`PrunedPlanner` (for tests and reports).
 
     ``pairs_evaluated`` counts (slow, candidate, split) cost evaluations —
     the quantity the incremental-replanning bound O(d·k·s) is stated in.
+    The ``csr_*`` counters observe the incremental topology engine
+    (:mod:`repro.core.csr`): ``csr_edits`` is the number of journal events
+    applied as O(Δ) edits, ``csr_rebuilds`` the O(E) from-graph builds, and
+    ``csr_compactions`` the lazy delta/tombstone fold-backs.
     """
 
     rounds: int = 0
@@ -118,6 +198,22 @@ class PlannerStats:
     last_rows_recomputed: int = 0
     last_rows_reused: int = 0
     last_pairs_evaluated: int = 0
+    csr_edits: int = 0
+    csr_rebuilds: int = 0
+    csr_compactions: int = 0
+
+    def report(self) -> dict:
+        """Plain-dict view (campaign ``execution_report`` serialisation)."""
+        return {
+            "rounds": self.rounds,
+            "full_rebuilds": self.full_rebuilds,
+            "rows_recomputed": self.rows_recomputed,
+            "rows_reused": self.rows_reused,
+            "pairs_evaluated": self.pairs_evaluated,
+            "csr_edits": self.csr_edits,
+            "csr_rebuilds": self.csr_rebuilds,
+            "csr_compactions": self.csr_compactions,
+        }
 
 
 @dataclass
@@ -129,11 +225,21 @@ class PlannerState:
     columns are ascending by participant position within each row, which
     is what keeps the greedy row argmin's first-minimum tie-breaking
     identical to the dense kernel's.
+
+    ``sig`` is the ``(n, 5)`` per-agent signature matrix (cpu share,
+    bandwidth, samples, batch size, local epochs as float64) the planner
+    diffs vectorized each round.  The ``scan_*`` arrays are the greedy
+    scan's per-row candidate walk order, maintained incrementally: each
+    row's candidates sorted ascending by (pair time, candidate column) —
+    ``scan_times`` the sorted times, ``scan_pos`` the candidate participant
+    positions in that order (−1 past the last finite time), ``scan_cols``
+    the original candidate columns.  Only recomputed rows re-sort.
     """
 
     ids: tuple[int, ...]
+    ids_array: np.ndarray
     k: int
-    signatures: dict[int, tuple]
+    sig: np.ndarray
     taus: np.ndarray
     cand_pos: np.ndarray
     cand_ids: np.ndarray
@@ -141,6 +247,9 @@ class PlannerState:
     best_times: np.ndarray
     best_split: np.ndarray
     valid: np.ndarray
+    scan_times: np.ndarray
+    scan_pos: np.ndarray
+    scan_cols: np.ndarray
 
     def blocks(self) -> BlockArrays:
         """The block arrays bundled for the shared reset/scatter helpers."""
@@ -185,30 +294,38 @@ class PrunedPlanner:
         engage_threshold: Optional[int] = None,
         batch_size: Optional[int] = None,
         improvement_threshold: float = 0.0,
+        compaction_threshold: float = 0.25,
     ) -> None:
         check_positive(top_k, "top_k")
         if engage_threshold is not None:
             check_positive(engage_threshold, "engage_threshold")
         if batch_size is not None:
             check_positive(batch_size, "batch_size")
+        check_positive(compaction_threshold, "compaction_threshold")
         self.profile = profile
         self.link_model = link_model
         self.top_k = top_k
         self.engage_threshold = engage_threshold
         self.batch_size = batch_size
         self.improvement_threshold = improvement_threshold
+        self.compaction_threshold = compaction_threshold
         self.latency_seconds = link_model.latency_seconds
         self.stats = PlannerStats()
         self.state: Optional[PlannerState] = None
         self._pending_dirty: set[int] = set()
         self._pending_all = False
-        #: Cached CSR link structure: (ids, indptr, link rows, link cols).
-        #: Holds every topology edge between participants regardless of the
-        #: bandwidth at build time — bandwidths are re-read per use, so the
-        #: structure only invalidates on membership / wiring changes.
-        self._links: Optional[
-            tuple[tuple[int, ...], np.ndarray, np.ndarray, np.ndarray]
-        ] = None
+        #: Set when the CSR had to rebuild from the graph (journal lost) —
+        #: every row must re-cost even though signatures were kept.
+        self._pending_all_rows = False
+        #: Incremental topology engine (built lazily on the first plan
+        #: that takes the CSR path) and its cached participant translation.
+        self._csr: Optional[IncrementalCsr] = None
+        self._translation: Optional[CsrTranslation] = None
+        #: (topology version, nodes, edges) — caches the complete-graph
+        #: check when the CSR engine is not engaged.
+        self._counts_cache: Optional[tuple[int, int, int]] = None
+        #: (ids tuple, sorted ids, argsort order) — id → row lookup cache.
+        self._ids_sort_cache: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Selection / invalidation API
@@ -220,18 +337,54 @@ class PrunedPlanner:
         return population >= self.engage_threshold
 
     def invalidate(self, agent_ids: Sequence[int]) -> None:
-        """Mark agents dirty (profile / bandwidth / wiring changed).
+        """Mark agents dirty (profile-level state changed).
 
         The planner also diffs per-agent signatures on every plan, so churn
-        that changes a profile value is caught without this call; explicit
-        invalidation covers changes signatures cannot see.
+        that changes a profile value is caught without this call.  Profile
+        invalidation deliberately keeps the cached CSR topology structure —
+        wiring changes go through :meth:`invalidate_topology` (driven by
+        the topology's edge-delta journal) or :meth:`invalidate_all`.
         """
         self._pending_dirty.update(int(agent_id) for agent_id in agent_ids)
 
+    def invalidate_topology(self, agent_ids: Sequence[int] = ()) -> None:
+        """Mark a wiring change: agents arrived, departed, or rewired.
+
+        The CSR structure is patched **eagerly** here with O(Δ) edits from
+        the topology's edge-delta journal — off the plan's critical path,
+        so dynamics invalidation overlaps the round gap instead of
+        serialising into the next plan.  Rows of every affected agent (the
+        explicit ids plus every endpoint the journal names) re-cost at the
+        next plan.  Every plan also drains the journal itself
+        (:meth:`_sync_topology`), so this call is an optimisation, not a
+        correctness requirement, for mutations made through the
+        :class:`~repro.network.topology.Topology` API.
+        """
+        self._pending_dirty.update(int(agent_id) for agent_id in agent_ids)
+        self._sync_topology()
+
+    def _sync_topology(self) -> None:
+        """Drain the topology journal into the CSR (O(Δ) edits)."""
+        if self._csr is None or not self._csr.built:
+            return
+        if self.link_model.topology.version == self._csr.cursor:
+            return
+        affected = self._csr.sync()
+        if affected is None:
+            self._pending_all_rows = True
+        else:
+            self._pending_dirty.update(affected)
+
     def invalidate_all(self) -> None:
-        """Drop the entire cache (next plan is a full rebuild)."""
+        """Drop the entire cache (next plan is a full rebuild).
+
+        Also the escape hatch for wiring changes made directly on the
+        ``networkx`` graph, which bypass the topology journal.
+        """
         self._pending_all = True
-        self._links = None
+        self._csr = None
+        self._translation = None
+        self._counts_cache = None
 
     def close(self) -> None:
         """Release planner resources (no-op for the in-process planner).
@@ -257,25 +410,46 @@ class PrunedPlanner:
         n = len(agents)
         if n == 0:
             return [], {}
-        vectors = agent_vectors(agents, self.profile, self.batch_size)
+        with _gc_paused():
+            return self._plan_body(agents, n)
+
+    def _plan_body(
+        self, agents: list[Agent], n: int
+    ) -> tuple[list[PairingDecision], dict[int, float]]:
+        """:meth:`plan` body, under the GC pause (see :func:`_gc_paused`)."""
+        self._sync_topology()
+        attrs = agent_attrs(agents)
+        vectors = agent_vectors_from_attrs(attrs, self.profile, self.batch_size)
         taus = vectors.individual_times
+        sig = attrs.signature_matrix()
+        access = attrs.access_bandwidth()
         ids = tuple(agent.agent_id for agent in agents)
-        taus_by_id = dict(zip(ids, taus.tolist()))
-        signatures = dict(zip(ids, map(_signature, agents)))
+        ids_array = np.fromiter(ids, dtype=np.int64, count=n)
         k = min(self.top_k, max(n - 1, 0))
 
-        state, dirty_rows = self._realign(agents, ids, signatures, taus, k)
-        self._recompute_rows(state, agents, vectors, dirty_rows)
+        state, dirty_rows = self._realign(agents, ids, ids_array, sig, taus, k)
+        finish = self._begin_recompute(
+            state, agents, vectors, access, ids_array, dirty_rows
+        )
+        # Parent-side work that needs no block results overlaps the
+        # (possibly sharded) candidate evaluation window.
+        taus_by_id = dict(zip(ids, taus.tolist()))
+        # Stable argsort on -τ̂ = descending τ̂ with ties in first-seen
+        # order, exactly like the dense scheduler's stable reverse sort.
+        order = np.argsort(-taus, kind="stable")
+        finish()
+        self._refresh_scan_rows(state, dirty_rows)
 
+        dirty_count = int(dirty_rows.size)
         self.stats.rounds += 1
-        self.stats.last_rows_recomputed = len(dirty_rows)
-        self.stats.last_rows_reused = n - len(dirty_rows)
-        self.stats.rows_recomputed += len(dirty_rows)
-        self.stats.rows_reused += n - len(dirty_rows)
-        if len(dirty_rows) == n:
+        self.stats.last_rows_recomputed = dirty_count
+        self.stats.last_rows_reused = n - dirty_count
+        self.stats.rows_recomputed += dirty_count
+        self.stats.rows_reused += n - dirty_count
+        if dirty_count == n:
             self.stats.full_rebuilds += 1
 
-        decisions = self._greedy_scan(state, agents, vectors, taus)
+        decisions = self._greedy_scan(state, ids, taus, order, vectors, agents)
         return decisions, taus_by_id
 
     # ------------------------------------------------------------------
@@ -285,96 +459,260 @@ class PrunedPlanner:
         self,
         agents: list[Agent],
         ids: tuple[int, ...],
-        signatures: dict[int, tuple],
+        ids_array: np.ndarray,
+        sig: np.ndarray,
         taus: np.ndarray,
         k: int,
-    ) -> tuple[PlannerState, list[int]]:
-        """Carry the cache over to this round's participants; find dirty rows."""
+    ) -> tuple[PlannerState, np.ndarray]:
+        """Carry the cache over to this round's participants; find dirty rows.
+
+        Returns the (possibly in-place updated) state and the ascending
+        dirty-row array.  When the participant tuple is unchanged the
+        previous state's block arrays are reused **in place** — no copies
+        — and the dirty set is found by a vectorized signature-matrix
+        diff.  Membership changes take the remap path below.
+        """
         n = len(agents)
         previous = self.state
-        if self._pending_all or previous is None or previous.k != k:
+        all_rows = self._pending_all or previous is None or previous.k != k
+        if not all_rows and self._pending_all_rows:
+            # CSR rebuilt from the graph (journal truncated): every row
+            # re-costs, so a fresh state is equivalent and simpler.
+            all_rows = True
+        if all_rows:
             self._pending_all = False
+            self._pending_all_rows = False
             self._pending_dirty.clear()
-            state = _empty_state(ids, k, signatures, taus)
+            state = _empty_state(ids, ids_array, k, sig, taus)
             self.state = state
-            return state, list(range(n))
+            return state, np.arange(n, dtype=np.int64)
 
-        current_ids = set(ids)
-        dirty_ids = {
-            agent_id
-            for agent_id in ids
-            if signatures[agent_id] != previous.signatures.get(agent_id)
-        }
+        # Map this round's pending-dirty ids to rows (ids in the round are
+        # consumed; ids still in the topology stay pending; gone-for-good
+        # ids are dropped so the set stays bounded).
+        pending_rows = np.empty(0, dtype=np.int64)
         if self._pending_dirty:
-            # Explicit invalidation can signal wiring changes the signature
-            # diff cannot see — drop the cached link structure too.
-            self._links = None
-        dirty_ids |= self._pending_dirty & current_ids
-        self._pending_dirty -= current_ids
-        departed = set(previous.ids) - current_ids
-
-        if not dirty_ids and not departed and ids == previous.ids:
-            previous.taus = taus
-            previous.signatures = signatures
-            return previous, []
-
-        row_of = {agent_id: row for row, agent_id in enumerate(ids)}
-        state = _empty_state(ids, k, signatures, taus)
-        if ids == previous.ids:
-            # Same participants in the same order: keep the block arrays.
-            for name in ("cand_pos", "cand_ids", "cand_bw", "best_times",
-                         "best_split", "valid"):
-                setattr(state, name, getattr(previous, name).copy())
-        else:
-            # Membership or order changed: pull retained rows over and
-            # remap cached candidate positions old → new.
-            old_row_of = {agent_id: row for row, agent_id in enumerate(previous.ids)}
-            old_rows = np.array(
-                [old_row_of.get(agent_id, -1) for agent_id in ids], dtype=np.int64
+            sorted_ids, sort_order = self._sorted_ids(ids, ids_array)
+            pend = np.fromiter(
+                self._pending_dirty, dtype=np.int64, count=len(self._pending_dirty)
             )
-            keep = old_rows >= 0
-            for name in ("cand_pos", "cand_ids", "cand_bw", "best_times",
-                         "best_split", "valid"):
-                getattr(state, name)[keep] = getattr(previous, name)[old_rows[keep]]
-            new_pos_of_old = np.full(len(previous.ids), -1, dtype=np.int64)
-            new_pos_of_old[old_rows[keep]] = np.nonzero(keep)[0]
-            remappable = state.cand_pos >= 0
-            state.cand_pos[remappable] = new_pos_of_old[state.cand_pos[remappable]]
-            stale = remappable & (state.cand_pos < 0)
-            state.valid[stale] = False
-            state.best_times[stale] = np.inf
+            pos = np.searchsorted(sorted_ids, pend)
+            pos = np.minimum(pos, n - 1)
+            found = sorted_ids[pos] == pend
+            pending_rows = sort_order[pos[found]]
+            graph = self.link_model.topology.graph
+            self._pending_dirty = {
+                int(agent_id)
+                for agent_id in pend[~found].tolist()
+                if graph.has_node(agent_id)
+            }
 
-        # Dirty closure: the agent itself, its current topology
-        # neighborhood (its τ̂ feeds their candidate selection), and any
-        # cached row still referencing a dirty or departed id (covers
-        # edges the topology dropped, e.g. a ring splice).
-        dirty_rows: set[int] = set()
-        graph = self.link_model.topology.graph
-        for agent_id in dirty_ids:
-            row = row_of.get(agent_id)
-            if row is not None:
-                dirty_rows.add(row)
-        for agent_id in dirty_ids | departed:
-            if graph.has_node(agent_id):
-                for neighbor in graph.neighbors(agent_id):
-                    row = row_of.get(neighbor)
-                    if row is not None:
-                        dirty_rows.add(row)
-        affected_ids = dirty_ids | departed
-        if affected_ids and state.cand_ids.size:
-            referencing = np.isin(
-                state.cand_ids, np.fromiter(affected_ids, dtype=np.int64)
-            ).any(axis=1)
-            dirty_rows.update(int(row) for row in np.nonzero(referencing)[0])
+        if ids == previous.ids:
+            state = previous
+            state.sig, old_sig = sig, state.sig
+            state.taus = taus
+            dirty_mask = (sig != old_sig).any(axis=1)
+            if pending_rows.size:
+                dirty_mask[pending_rows] = True
+            if not dirty_mask.any():
+                return state, np.empty(0, dtype=np.int64)
+            dirty_mask = self._dirty_closure(
+                state, ids_array, dirty_mask, np.empty(0, dtype=np.int64)
+            )
+            return state, np.nonzero(dirty_mask)[0]
 
+        # Membership or order changed: pull retained rows over and remap
+        # cached candidate (and scan) positions old → new.
+        state = _empty_state(ids, ids_array, k, sig, taus)
+        n_prev = len(previous.ids)
+        prev_sorted = np.sort(previous.ids_array)
+        prev_order = np.argsort(previous.ids_array, kind="stable")
+        pos = np.minimum(np.searchsorted(prev_sorted, ids_array), n_prev - 1)
+        retained = prev_sorted[pos] == ids_array
+        old_rows = np.where(retained, prev_order[pos], -1)
+        for name in ("cand_pos", "cand_ids", "cand_bw", "best_times",
+                     "best_split", "valid", "scan_times", "scan_pos",
+                     "scan_cols"):
+            getattr(state, name)[retained] = getattr(previous, name)[
+                old_rows[retained]
+            ]
+        new_pos_of_old = np.full(n_prev, -1, dtype=np.int64)
+        new_pos_of_old[old_rows[retained]] = np.nonzero(retained)[0]
+        for name in ("cand_pos", "scan_pos"):
+            positions = getattr(state, name)
+            remappable = positions >= 0
+            positions[remappable] = new_pos_of_old[positions[remappable]]
+        stale = (state.cand_pos < 0) & state.valid
+        state.valid[stale] = False
+        state.best_times[stale] = np.inf
+
+        dirty_mask = ~retained
+        if retained.any():
+            kept = np.nonzero(retained)[0]
+            changed = (sig[kept] != previous.sig[old_rows[kept]]).any(axis=1)
+            dirty_mask[kept[changed]] = True
+        if pending_rows.size:
+            dirty_mask[pending_rows] = True
+        departed_mask = np.ones(n_prev, dtype=bool)
+        departed_mask[old_rows[retained]] = False
+        departed = previous.ids_array[departed_mask]
+
+        dirty_mask = self._dirty_closure(state, ids_array, dirty_mask, departed)
         self.state = state
-        return state, sorted(dirty_rows)
+        return state, np.nonzero(dirty_mask)[0]
+
+    def _sorted_ids(
+        self, ids: tuple[int, ...], ids_array: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cached (sorted ids, argsort order) for id → row lookups."""
+        cached = getattr(self, "_ids_sort_cache", None)
+        if cached is not None and cached[0] == ids:
+            return cached[1], cached[2]
+        order = np.argsort(ids_array, kind="stable")
+        sorted_ids = ids_array[order]
+        self._ids_sort_cache = (ids, sorted_ids, order)
+        return sorted_ids, order
+
+    def _dirty_closure(
+        self,
+        state: PlannerState,
+        ids_array: np.ndarray,
+        dirty_mask: np.ndarray,
+        departed: np.ndarray,
+    ) -> np.ndarray:
+        """Expand dirty rows to their full invalidation closure.
+
+        A dirty agent invalidates its own row, its topology neighborhood
+        (its τ̂ feeds their candidate selection), and any cached row still
+        referencing it or a departed id (covers candidates that are no
+        longer reachable).
+        """
+        dirty_rows = np.nonzero(dirty_mask)[0]
+        if dirty_rows.size == 0 and departed.size == 0:
+            return dirty_mask
+        # The referencing check below keys on the *seed* dirty ids — the
+        # agents whose own inputs changed.  Rows referencing a mere
+        # neighbor of a dirty agent stay clean: the neighbor's τ̂ did not
+        # move, so every cached pair time involving it is still exact.
+        affected = ids_array[dirty_rows]
+        if departed.size:
+            affected = np.concatenate([affected, departed])
+
+        # Neighbor expansion of current dirty rows: through the CSR when
+        # the engine is live (vectorized), through the graph otherwise.
+        if dirty_rows.size:
+            csr = self._csr
+            if csr is not None and csr.built:
+                translation = self._participant_translation(state)
+                _, neighbor_cols = csr.links_for(translation, dirty_rows)
+                dirty_mask[neighbor_cols] = True
+            else:
+                graph = self.link_model.topology.graph
+                row_lookup = self._row_lookup(state, ids_array)
+                for agent_id in ids_array[dirty_rows].tolist():
+                    if graph.has_node(agent_id):
+                        for neighbor in graph.neighbors(agent_id):
+                            row = row_lookup(neighbor)
+                            if row is not None:
+                                dirty_mask[row] = True
+        if departed.size:
+            graph = self.link_model.topology.graph
+            row_lookup = self._row_lookup(state, ids_array)
+            for agent_id in departed.tolist():
+                if graph.has_node(agent_id):
+                    for neighbor in graph.neighbors(agent_id):
+                        row = row_lookup(neighbor)
+                        if row is not None:
+                            dirty_mask[row] = True
+
+        # Rows still referencing a dirty or departed id in their cached
+        # candidate lists (belt for invalidations the neighbor expansion
+        # cannot see, e.g. a departed candidate two hops away).
+        if affected.size and state.cand_ids.size:
+            max_id = int(affected.max())
+            if int(affected.min()) >= 0 and max_id <= 4 * len(ids_array) + 65_536:
+                # Bool-table membership beats np.isin by ~4× at 500k rows;
+                # ids outside [0, max_id] map to slot 0 (never marked).
+                table = np.zeros(max_id + 2, dtype=bool)
+                table[affected + 1] = True
+                cand = state.cand_ids
+                safe = np.where((cand >= 0) & (cand <= max_id), cand + 1, 0)
+                referencing = table[safe].any(axis=1)
+            else:
+                referencing = np.isin(state.cand_ids, affected).any(axis=1)
+            dirty_mask |= referencing
+        return dirty_mask
+
+    def _row_lookup(self, state: PlannerState, ids_array: np.ndarray):
+        """O(1) agent-id → row lookup callable (``None`` when absent)."""
+        sorted_ids, order = self._sorted_ids(state.ids, ids_array)
+        n = len(ids_array)
+
+        def lookup(agent_id: int) -> Optional[int]:
+            pos = int(np.searchsorted(sorted_ids, agent_id))
+            if pos < n and sorted_ids[pos] == agent_id:
+                return int(order[pos])
+            return None
+
+        return lookup
 
     # ------------------------------------------------------------------
     # Candidate selection + pruned block costing
     # ------------------------------------------------------------------
+    def _topology_counts(self) -> tuple[int, int]:
+        """(nodes, edges) of the topology — O(1) in the steady state.
+
+        Served by the CSR engine when it is live, else cached against the
+        topology's journal version (mutations made directly on the
+        ``networkx`` graph bypass both, which is why they require
+        :meth:`invalidate_all`).
+        """
+        if self._csr is not None and self._csr.built:
+            return self._csr.counts()
+        version = self.link_model.topology.version
+        cached = self._counts_cache
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        graph = self.link_model.topology.graph
+        nodes = graph.number_of_nodes()
+        edges = graph.number_of_edges()
+        self._counts_cache = (version, nodes, edges)
+        return nodes, edges
+
+    def _make_csr(self) -> IncrementalCsr:
+        """Construct (and fully build) the incremental topology engine."""
+        csr = IncrementalCsr(
+            self.link_model.topology,
+            compaction_threshold=self.compaction_threshold,
+            stats=self.stats,
+            builder=self._csr_builder(),
+        )
+        csr.rebuild()
+        return csr
+
+    def _csr_builder(self) -> Optional[Callable]:
+        """Base-structure build callback (the sharded subclass parallelises)."""
+        return None
+
+    def _participant_translation(self, state: PlannerState) -> CsrTranslation:
+        """Cached slot ↔ position translation for the current participants."""
+        csr = self._csr
+        translation = self._translation
+        if (
+            csr.translation_current(translation)
+            and translation.ids == state.ids
+        ):
+            return translation
+        translation = csr.translation(state.ids)
+        self._translation = translation
+        return translation
+
     def _candidate_rows(
-        self, state: PlannerState, agents: list[Agent], rows: list[int]
+        self,
+        state: PlannerState,
+        agents: list[Agent],
+        access: np.ndarray,
+        rows: np.ndarray,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Top-k fastest reachable peers of the given (ascending) rows.
 
@@ -385,40 +723,36 @@ class PrunedPlanner:
         """
         taus = state.taus
         k = state.k
-        graph = self.link_model.topology.graph
-        access = np.array(
-            [agent.profile.bandwidth_bytes_per_second for agent in agents],
-            dtype=np.float64,
-        )
         default_links = _uses_default_links(self.link_model)
 
-        node_count = graph.number_of_nodes()
+        node_count, edge_count = self._topology_counts()
         if (
             default_links
             and node_count >= 2
-            and graph.number_of_edges() == node_count * (node_count - 1) // 2
+            and edge_count == node_count * (node_count - 1) // 2
         ):
-            # Complete graph: a neighbor list would be O(n²); use the
-            # shared global top-(k+1) pool instead.
+            # Complete graph: a neighbor structure would be O(n²); use the
+            # shared global top-(k+1) pool instead (never builds the CSR).
             return _complete_graph_candidates(taus, access, rows, k)
 
         if default_links:
-            indptr, link_rows, link_cols = self._link_structure(agents)
-            if len(rows) == len(agents):
-                sel_rows, sel_cols = link_rows, link_cols
-            else:
-                sel_rows, sel_cols = _csr_row_links(
-                    indptr, link_cols, np.asarray(rows, dtype=np.int64)
-                )
+            if self._csr is None:
+                self._csr = self._make_csr()
+                self._translation = None
+            translation = self._participant_translation(state)
+            sel_rows, sel_cols = self._csr.links_for(
+                translation, None if rows.size == len(agents) else rows
+            )
             bandwidth = np.minimum(access[sel_rows], access[sel_cols])
         else:
             # Custom link-model semantics: query per ordered pair, but only
             # for the dirty rows' neighborhoods.
+            graph = self.link_model.topology.graph
             row_of = {agent.agent_id: row for row, agent in enumerate(agents)}
             flat_rows: list[int] = []
             flat_cols: list[int] = []
             flat_bw: list[float] = []
-            for row in rows:
+            for row in rows.tolist():
                 agent = agents[row]
                 if not graph.has_node(agent.agent_id):
                     continue
@@ -443,90 +777,43 @@ class PrunedPlanner:
 
         return _top_k_by_tau(sel_rows, sel_cols, bandwidth, taus, len(agents), k)
 
-    def _link_structure(
-        self, agents: list[Agent]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """CSR adjacency over the participants (both directions per edge).
+    def _begin_recompute(
+        self,
+        state: PlannerState,
+        agents: list[Agent],
+        vectors: AgentVectors,
+        access: np.ndarray,
+        ids_array: np.ndarray,
+        rows: np.ndarray,
+    ) -> Callable[[], None]:
+        """Start re-costing the dirty rows; the returned callable completes it.
 
-        Cached across rounds keyed by the participant id tuple; bandwidths
-        are intentionally NOT part of the structure (they are re-read from
-        the agents at query time), so profile churn never invalidates it.
+        The in-process planner computes synchronously and returns a no-op;
+        the sharded subclass dispatches to its worker pool here and blocks
+        on the replies only inside the returned ``finish`` — the window in
+        between overlaps parent-side work with candidate evaluation.
         """
-        ids = tuple(agent.agent_id for agent in agents)
-        if self._links is not None and self._links[0] == ids:
-            return self._links[1], self._links[2], self._links[3]
-        n = len(agents)
-        graph = self.link_model.topology.graph
-        adjacency = graph.adj
-        # Iterating the adjacency dict yields each directed link exactly
-        # once per endpoint, already grouped by row; a per-row sort of the
-        # small neighbor lists replaces the global lexsort an edge-list
-        # extraction would need (measurably faster at 10k+ edges).
-        chunks: Optional[list[list[int]]] = None
-        if n == graph.number_of_nodes():
-            try:
-                if ids == tuple(range(n)):
-                    # Ids equal positions (the common contiguous
-                    # labelling): neighbor ids need no translation.
-                    chunks = [sorted(adjacency[agent_id]) for agent_id in ids]
-                else:
-                    lookup = {
-                        agent_id: row for row, agent_id in enumerate(ids)
-                    }.__getitem__
-                    chunks = [
-                        sorted(map(lookup, adjacency[agent_id]))
-                        for agent_id in ids
-                    ]
-            except KeyError:
-                # A participant is not a topology node, or a neighbor is
-                # not a participant — take the filtering path below.
-                chunks = None
-        if chunks is None:
-            lookup = {agent_id: row for row, agent_id in enumerate(ids)}.get
-            chunks = []
-            for agent_id in ids:
-                neighbors = adjacency.get(agent_id)
-                if neighbors:
-                    chunks.append(
-                        sorted(
-                            col
-                            for col in map(lookup, neighbors)
-                            if col is not None
-                        )
-                    )
-                else:
-                    chunks.append([])
-        counts = np.fromiter(map(len, chunks), dtype=np.int64, count=n)
-        total = int(counts.sum())
-        link_cols = np.fromiter(
-            chain.from_iterable(chunks), dtype=np.int64, count=total
-        )
-        link_rows = np.repeat(np.arange(n, dtype=np.int64), counts)
-        distinct = link_rows != link_cols
-        if not distinct.all():
-            link_rows = link_rows[distinct]
-            link_cols = link_cols[distinct]
-            counts = np.bincount(link_rows, minlength=n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=indptr[1:])
-        self._links = (ids, indptr, link_rows, link_cols)
-        return indptr, link_rows, link_cols
+        self._recompute_rows(state, agents, vectors, access, ids_array, rows)
+        return _noop_finish
 
     def _recompute_rows(
         self,
         state: PlannerState,
         agents: list[Agent],
         vectors: AgentVectors,
-        rows: list[int],
+        access: np.ndarray,
+        ids_array: np.ndarray,
+        rows: np.ndarray,
     ) -> None:
         """Re-cost the pruned (slow × k × split) blocks of the given rows."""
-        if not rows:
+        if rows.size == 0:
             self.stats.last_pairs_evaluated = 0
             return
-        rows_flat, cols_flat, bw_flat = self._candidate_rows(state, agents, rows)
-        rows_array = np.asarray(rows, dtype=np.int64)
+        rows_flat, cols_flat, bw_flat = self._candidate_rows(
+            state, agents, access, rows
+        )
         blocks = state.blocks()
-        _reset_rows(blocks, rows_array)
+        _reset_rows(blocks, rows)
 
         total = int(rows_flat.size)
         self.stats.last_pairs_evaluated = total * self.profile.num_options
@@ -537,11 +824,33 @@ class PrunedPlanner:
             self.profile, vectors, rows_flat, cols_flat, bw_flat,
             self.latency_seconds,
         )
-        ids_array = np.array([agent.agent_id for agent in agents], dtype=np.int64)
         _scatter_rows(
             blocks, rows_flat, cols_flat, bw_flat, best_time, best_index,
             ids_array, self.profile.options_array, len(agents),
         )
+
+    def _refresh_scan_rows(self, state: PlannerState, rows: np.ndarray) -> None:
+        """Re-sort the greedy scan arrays of the recomputed rows only."""
+        if rows.size == 0 or state.k == 0:
+            return
+        if rows.size == len(state.ids):
+            times = np.where(state.valid, state.best_times, np.inf)
+            order = np.argsort(times, axis=1, kind="stable")
+            sorted_times = np.take_along_axis(times, order, axis=1)
+            positions = np.take_along_axis(state.cand_pos, order, axis=1)
+            positions[~np.isfinite(sorted_times)] = -1
+            state.scan_times[...] = sorted_times
+            state.scan_cols[...] = order
+            state.scan_pos[...] = positions
+            return
+        times = np.where(state.valid[rows], state.best_times[rows], np.inf)
+        order = np.argsort(times, axis=1, kind="stable")
+        sorted_times = np.take_along_axis(times, order, axis=1)
+        positions = np.take_along_axis(state.cand_pos[rows], order, axis=1)
+        positions[~np.isfinite(sorted_times)] = -1
+        state.scan_times[rows] = sorted_times
+        state.scan_cols[rows] = order
+        state.scan_pos[rows] = positions
 
     # ------------------------------------------------------------------
     # Greedy scan (Algorithm 1's Pairing over the pruned blocks)
@@ -549,57 +858,73 @@ class PrunedPlanner:
     def _greedy_scan(
         self,
         state: PlannerState,
-        agents: list[Agent],
-        vectors: AgentVectors,
+        ids: tuple[int, ...],
         taus: np.ndarray,
+        order: np.ndarray,
+        vectors: AgentVectors,
+        agents: list[Agent],
     ) -> list[PairingDecision]:
         """Algorithm 1's greedy pairing over the pruned candidate blocks.
 
-        The scan itself runs in pure Python over row lists (per-row numpy
-        calls on k-element arrays cost more than they compute); the chosen
-        pairs' :class:`~repro.core.workload.OffloadEstimate`s are then
-        built in one vectorized batch mirroring the scalar oracle.
+        Walks the precomputed per-row scan order (``scan_*`` arrays, kept
+        incrementally by :meth:`_refresh_scan_rows`): each row's candidates
+        ascending by (pair time, candidate column), so the first alive
+        candidate *is* the row's first minimum — the dense tie-break.  The
+        vast majority of rows resolve at scan column 0 (their fastest
+        candidate is still alive), so the loop touches three precomputed
+        column-0 lists and falls back to the full row walk only when the
+        fastest candidate was already claimed.  The chosen pairs'
+        :class:`~repro.core.workload.OffloadEstimate`s are then built in
+        one vectorized batch mirroring the scalar oracle.
         """
-        n = len(agents)
+        n = len(ids)
+        k = state.k
         taus_list = taus.tolist()
-        # Stable argsort on -τ̂ = descending τ̂ with ties in first-seen
-        # order, exactly like the dense scheduler's stable reverse sort.
-        order = np.argsort(-taus, kind="stable").tolist()
-        # Invalid / padded candidates become +inf.  Walking each row's
-        # candidates in ascending pair-time order (stable argsort keeps
-        # ascending-position order on ties, the dense first-minimum
-        # tie-break) lets the scan stop at the first alive candidate
-        # instead of re-scanning all k entries per row.
-        times = np.where(state.valid, state.best_times, np.inf)
-        scan_rows = np.argsort(times, axis=1, kind="stable").tolist()
-        times_rows = times.tolist()
-        pos_rows = state.cand_pos.tolist()
+        infinity = float("inf")
+        if k:
+            first_pos = state.scan_pos[:, 0].tolist()
+            first_time = state.scan_times[:, 0].tolist()
+            first_col = state.scan_cols[:, 0].tolist()
+        else:
+            first_pos = [-1] * n
+            first_time = [infinity] * n
+            first_col = [0] * n
+        scan_pos = state.scan_pos
+        scan_times = state.scan_times
+        scan_cols = state.scan_cols
         alive = [True] * n
         improvement = 1.0 - self.improvement_threshold
-        infinity = float("inf")
         decisions: list[Optional[PairingDecision]] = []
         chosen_slow: list[int] = []
         chosen_col: list[int] = []
         chosen_fast: list[int] = []
 
-        for i in order:
+        for i in order.tolist():
             if not alive[i]:
                 continue
             own_time = taus_list[i]
-            positions = pos_rows[i]
-            row_times = times_rows[i]
             best_time = infinity
             best_column = -1
-            for column in scan_rows[i]:
-                time = row_times[column]
-                if time == infinity:
-                    break
-                if alive[positions[column]]:
-                    best_time = time
-                    best_column = column
-                    break
+            j = first_pos[i]
+            if j >= 0:
+                if alive[j]:
+                    best_time = first_time[i]
+                    best_column = first_col[i]
+                else:
+                    # Fastest candidate already claimed: walk the rest of
+                    # the row's scan order (rare, so the per-row tolist is
+                    # cheaper than materialising all rows up front).
+                    pos_row = scan_pos[i].tolist()
+                    time_row = scan_times[i].tolist()
+                    for column in range(1, k):
+                        j = pos_row[column]
+                        if j < 0:
+                            break
+                        if alive[j]:
+                            best_time = time_row[column]
+                            best_column = int(scan_cols[i, column])
+                            break
             if best_time < own_time * improvement:
-                j = positions[best_column]
                 decisions.append(None)
                 chosen_slow.append(i)
                 chosen_col.append(best_column)
@@ -607,7 +932,7 @@ class PrunedPlanner:
                 alive[i] = False
                 alive[j] = False
             else:
-                decisions.append(_solo_decision(agents[i].agent_id, own_time))
+                decisions.append(_fast_solo_decision(ids[i], own_time))
                 alive[i] = False
 
         if chosen_slow:
@@ -672,16 +997,9 @@ class PrunedPlanner:
 
         # tolist() once: Python-float lists index an order of magnitude
         # faster than element-wise numpy access in the build loop below.
-        # Positional construction (field order: slow_id, fast_id,
-        # offloaded_layers, estimate / offloaded_layers, slow_time,
-        # fast_own_time, communication_time, fast_offload_time, pair_time)
-        # skips the kwarg handling on the round's thousands of decisions.
         return [
-            PairingDecision(
-                agents[i].agent_id,
-                agents[j].agent_id,
-                m,
-                OffloadEstimate(m, st, own, comm, fo, pt),
+            _fast_pair_decision(
+                agents[i].agent_id, agents[j].agent_id, m, st, own, comm, fo, pt
             )
             for i, j, m, st, own, comm, fo, pt in zip(
                 slow,
@@ -700,14 +1018,23 @@ class PrunedPlanner:
 # Internals
 # ----------------------------------------------------------------------
 
+def _noop_finish() -> None:
+    """Finish callable of a synchronously completed recompute."""
+
+
 def _empty_state(
-    ids: tuple[int, ...], k: int, signatures: dict[int, tuple], taus: np.ndarray
+    ids: tuple[int, ...],
+    ids_array: np.ndarray,
+    k: int,
+    sig: np.ndarray,
+    taus: np.ndarray,
 ) -> PlannerState:
     n = len(ids)
     return PlannerState(
         ids=ids,
+        ids_array=ids_array,
         k=k,
-        signatures=signatures,
+        sig=sig,
         taus=taus,
         cand_pos=np.full((n, k), -1, dtype=np.int64),
         cand_ids=np.full((n, k), -1, dtype=np.int64),
@@ -715,30 +1042,10 @@ def _empty_state(
         best_times=np.full((n, k), np.inf),
         best_split=np.full((n, k), -1, dtype=np.int64),
         valid=np.zeros((n, k), dtype=bool),
+        scan_times=np.full((n, k), np.inf),
+        scan_pos=np.full((n, k), -1, dtype=np.int64),
+        scan_cols=np.zeros((n, k), dtype=np.int64),
     )
-
-
-def _csr_row_links(
-    indptr: np.ndarray, link_cols: np.ndarray, rows_array: np.ndarray
-) -> tuple[np.ndarray, np.ndarray]:
-    """Flat ``(rows, cols)`` links of the given ascending rows from CSR.
-
-    Within a CSR row every stored entry belongs to that row, so the row
-    vector is a plain repeat — no ``link_rows`` gather needed.  Shard
-    workers call this on their row chunk; the in-process path calls it on
-    the dirty-row list.  Both therefore produce identical selections.
-    """
-    if rows_array.size == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    counts = indptr[rows_array + 1] - indptr[rows_array]
-    pieces = [
-        np.arange(indptr[row], indptr[row + 1]) for row in rows_array.tolist()
-    ]
-    selected = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
-    sel_rows = np.repeat(rows_array, counts)
-    sel_cols = link_cols[selected]
-    return sel_rows, sel_cols
 
 
 def _top_k_by_tau(
@@ -954,6 +1261,8 @@ def build_planner(
     batch_size: Optional[int] = None,
     improvement_threshold: float = 0.0,
     shards="auto",
+    balance: str = "cost",
+    compaction_threshold: float = 0.25,
 ) -> Optional[PrunedPlanner]:
     """Planner selection at the config boundary.
 
@@ -963,9 +1272,11 @@ def build_planner(
     ``threshold`` participants — small populations stay byte-identical to
     the dense path — and ``"sharded"`` engages the process-parallel
     :class:`~repro.core.shard.ShardedPlanner` at the same threshold
-    (``shards`` sets its worker count; its pool additionally waits for the
-    population to clear the sharding floor, below which it plans exactly
-    like ``"pruned"``).
+    (``shards`` sets its worker count, ``balance`` its shard-boundary
+    policy; its pool additionally waits for the population to clear the
+    sharding floor, below which it plans exactly like ``"pruned"``).
+    ``compaction_threshold`` tunes the CSR engine's delta/tombstone
+    fold-back point on every planner tier.
     """
     mode = normalize_planner_mode(mode)
     if mode == "dense":
@@ -981,6 +1292,8 @@ def build_planner(
             batch_size=batch_size,
             improvement_threshold=improvement_threshold,
             shards=shards,
+            balance=balance,
+            compaction_threshold=compaction_threshold,
         )
     return PrunedPlanner(
         profile,
@@ -989,4 +1302,5 @@ def build_planner(
         engage_threshold=None if mode == "pruned" else threshold,
         batch_size=batch_size,
         improvement_threshold=improvement_threshold,
+        compaction_threshold=compaction_threshold,
     )

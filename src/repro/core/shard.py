@@ -13,31 +13,43 @@ it — the in-process path remains the correctness contract):
 partitioned into contiguous shards evaluated by a persistent
 ``multiprocessing`` worker pool.  Workers run the *same* module-level
 selection and costing helpers as the in-process path
-(:func:`~repro.core.planner._csr_row_links`,
-:func:`~repro.core.planner._top_k_by_tau`,
+(:func:`~repro.core.planner._top_k_by_tau`,
 :func:`~repro.core.planner._pair_block_times`,
 :func:`~repro.core.planner._scatter_rows`), so sharded plans are
 byte-identical to single-process plans by construction — the four-way
 Hypothesis contract (sharded ≡ pruned ≡ dense ≡ scalar oracle at
 ``k ≥ n − 1``) enforces it.
 
-**Versioned shared-memory segments.**  Workers read the τ̂ / agent-vector
-matrix, the CSR neighbor structure (``indptr`` / ``indices``), the access
-bandwidth vector, and the :class:`~repro.core.profiling.SplitProfile`
-arrays from ``multiprocessing.shared_memory`` segments, and write their
-padded ``(n, k)`` output rows into shared output segments — nothing is
-pickled per round beyond a tiny task tuple.  Segments are built once and
-updated **in place** on arrival waves and churn; they reallocate (bumping
-a single layout version that tells workers to re-attach) only when a
-shape actually changes (population, candidate budget, or edge count).
+**Cost-balanced shard boundaries.**  Equal row counts are a poor proxy
+for work when degree varies: one shard can carry most of the candidate
+evaluations while the others idle.  With ``balance="cost"`` (the
+default) the boundaries come from prefix sums of each dirty row's
+estimated cost — its candidate-link count times the split-option count —
+cut at equal cost fractions, so every worker gets the same evaluation
+volume.  ``balance="rows"`` keeps the legacy equal-row split.
+:class:`ShardStats` records the realised per-shard cost spread.
 
-**Parallel CSR construction.**  Single-process CSR build is the scaling
-wall at 500k agents, so the build itself is sharded: the parent extracts
-the flat edge-id array from the topology graph, and each worker maps its
-contiguous row range's edges to participant positions (dropping departed
-or non-participant endpoints via the membership filter), sorts its
-directed links, and returns a chunk; the parent merges the chunks into
-one CSR structure.
+**Double-buffered dirty-row segments.**  The per-round inputs that
+change every plan — the dirty-row list and its flat candidate links —
+live in *two* buffers (``rows0``/``links0`` and ``rows1``/``links1``).
+Each plan publishes into the back buffer and flips by naming the buffer
+index in the task tuple itself (the atomic flip: a worker computes
+entirely from the buffer its task names), so the parent never writes a
+segment a straggling worker could still be reading, and publication
+overlaps the previous dispatch's drain.  The stable inputs (τ̂ /
+agent-vector matrix, access bandwidths, profile arrays) stay
+single-buffered and are updated in place; segments reallocate (bumping a
+single layout version that tells workers to re-attach) only when a shape
+actually changes, with link capacity grown monotonically so edge-count
+jitter never reallocates.
+
+**Parallel CSR construction.**  Full CSR builds from the graph are the
+residual O(E) wall (steady-state wiring changes are O(Δ) edits applied
+by :class:`~repro.core.csr.IncrementalCsr`), so the build itself is
+sharded: the parent extracts the flat edge-id array from the topology
+graph, and each worker maps its contiguous slot range's edges to slots,
+sorts its directed links, and returns a chunk; the parent hands the
+merged chunks to the incremental engine as its base structure.
 
 **Lifecycle.**  The pool and segments start lazily on the first plan that
 is actually shardable (default links, not a complete graph, population at
@@ -59,20 +71,19 @@ import uuid
 import warnings
 import weakref
 from dataclasses import dataclass
-from itertools import chain
 from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.agents.agent import Agent
+from repro.core.csr import _serial_links
 from repro.core.fastpath import VECTOR_FIELDS, AgentVectors, _uses_default_links
 from repro.core.planner import (
     BlockArrays,
     PlannerState,
     PrunedPlanner,
-    _csr_row_links,
     _pair_block_times,
     _reset_rows,
     _scatter_rows,
@@ -155,7 +166,12 @@ class ShardStats:
 
     ``sharded_rounds`` counts plans whose dirty rows were evaluated by the
     worker pool (tests assert it to prove the pool actually ran, since a
-    silent fallback would still produce correct decisions).
+    silent fallback would still produce correct decisions).  The spread
+    fields observe the cost-balanced partitioning: ``last_shard_costs``
+    is the estimated per-shard row cost of the latest sharded dispatch,
+    ``cost_spread_last`` / ``cost_spread_max`` its max-over-mean ratio
+    (1.0 = perfectly balanced) for that dispatch and the planner's
+    lifetime worst.
     """
 
     sharded_rounds: int = 0
@@ -163,6 +179,22 @@ class ShardStats:
     parallel_csr_builds: int = 0
     worker_failures: int = 0
     segment_reallocations: int = 0
+    last_shard_costs: tuple = ()
+    cost_spread_last: float = 0.0
+    cost_spread_max: float = 0.0
+
+    def report(self) -> dict:
+        """Plain-dict view (campaign ``execution_report`` serialisation)."""
+        return {
+            "sharded_rounds": self.sharded_rounds,
+            "inline_rounds": self.inline_rounds,
+            "parallel_csr_builds": self.parallel_csr_builds,
+            "worker_failures": self.worker_failures,
+            "segment_reallocations": self.segment_reallocations,
+            "last_shard_costs": list(self.last_shard_costs),
+            "cost_spread_last": self.cost_spread_last,
+            "cost_spread_max": self.cost_spread_max,
+        }
 
 
 class _WorkerError(RuntimeError):
@@ -231,10 +263,6 @@ class _Runtime:
         self.version = 0
         self.segments: dict[str, _Segment] = {}
         self.workers: list[_Worker] = []
-        #: The planner ``_links`` tuple whose CSR currently lives in the
-        #: segments — identity-compared, so a rebuild with unchanged
-        #: membership (a wiring-change invalidate) still republishes.
-        self.published_links: Optional[tuple] = None
 
     def _name(self, key: str) -> str:
         return f"{SHARD_SHM_PREFIX}{os.getpid()}-{self.token}-{key}"
@@ -300,7 +328,6 @@ class _Runtime:
         for segment in self.segments.values():
             segment.destroy()
         self.segments.clear()
-        self.published_links = None
 
 
 def _finalize_runtime(runtime: _Runtime) -> None:
@@ -390,16 +417,33 @@ def _attach(layout: dict, cache: dict) -> dict:
     return arrays
 
 
-def _plan_chunk(arrays: dict, lo: int, hi: int, k: int, latency: float) -> tuple:
-    """Evaluate one contiguous shard of dirty rows into the output blocks."""
-    rows_chunk = arrays["rows"][lo:hi]
+def _plan_chunk(
+    arrays: dict,
+    buf: int,
+    lo: int,
+    hi: int,
+    llo: int,
+    lhi: int,
+    k: int,
+    latency: float,
+) -> tuple:
+    """Evaluate one contiguous shard of dirty rows into the output blocks.
+
+    ``buf`` names the double buffer this task reads (the atomic flip),
+    ``[lo, hi)`` the dirty-row range and ``[llo, lhi)`` the aligned slice
+    of the flat candidate-link segment — the parent precomputed both from
+    the same prefix sums, so no worker rescans any neighbor structure.
+    """
+    rows_chunk = arrays[f"rows{buf}"][lo:hi]
     vals = arrays["vals"]
     n = vals.shape[1]
     vectors = AgentVectors.from_rows(vals)
     access = vals[_ACCESS_ROW]
     taus = vectors.individual_times
     meta = arrays["meta"]
-    sel_rows, sel_cols = _csr_row_links(arrays["indptr"], arrays["cols"], rows_chunk)
+    links = arrays[f"links{buf}"]
+    sel_rows = links[0, llo:lhi]
+    sel_cols = links[1, llo:lhi]
     bandwidth = np.minimum(access[sel_rows], access[sel_cols])
     sel_rows, sel_cols, bandwidth = _top_k_by_tau(
         sel_rows, sel_cols, bandwidth, taus, n, k, tau_rank=meta[1]
@@ -419,29 +463,23 @@ def _plan_chunk(arrays: dict, lo: int, hi: int, k: int, latency: float) -> tuple
 
 
 def _csr_chunk(arrays: dict, lo: int, hi: int) -> tuple:
-    """Directed CSR links whose source row falls in ``[lo, hi)``.
+    """Directed slot-space CSR links whose source slot falls in ``[lo, hi)``.
 
-    Maps the flat edge-id array to participant positions (the membership
-    filter drops edges touching departed or non-participant nodes), keeps
-    both directions of each surviving edge whose source lands in this
-    shard's row range, and returns them sorted by ``(row, col)`` — the
-    order the parent's chunk merge and the candidate selection rely on.
+    Mirrors :func:`~repro.core.csr._serial_links` restricted to one slot
+    range: maps the flat edge-id array to slots via a searchsorted over
+    the slot-ordered node ids, keeps both directions of each edge whose
+    source lands in this shard's range, and returns them sorted by
+    ``(row, col)`` — chunks cover disjoint ascending ranges, so the
+    parent's concatenation is globally sorted with no extra pass.
     """
-    ids_array = arrays["meta"][0]
+    ids = arrays["nodes"]
     edges = arrays["edges"]
-    n = ids_array.shape[0]
     empty = np.empty(0, dtype=np.int64)
     if edges.shape[0] == 0:
         return ("ok", empty, empty)
-    order = np.argsort(ids_array, kind="stable")
-    sorted_ids = ids_array[order]
-    slots = np.searchsorted(sorted_ids, edges)
-    np.clip(slots, 0, n - 1, out=slots)
-    matched = sorted_ids[slots] == edges
-    positions = order[slots]
-    valid = matched.all(axis=1)
-    source = positions[valid, 0]
-    target = positions[valid, 1]
+    slots = np.searchsorted(ids, edges)
+    source = slots[:, 0]
+    target = slots[:, 1]
     distinct = source != target
     source = source[distinct]
     target = target[distinct]
@@ -508,6 +546,11 @@ class ShardedPlanner(PrunedPlanner):
         Population below which plans stay in-process even with a pool
         configured (IPC would dominate).  Tests pass 0 to force sharding
         at any size.
+    balance:
+        Shard-boundary policy: ``"cost"`` (default) cuts at equal prefix
+        sums of estimated per-row cost (candidate links × split options),
+        ``"rows"`` at equal row counts.  Both produce identical decisions
+        — only the work distribution differs.
 
     The pool engages only for plans it can shard exactly: default link
     semantics (the bandwidth-min rule workers can evaluate from the access
@@ -527,6 +570,8 @@ class ShardedPlanner(PrunedPlanner):
         improvement_threshold: float = 0.0,
         shards: Union[int, str] = "auto",
         shard_min_population: int = DEFAULT_SHARD_MIN_POPULATION,
+        balance: str = "cost",
+        compaction_threshold: float = 0.25,
     ) -> None:
         super().__init__(
             profile,
@@ -535,17 +580,25 @@ class ShardedPlanner(PrunedPlanner):
             engage_threshold=engage_threshold,
             batch_size=batch_size,
             improvement_threshold=improvement_threshold,
+            compaction_threshold=compaction_threshold,
         )
         self.shards = resolve_shard_count(shards)
         if shard_min_population < 0:
             raise ValueError(
                 f"shard_min_population must be >= 0, got {shard_min_population}"
             )
+        if balance not in ("cost", "rows"):
+            raise ValueError(
+                f"balance must be 'cost' or 'rows', got {balance!r}"
+            )
         self.shard_min_population = shard_min_population
+        self.balance = balance
         self.shard_stats = ShardStats()
         self._runtime: Optional[_Runtime] = None
         self._finalizer = None
         self._pool_failed = False
+        #: Index of the double buffer the *next* sharded dispatch writes.
+        self._back_buffer = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -613,92 +666,96 @@ class ShardedPlanner(PrunedPlanner):
         )
 
     # ------------------------------------------------------------------
-    # Sharded CSR construction
+    # Sharded CSR base construction
     # ------------------------------------------------------------------
-    def _link_structure(
-        self, agents: list[Agent]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        ids = tuple(agent.agent_id for agent in agents)
-        if self._links is not None and self._links[0] == ids:
-            return self._links[1], self._links[2], self._links[3]
-        runtime = self._pool(len(agents))
-        if runtime is None:
-            return super()._link_structure(agents)
-        try:
-            result = self._parallel_links(runtime, agents, ids)
-        except Exception:
-            self._abandon_pool(
-                f"parallel CSR build failed:\n{traceback.format_exc()}"
-            )
-            return super()._link_structure(agents)
-        self.shard_stats.parallel_csr_builds += 1
-        return result
+    def _csr_builder(self) -> Optional[Callable]:
+        """Base-structure builder handed to :class:`~repro.core.csr.IncrementalCsr`.
 
-    def _parallel_links(
-        self, runtime: _Runtime, agents: list[Agent], ids: tuple[int, ...]
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-shard edge scans in the workers, merged into one CSR."""
-        n = len(agents)
-        graph = self.link_model.topology.graph
-        edges = _edge_ids(graph, ids, n)
-        indptr = np.zeros(n + 1, dtype=np.int64)
-        if edges.shape[0] == 0:
-            empty = np.empty(0, dtype=np.int64)
-            self._links = (ids, indptr, empty, empty)
-            return indptr, empty, empty
+        Full rebuilds (first build, journal truncation, compaction stays
+        serial) shard the O(E) edge mapping across the pool; any failure
+        falls back to the serial vectorized build so the rebuild itself
+        can never lose a round.
+        """
+
+        def build(ids: np.ndarray, edges: np.ndarray):
+            runtime = self._pool(int(ids.size))
+            if runtime is None or edges.shape[0] == 0:
+                return _serial_links(ids, edges)
+            try:
+                result = self._parallel_csr(runtime, ids, edges)
+            except Exception:
+                self._abandon_pool(
+                    f"parallel CSR build failed:\n{traceback.format_exc()}"
+                )
+                return _serial_links(ids, edges)
+            self.shard_stats.parallel_csr_builds += 1
+            return result
+
+        return build
+
+    def _parallel_csr(
+        self, runtime: _Runtime, ids: np.ndarray, edges: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-shard edge scans in the workers, merged into one base CSR."""
+        count = int(ids.size)
         before = runtime.version
-        meta = runtime.ensure("meta", (2, n), np.int64)
-        np.copyto(meta.array[0], np.asarray(ids, dtype=np.int64))
+        nodes = runtime.ensure("nodes", (count,), np.int64)
+        np.copyto(nodes.array, ids)
         edge_segment = runtime.ensure("edges", edges.shape, np.int64)
         np.copyto(edge_segment.array, edges)
         if runtime.version != before:
             self.shard_stats.segment_reallocations += 1
-        replies = self._dispatch(
+        replies = self._collect(self._send_tasks(
             runtime,
             [
                 ("csr", lo, hi)
-                for lo, hi in _shard_bounds(n, runtime.shards)
+                for lo, hi in _shard_bounds(count, runtime.shards)
                 if hi > lo
             ],
-        )
+        ))
+        # Rebuilds are rare and the edge array can dominate memory at 1M
+        # agents — release both build-only segments immediately.
         runtime.drop("edges")
+        runtime.drop("nodes")
         link_rows = np.concatenate([reply[1] for reply in replies])
         link_cols = np.concatenate([reply[2] for reply in replies])
-        counts = np.bincount(link_rows, minlength=n)
-        np.cumsum(counts, out=indptr[1:])
-        self._links = (ids, indptr, link_rows, link_cols)
-        return indptr, link_rows, link_cols
+        return link_rows, link_cols
 
     # ------------------------------------------------------------------
     # Sharded row recomputation
     # ------------------------------------------------------------------
-    def _recompute_rows(
+    def _begin_recompute(
         self,
         state: PlannerState,
         agents: list[Agent],
         vectors: AgentVectors,
-        rows: list[int],
-    ) -> None:
+        access: np.ndarray,
+        ids_array: np.ndarray,
+        rows: np.ndarray,
+    ) -> Callable[[], None]:
         runtime = None
-        if rows and state.k >= 1 and self._shardable(agents):
+        if rows.size and state.k >= 1 and self._shardable():
             runtime = self._pool(len(agents))
         if runtime is None:
-            if rows:
+            if rows.size:
                 self.shard_stats.inline_rounds += 1
-            super()._recompute_rows(state, agents, vectors, rows)
-            return
+            return super()._begin_recompute(
+                state, agents, vectors, access, ids_array, rows
+            )
         try:
-            self._recompute_sharded(runtime, state, agents, vectors, rows)
+            return self._begin_sharded(
+                runtime, state, agents, vectors, access, ids_array, rows
+            )
         except Exception:
             if not self._pool_failed:
                 self._abandon_pool(
-                    f"sharded row recompute failed:\n{traceback.format_exc()}"
+                    f"sharded dispatch failed:\n{traceback.format_exc()}"
                 )
-            super()._recompute_rows(state, agents, vectors, rows)
-            return
-        self.shard_stats.sharded_rounds += 1
+            return super()._begin_recompute(
+                state, agents, vectors, access, ids_array, rows
+            )
 
-    def _shardable(self, agents: list[Agent]) -> bool:
+    def _shardable(self) -> bool:
         """Whether this plan's candidate selection is the CSR fast path.
 
         Mirrors the branch conditions of ``_candidate_rows``: workers can
@@ -707,31 +764,40 @@ class ShardedPlanner(PrunedPlanner):
         """
         if not _uses_default_links(self.link_model):
             return False
-        graph = self.link_model.topology.graph
-        node_count = graph.number_of_nodes()
-        if (
-            node_count >= 2
-            and graph.number_of_edges() == node_count * (node_count - 1) // 2
-        ):
+        node_count, edge_count = self._topology_counts()
+        if node_count >= 2 and edge_count == node_count * (node_count - 1) // 2:
             return False
         return True
 
-    def _recompute_sharded(
+    def _begin_sharded(
         self,
         runtime: _Runtime,
         state: PlannerState,
         agents: list[Agent],
         vectors: AgentVectors,
-        rows: list[int],
-    ) -> None:
-        """One sharded re-cost pass over the coalesced dirty rows."""
+        access: np.ndarray,
+        ids_array: np.ndarray,
+        rows: np.ndarray,
+    ) -> Callable[[], None]:
+        """Publish this plan's inputs, dispatch, and defer the gather.
+
+        Everything up to the task sends runs eagerly; the returned
+        ``finish`` callable blocks on the worker replies and scatters the
+        output blocks — the caller overlaps parent-side work in between.
+        """
         n = len(agents)
         k = state.k
-        indptr, _link_rows, link_cols = self._link_structure(agents)
+        if self._csr is None:
+            self._csr = self._make_csr()
+            self._translation = None
         if self._runtime is None or self._pool_failed:
-            # The CSR build abandoned the pool mid-plan; the caller's
-            # fallback recomputes in-process.
+            # The parallel CSR build abandoned the pool mid-plan; the
+            # caller's fallback recomputes in-process.
             raise _WorkerError("pool lost during CSR build")
+        translation = self._participant_translation(state)
+        sel_rows, sel_cols = self._csr.links_for(
+            translation, None if rows.size == n else rows
+        )
 
         before = runtime.version
         profile = self.profile
@@ -745,57 +811,139 @@ class ShardedPlanner(PrunedPlanner):
 
         vals = runtime.ensure("vals", (_ACCESS_ROW + 1, n), np.float64)
         vectors.to_rows(vals.array)
-        access = np.array(
-            [agent.profile.bandwidth_bytes_per_second for agent in agents],
-            dtype=np.float64,
-        )
         np.copyto(vals.array[_ACCESS_ROW], access)
         meta = runtime.ensure("meta", (2, n), np.int64)
-        ids_array = np.array([agent.agent_id for agent in agents], dtype=np.int64)
         np.copyto(meta.array[0], ids_array)
         np.copyto(meta.array[1], tau_rank_of(state.taus))
 
-        if runtime.published_links is not self._links:
-            indptr_segment = runtime.ensure("indptr", (n + 1,), np.int64)
-            np.copyto(indptr_segment.array, indptr)
-            cols_segment = runtime.ensure("cols", link_cols.shape, np.int64)
-            if link_cols.size:
-                np.copyto(cols_segment.array, link_cols)
-            runtime.published_links = self._links
+        # Double-buffered per-round inputs: write the back buffer, flip by
+        # naming it in the task tuple.  Link capacity grows monotonically
+        # so per-round edge-count jitter never reallocates a segment.
+        buf = self._back_buffer
+        self._back_buffer = 1 - buf
+        rows_segment = runtime.ensure(f"rows{buf}", (n,), np.int64)
+        np.copyto(rows_segment.array[: rows.size], rows)
+        need = int(sel_rows.size)
+        existing = runtime.segments.get(f"links{buf}")
+        capacity = max(
+            need, 1 if existing is None else existing.array.shape[1]
+        )
+        links_segment = runtime.ensure(f"links{buf}", (2, capacity), np.int64)
+        np.copyto(links_segment.array[0, :need], sel_rows)
+        np.copyto(links_segment.array[1, :need], sel_cols)
 
-        rows_segment = runtime.ensure("rows", (n,), np.int64)
-        rows_array = np.asarray(rows, dtype=np.int64)
-        np.copyto(rows_segment.array[: rows_array.size], rows_array)
         runtime.ensure("outi", (3, n, k), np.int64)
         runtime.ensure("outf", (2, n, k), np.float64)
         runtime.ensure("outb", (n, k), np.bool_)
         if runtime.version != before:
             self.shard_stats.segment_reallocations += 1
 
-        replies = self._dispatch(
-            runtime,
-            [
-                ("plan", lo, hi, int(k), self.latency_seconds)
-                for lo, hi in _shard_bounds(rows_array.size, runtime.shards)
-                if hi > lo
-            ],
+        tasks = [
+            ("plan", buf, lo, hi, llo, lhi, int(k), self.latency_seconds)
+            for lo, hi, llo, lhi in self._plan_bounds(
+                rows, sel_rows, profile.num_options, runtime.shards
+            )
+            if hi > lo
+        ]
+        active = self._send_tasks(runtime, tasks)
+
+        def finish() -> None:
+            try:
+                replies = self._collect(active)
+            except _WorkerError:
+                if not self._pool_failed:
+                    self._abandon_pool(
+                        "sharded row recompute failed:\n"
+                        f"{traceback.format_exc()}"
+                    )
+                PrunedPlanner._recompute_rows(
+                    self, state, agents, vectors, access, ids_array, rows
+                )
+                return
+            total = sum(reply[1] for reply in replies)
+            out = runtime.out_blocks()
+            for target, source in zip(state.blocks(), out):
+                target[rows] = source[rows]
+            self.stats.last_pairs_evaluated = total * profile.num_options
+            self.stats.pairs_evaluated += self.stats.last_pairs_evaluated
+            self.shard_stats.sharded_rounds += 1
+
+        return finish
+
+    def _plan_bounds(
+        self,
+        rows: np.ndarray,
+        sel_rows: np.ndarray,
+        num_options: int,
+        shards: int,
+    ) -> list[tuple[int, int, int, int]]:
+        """Shard boundaries as ``(lo, hi, llo, lhi)`` row + link ranges.
+
+        ``balance="cost"`` cuts the dirty rows where the prefix sum of
+        estimated row cost (candidate links × split options, plus a
+        constant floor per row) crosses equal fractions of the total;
+        ``"rows"`` keeps the legacy equal-row split.  Either way the link
+        ranges fall out of the same prefix sums, since ``sel_rows`` is
+        grouped by ascending dirty row.
+        """
+        d = int(rows.size)
+        counts = np.searchsorted(sel_rows, rows, side="right") - np.searchsorted(
+            sel_rows, rows, side="left"
         )
-        total = sum(reply[1] for reply in replies)
+        link_cum = np.cumsum(counts)
+        costs = counts * np.int64(num_options) + 1
+        cost_cum = np.cumsum(costs)
+        if self.balance == "cost" and d > 1 and shards > 1:
+            targets = cost_cum[-1] * np.arange(1, shards) / shards
+            cuts = np.searchsorted(cost_cum, targets, side="left")
+            boundaries = np.concatenate(
+                ([0], np.maximum.accumulate(cuts), [d])
+            )
+        else:
+            boundaries = np.asarray(
+                [d * index // shards for index in range(shards + 1)],
+                dtype=np.int64,
+            )
+        link_at = np.concatenate(([0], link_cum))[boundaries]
+        cost_at = np.concatenate(([0], cost_cum))[boundaries]
+        shard_costs = np.diff(cost_at)
+        live = shard_costs[shard_costs > 0]
+        if live.size:
+            spread = float(live.max() / live.mean())
+            self.shard_stats.last_shard_costs = tuple(
+                int(cost) for cost in shard_costs.tolist()
+            )
+            self.shard_stats.cost_spread_last = spread
+            self.shard_stats.cost_spread_max = max(
+                self.shard_stats.cost_spread_max, spread
+            )
+        return [
+            (
+                int(boundaries[index]),
+                int(boundaries[index + 1]),
+                int(link_at[index]),
+                int(link_at[index + 1]),
+            )
+            for index in range(len(boundaries) - 1)
+        ]
 
-        out = runtime.out_blocks()
-        for target, source in zip(state.blocks(), out):
-            target[rows_array] = source[rows_array]
-        self.stats.last_pairs_evaluated = total * profile.num_options
-        self.stats.pairs_evaluated += self.stats.last_pairs_evaluated
-
-    def _dispatch(self, runtime: _Runtime, tasks: list[tuple]) -> list[tuple]:
-        """Send one task per worker and gather the replies in shard order."""
+    def _send_tasks(
+        self, runtime: _Runtime, tasks: list[tuple]
+    ) -> list[_Worker]:
+        """Send one task per worker; returns the workers owing a reply."""
         layout = runtime.layout()
         active: list[_Worker] = []
         try:
             for worker, task in zip(runtime.workers, tasks):
                 worker.conn.send((task[0], layout, *task[1:]))
                 active.append(worker)
+        except (EOFError, BrokenPipeError, OSError) as error:
+            raise _WorkerError(f"shard worker died: {error!r}") from error
+        return active
+
+    def _collect(self, active: list[_Worker]) -> list[tuple]:
+        """Gather the replies of the given workers in shard order."""
+        try:
             replies = [worker.conn.recv() for worker in active]
         except (EOFError, BrokenPipeError, OSError) as error:
             raise _WorkerError(f"shard worker died: {error!r}") from error
@@ -811,24 +959,3 @@ def _shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
         (total * index // shards, total * (index + 1) // shards)
         for index in range(shards)
     ]
-
-
-def _edge_ids(graph, ids: tuple[int, ...], n: int) -> np.ndarray:
-    """The topology's edges as a flat ``(E, 2)`` array of agent ids.
-
-    Extracted fresh on every CSR rebuild: rebuilds only happen when
-    membership or wiring changed, and an edge cache would go stale exactly
-    then (e.g. a ring splice removes the wrap edge).
-    """
-    if n >= graph.number_of_nodes():
-        count = graph.number_of_edges()
-        flat = np.fromiter(
-            chain.from_iterable(graph.edges()), dtype=np.int64, count=2 * count
-        )
-    else:
-        # Restrict the scan to participant-incident edges; NetworkX yields
-        # each such edge exactly once.
-        flat = np.fromiter(
-            chain.from_iterable(graph.edges(ids)), dtype=np.int64
-        )
-    return flat.reshape(-1, 2)

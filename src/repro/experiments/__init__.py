@@ -25,6 +25,7 @@ from repro.experiments.scenarios import ScenarioConfig, Scenario, build_scenario
 from repro.experiments.runner import ExperimentRunner, METHOD_REGISTRY
 from repro.experiments.reporting import (
     CampaignProgressRenderer,
+    aggregate_planner_reports,
     campaign_summary,
     execution_report,
     format_campaign_summary,
@@ -50,6 +51,7 @@ __all__ = [
     "create_backend",
     "execute_campaign",
     "execution_report",
+    "aggregate_planner_reports",
     "payload_digest",
     "resolve_cache_dir",
     "runner_fingerprint",

@@ -81,9 +81,11 @@ def run_campaign_cell(
     dynamics = (
         DynamicsSchedule.from_json(schedule) if schedule is not None else None
     )
-    history, trace = runner.run_method_with_trace(method, dynamics=dynamics)
+    trainer = runner.build_method(method, dynamics=dynamics)
+    history = trainer.run()
+    trace = trainer.runtime.trace
     target = config.target_accuracy
-    return {
+    payload = {
         "method": method,
         "rounds": len(history),
         "time_to_target_s": history.time_to_accuracy(target) if target else None,
@@ -93,6 +95,12 @@ def run_campaign_cell(
         "events": dynamics_annotation(trace),
         "history_digest": history.digest(),
     }
+    planner_report = getattr(trainer, "planner_report", None)
+    if planner_report is not None:
+        report = planner_report()
+        if report is not None:
+            payload["planner"] = report
+    return payload
 
 
 def speedups_from_payloads(

@@ -345,13 +345,55 @@ def campaign_summary(result: "CampaignResult") -> dict[str, Any]:
     }
 
 
+def aggregate_planner_reports(
+    payloads: Sequence[Any],
+) -> Optional[dict[str, Any]]:
+    """Fold per-cell planner stats into one campaign-wide view.
+
+    Cells whose payload carries a ``"planner"`` dict (see
+    :meth:`repro.core.comdml.ComDML.planner_report`) contribute to the
+    aggregate: counters sum across cells (recursively, so the sharded
+    planner's nested ``"shards"`` section folds the same way), while
+    ``cost_spread_*`` fields — shard imbalance ratios, where only the
+    worst observation matters — take the maximum.  Non-numeric fields
+    (e.g. the per-run ``last_shard_costs`` split) are dropped.  Returns
+    ``None`` when no cell reported planner stats.
+    """
+
+    def fold(report: Mapping[str, Any], into: dict[str, Any]) -> None:
+        for key, value in report.items():
+            if isinstance(value, Mapping):
+                fold(value, into.setdefault(key, {}))
+            elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            elif key.startswith("cost_spread"):
+                into[key] = max(into.get(key, 0.0), value)
+            else:
+                into[key] = into.get(key, 0) + value
+
+    aggregate: dict[str, Any] = {}
+    reported = 0
+    for payload in payloads:
+        if isinstance(payload, Mapping) and isinstance(
+            payload.get("planner"), Mapping
+        ):
+            fold(payload["planner"], aggregate)
+            reported += 1
+    if not reported:
+        return None
+    aggregate["cells_reporting"] = reported
+    return aggregate
+
+
 def execution_report(result: "CampaignResult") -> dict[str, Any]:
     """The *run-dependent* report of one campaign execution.
 
     Everything :func:`campaign_summary` deliberately leaves out: which
     backend ran the sweep, cache hit/miss counts, wall-clock time and
-    speedup, per-cell status and compute time, and — for worker-pool
-    runs — how many workers joined and how many were lost mid-sweep.
+    speedup, per-cell status and compute time, for worker-pool
+    runs how many workers joined and were lost mid-sweep, and — when
+    cells report planner stats — the aggregated planner/shard counters
+    (``planner`` key, see :func:`aggregate_planner_reports`).
     """
     counts = result.event_counts
     axes = [axis for axis, _ in result.spec.axes]
@@ -369,6 +411,9 @@ def execution_report(result: "CampaignResult") -> dict[str, Any]:
         "workers_joined": counts.get("worker_joined", 0),
         "workers_lost": counts.get("worker_lost", 0),
         "events": dict(counts),
+        "planner": aggregate_planner_reports(
+            [cell.payload for cell in result.cells]
+        ),
         "per_cell": [
             {
                 "index": cell.index,

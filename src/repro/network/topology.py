@@ -4,6 +4,14 @@ ComDML is evaluated on full graphs, ring graphs, and random graphs that
 retain only a fraction of the full graph's links (Figure 3 uses 20 %
 connectivity).  ``Topology`` wraps a :class:`networkx.Graph` whose nodes are
 agent ids, and exposes the neighbour queries the pairing scheduler needs.
+
+Every mutation made through the :class:`Topology` API is additionally
+recorded in a bounded **edge-delta journal**: a monotonically versioned
+event list consumers (the planner's incremental CSR engine,
+:mod:`repro.core.csr`) drain with :meth:`Topology.events_since` to apply
+O(Δ) edits instead of rebuilding their structures from the full graph.
+Mutating ``topology.graph`` directly bypasses the journal — callers doing
+so must fall back to ``planner.invalidate_all()`` exactly as before.
 """
 
 from __future__ import annotations
@@ -15,12 +23,72 @@ import numpy as np
 
 from repro.utils.validation import check_positive, check_probability
 
+#: Journal length at which the oldest events are discarded.  A consumer
+#: whose cursor falls behind the discarded range receives ``None`` from
+#: :meth:`Topology.events_since` and must rebuild from the graph — bounded
+#: memory, never silent staleness.
+MAX_JOURNAL_EVENTS = 65_536
+
 
 class Topology:
     """Undirected communication topology over agent ids."""
 
     def __init__(self, graph: nx.Graph) -> None:
         self._graph = graph
+        #: Edge-delta journal: ``_events[i]`` is the transition from
+        #: version ``_events_base + i`` to ``_events_base + i + 1``.
+        self._events: list[tuple] = []
+        self._events_base = 0
+
+    # ------------------------------------------------------------------
+    # Edge-delta journal
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (one increment per recorded event)."""
+        return self._events_base + len(self._events)
+
+    def events_since(self, cursor: int) -> Optional[list[tuple]]:
+        """Events recorded after ``cursor`` (a prior :attr:`version` value).
+
+        Returns ``None`` when the requested range was already discarded
+        from the bounded journal — the caller must rebuild from the graph.
+        Event tuples are ``("add_node", id)``, ``("add_edge", u, v)``,
+        ``("remove_edge", u, v)`` and ``("remove_node", id, neighbors)``
+        where ``neighbors`` is the tuple of ids the node was linked to at
+        removal time.
+        """
+        if cursor < self._events_base:
+            return None
+        return self._events[cursor - self._events_base :]
+
+    def _record(self, event: tuple) -> None:
+        self._events.append(event)
+        overflow = len(self._events) - MAX_JOURNAL_EVENTS
+        if overflow > 0:
+            del self._events[:overflow]
+            self._events_base += overflow
+
+    def _journal_add_node(self, node: int) -> bool:
+        if node in self._graph:
+            return False
+        self._graph.add_node(node)
+        self._record(("add_node", node))
+        return True
+
+    def _journal_add_edge(self, u: int, v: int) -> bool:
+        if u == v or self._graph.has_edge(u, v):
+            return False
+        self._graph.add_edge(u, v)
+        self._record(("add_edge", u, v))
+        return True
+
+    def _journal_remove_edge(self, u: int, v: int) -> bool:
+        if not self._graph.has_edge(u, v):
+            return False
+        self._graph.remove_edge(u, v)
+        self._record(("remove_edge", u, v))
+        return True
 
     @property
     def graph(self) -> nx.Graph:
@@ -96,12 +164,13 @@ class Topology:
             scenarios).  Unknown neighbour ids are ignored.
         """
         existing = set(self._graph.nodes)
-        self._graph.add_node(agent_id)
+        self._journal_add_node(agent_id)
         if neighbors is None:
             targets = existing - {agent_id}
         else:
             targets = {n for n in neighbors if n in existing and n != agent_id}
-        self._graph.add_edges_from((agent_id, target) for target in targets)
+        for target in targets:
+            self._journal_add_edge(agent_id, target)
 
     def attach_agent(
         self,
@@ -134,8 +203,7 @@ class Topology:
             self.add_agent(agent_id, None)
         elif policy == "ring":
             lo, hi = existing[0], existing[-1]
-            if self._graph.has_edge(lo, hi):
-                self._graph.remove_edge(lo, hi)
+            self._journal_remove_edge(lo, hi)
             self.add_agent(agent_id, (lo, hi))
         elif policy == "random-k":
             if rng is None:
@@ -153,7 +221,9 @@ class Topology:
     def remove_agent(self, agent_id: int) -> None:
         """Drop a departed agent and all its links (no-op if absent)."""
         if agent_id in self._graph:
+            neighbors = tuple(self._graph.neighbors(agent_id))
             self._graph.remove_node(agent_id)
+            self._record(("remove_node", agent_id, neighbors))
 
     def __repr__(self) -> str:
         return (

@@ -117,13 +117,13 @@ class TestInvalidationBatching:
         comdml.plan_round(0, agents)
 
         calls = []
-        original = comdml.planner.invalidate
+        original = comdml.planner.invalidate_topology
 
         def recording_invalidate(ids):
             calls.append(list(ids))
             return original(ids)
 
-        comdml.planner.invalidate = recording_invalidate
+        comdml.planner.invalidate_topology = recording_invalidate
 
         departed_one, departed_two = agents[-1], agents[-2]
         comdml.on_agent_departure(departed_one)

@@ -306,3 +306,50 @@ class TestSummary:
         result = execute_campaign(spec, cache_dir=tmp_path)
         assert [cell.params["num_agents"] for cell in result.cells] == [4, 8]
         assert [p["num_agents"] for p in result.payloads()] == [4, 8]
+
+
+class TestPlannerReporting:
+    """Planner stats flow from cells into the execution report."""
+
+    def test_comdml_cells_report_planner_stats(self):
+        spec = comparison.campaign_spec(
+            methods=("ComDML", "AllReduce"),
+            num_agents=4,
+            max_rounds=3,
+            target_accuracy=None,
+            offload_granularity=9,
+            seed=3,
+        )
+        result = execute_campaign(spec)
+        by_method = {row["method"]: row for row in result.payloads()}
+        assert "planner" in by_method["ComDML"]
+        planner = by_method["ComDML"]["planner"]
+        assert planner["rounds"] >= 0
+        assert {"csr_edits", "csr_rebuilds", "csr_compactions"} <= set(planner)
+        # Baselines have no planner and must not grow the key.
+        assert "planner" not in by_method["AllReduce"]
+        report = execution_report(result)
+        assert report["planner"]["cells_reporting"] == 1
+        assert report["planner"]["rounds"] == planner["rounds"]
+
+    def test_aggregate_sums_counters_and_maxes_spread(self):
+        from repro.experiments.reporting import aggregate_planner_reports
+
+        payloads = [
+            {"planner": {"rounds": 2, "csr_edits": 3,
+                         "shards": {"sharded_rounds": 1, "cost_spread_max": 1.5,
+                                    "last_shard_costs": [5, 7]}}},
+            {"planner": {"rounds": 4, "csr_edits": 0,
+                         "shards": {"sharded_rounds": 2, "cost_spread_max": 1.2,
+                                    "last_shard_costs": [6, 6]}}},
+            {"method": "AllReduce"},
+            "not-a-dict",
+        ]
+        aggregate = aggregate_planner_reports(payloads)
+        assert aggregate["cells_reporting"] == 2
+        assert aggregate["rounds"] == 6
+        assert aggregate["csr_edits"] == 3
+        assert aggregate["shards"]["sharded_rounds"] == 3
+        assert aggregate["shards"]["cost_spread_max"] == 1.5
+        assert "last_shard_costs" not in aggregate["shards"]
+        assert aggregate_planner_reports([{"x": 1}, "y"]) is None

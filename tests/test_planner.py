@@ -237,11 +237,11 @@ class TestIncrementalReplanning:
                 next_id += 1
                 agents.append(newcomer)
                 link_model.topology.add_agent(newcomer.agent_id)
-                planner.invalidate([newcomer.agent_id])
+                planner.invalidate_topology([newcomer.agent_id])
             elif kind == "depart" and len(agents) > 2:
                 gone = agents.pop(value % len(agents))
                 link_model.topology.remove_agent(gone.agent_id)
-                planner.invalidate([gone.agent_id])
+                planner.invalidate_topology([gone.agent_id])
             # Full budget must follow the population as it grows.
             planner.top_k = max(len(agents) - 1, 1)
             incremental, _ = planner.plan(agents)
@@ -414,3 +414,47 @@ class TestPlannerSelection:
         decisions, taus_by_id = planner.plan([])
         assert decisions == []
         assert taus_by_id == {}
+
+
+class TestFastDecisionPaths:
+    """The ``__dict__``-filling decision constructors match the dataclasses."""
+
+    def test_fast_decision_paths_match(self):
+        from repro.core.pairing import _solo_decision
+        from repro.core.planner import _fast_pair_decision, _fast_solo_decision
+        from repro.core.workload import OffloadEstimate
+        from repro.core.pairing import PairingDecision
+
+        fast = _fast_pair_decision(7, 3, 25, 1.5, 0.25, 0.125, 0.75, 2.0)
+        plain = PairingDecision(
+            slow_id=7,
+            fast_id=3,
+            offloaded_layers=25,
+            estimate=OffloadEstimate(
+                offloaded_layers=25,
+                slow_time=1.5,
+                fast_own_time=0.25,
+                communication_time=0.125,
+                fast_offload_time=0.75,
+                pair_time=2.0,
+            ),
+        )
+        assert fast == plain
+        assert hash(fast) == hash(plain)
+        assert fast.estimate.fast_chain_time == plain.estimate.fast_chain_time
+        assert vars(fast) == vars(plain)
+        assert vars(fast.estimate) == vars(plain.estimate)
+
+        fast_solo = _fast_solo_decision(11, 4.5)
+        plain_solo = _solo_decision(11, 4.5)
+        assert fast_solo == plain_solo
+        assert vars(fast_solo) == vars(plain_solo)
+        assert vars(fast_solo.estimate) == vars(plain_solo.estimate)
+        # The fast path cannot silently diverge if the dataclasses grow
+        # fields: the wholesale __dict__ fill must cover every field.
+        import dataclasses
+
+        assert set(vars(fast)) == {f.name for f in dataclasses.fields(PairingDecision)}
+        assert set(vars(fast.estimate)) == {
+            f.name for f in dataclasses.fields(OffloadEstimate)
+        }

@@ -15,13 +15,15 @@ history that ``--check`` can gate on:
     # machine-independent signal) fell below 4x, if the pruned planner's
     # scaling exponent drifted super-linear, if its 5000-agent round
     # got slower than the dense kernel's 500-agent round, if the sharded
-    # planner's 50k round blew past its single-process partner, or if a
-    # planner shared-memory segment leaked into /dev/shm.  --quick skips
-    # the scale500k-marked half-million-agent benches.
+    # planner's 50k round blew past its single-process partner, if the
+    # incremental CSR engine lost its 3x edge over the full rebuild, if
+    # the cost-balanced partitioner's realised per-shard spread skewed,
+    # or if a planner shared-memory segment leaked into /dev/shm.
+    # --quick skips the scale500k- and scale1m-marked benches.
     PYTHONPATH=src python tools/bench_trajectory.py ci --out bench-ci.json \
-        --check BENCH_8.json --max-ratio 2.0 --min-speedup 4.0 \
+        --check BENCH_9.json --max-ratio 2.0 --min-speedup 4.0 \
         --max-exponent 1.3 --planner-dense-ratio 1.0 --shard-ratio 2.0 \
-        --fail-on-shm-leak --quick
+        --csr-ratio 3.0 --balance-spread 1.5 --fail-on-shm-leak --quick
 
 Snapshot schema 2 adds per-bench ``extra`` columns (peak traced bytes and
 high-water RSS from the scaling benches, sharded-round counters).  See
@@ -69,6 +71,22 @@ SHARD_PAIR = (
     "test_sharded_planner_round_speed[50000]",
     "test_planner_round_speed[random-k-50000]",
 )
+
+#: Same-run pair gated by --csr-ratio: the incremental CSR engine
+#: absorbing a 50k-population arrival wave as O(Δ) journal edits against
+#: the O(E) full rebuild of the same graph.  Unlike the other gates this
+#: one fails when the ratio falls BELOW the bound (the acceptance bar is
+#: 3.0: edits at least 3x faster than rescanning every link).
+CSR_PAIR = (
+    "test_csr_arrival_wave_rebuild_speed",
+    "test_csr_arrival_wave_incremental_speed",
+)
+
+#: Bench whose ``cost_spread_max`` extra column --balance-spread gates:
+#: the realised max-over-mean per-shard row-cost ratio of the sharded
+#: 50k round (1.0 is a perfect split; the partitioner targets the
+#: prefix-sum optimum, so sustained skew means balancing regressed).
+SPREAD_BENCH = "test_sharded_planner_round_speed[50000]"
 
 #: Prefix of the sharded planner's /dev/shm segments (mirrors
 #: ``repro.core.shard.SHARD_SHM_PREFIX`` without importing the package,
@@ -259,6 +277,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--csr-ratio",
+        type=float,
+        default=None,
+        help=(
+            "fail when the incremental CSR engine's arrival-wave edit is "
+            "less than this many times faster than the full O(E) rebuild "
+            "of the same graph in THIS run (the acceptance bar is 3.0); "
+            "machine-independent, both medians come from one process"
+        ),
+    )
+    parser.add_argument(
+        "--balance-spread",
+        type=float,
+        default=None,
+        help=(
+            "fail when the sharded 50k round's realised max-over-mean "
+            "per-shard row-cost spread (its cost_spread_max extra column) "
+            "exceeds this in THIS run (1.0 is a perfect split)"
+        ),
+    )
+    parser.add_argument(
         "--fail-on-shm-leak",
         action="store_true",
         help=(
@@ -269,7 +308,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="skip the scale500k-marked half-million-agent benches",
+        help=(
+            "skip the scale500k-marked half-million-agent benches and the "
+            "scale1m-marked million-agent benches"
+        ),
     )
     parser.add_argument(
         "pytest_args",
@@ -280,7 +322,7 @@ def main(argv: list[str] | None = None) -> int:
 
     pytest_args = list(args.pytest_args)
     if args.quick:
-        pytest_args += ["-m", "not scale500k"]
+        pytest_args += ["-m", "not scale500k and not scale1m"]
     raw = run_suite(pytest_args)
     snap = snapshot(args.label, raw)
     out = args.out if args.out is not None else ROOT / f"BENCH_{args.label}.json"
@@ -365,6 +407,47 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"check: sharded/single ratio {shard_ratio:.2f}x above the "
                 f"{args.shard_ratio:.2f}x limit REGRESSION"
+            )
+            status = 2
+
+    rebuild, incremental = CSR_PAIR
+    csr_ratio = None
+    if rebuild in snap["benches"] and incremental in snap["benches"]:
+        csr_ratio = (
+            snap["benches"][rebuild]["median_seconds"]
+            / snap["benches"][incremental]["median_seconds"]
+        )
+        print(
+            f"incremental CSR arrival-wave edit vs full rebuild: "
+            f"{csr_ratio:.1f}x faster"
+        )
+    if args.csr_ratio is not None:
+        if csr_ratio is None:
+            print("check: CSR arrival-wave benches missing from the suite")
+            status = 2
+        elif csr_ratio < args.csr_ratio:
+            print(
+                f"check: CSR edit speedup {csr_ratio:.1f}x below the "
+                f"{args.csr_ratio:.1f}x floor REGRESSION"
+            )
+            status = 2
+
+    spread = (
+        snap["benches"]
+        .get(SPREAD_BENCH, {})
+        .get("extra", {})
+        .get("cost_spread_max")
+    )
+    if spread is not None:
+        print(f"sharded 50k round max per-shard cost spread: {spread:.2f}x")
+    if args.balance_spread is not None:
+        if spread is None:
+            print("check: cost_spread_max column missing from the sharded bench")
+            status = 2
+        elif spread > args.balance_spread:
+            print(
+                f"check: shard cost spread {spread:.2f}x above the "
+                f"{args.balance_spread:.2f}x limit REGRESSION"
             )
             status = 2
 
